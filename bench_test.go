@@ -1,0 +1,119 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation, one benchmark per artifact (see DESIGN.md for the index and
+// EXPERIMENTS.md for recorded paper-vs-measured results). Each iteration
+// performs the complete experiment sweep at the default scale; pass
+// -benchtime=1x for a single regeneration, and use cmd/p2pexp -full for
+// the paper-scale parameter ranges.
+package sgxp2p_test
+
+import (
+	"testing"
+
+	"sgxp2p"
+	"sgxp2p/internal/experiments"
+)
+
+// benchExperiment runs one experiment sweep per iteration and reports the
+// number of data points produced.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	runner, err := experiments.Get(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var rows int
+	for i := 0; i < b.N; i++ {
+		tbl, err := runner(experiments.Config{Seed: int64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = len(tbl.Rows)
+	}
+	b.ReportMetric(float64(rows), "datapoints")
+}
+
+// BenchmarkFig2aERBTermination regenerates Figure 2a: ERB termination
+// time versus network size with an honest initiator.
+func BenchmarkFig2aERBTermination(b *testing.B) { benchExperiment(b, "fig2a") }
+
+// BenchmarkFig2bERNGTermination regenerates Figure 2b: unoptimized-ERNG
+// termination time versus network size.
+func BenchmarkFig2bERNGTermination(b *testing.B) { benchExperiment(b, "fig2b") }
+
+// BenchmarkFig2cByzantineTermination regenerates Figure 2c: ERB
+// termination versus byzantine fraction under the chain strategy.
+func BenchmarkFig2cByzantineTermination(b *testing.B) { benchExperiment(b, "fig2c") }
+
+// BenchmarkFig3aERBTraffic regenerates Figure 3a: ERB communication
+// versus network size against the theoretical quadratic curve.
+func BenchmarkFig3aERBTraffic(b *testing.B) { benchExperiment(b, "fig3a") }
+
+// BenchmarkFig3bERNGTraffic regenerates Figure 3b: unoptimized versus
+// optimized ERNG communication with the theoretical curves.
+func BenchmarkFig3bERNGTraffic(b *testing.B) { benchExperiment(b, "fig3b") }
+
+// BenchmarkFig3cByzantineTraffic regenerates Figure 3c: ERB communication
+// versus byzantine fraction (halt-on-divergence traffic reduction).
+func BenchmarkFig3cByzantineTraffic(b *testing.B) { benchExperiment(b, "fig3c") }
+
+// BenchmarkTab1Broadcast regenerates Table 1: round and communication
+// complexity of reliable broadcast across the implemented protocols.
+func BenchmarkTab1Broadcast(b *testing.B) { benchExperiment(b, "tab1") }
+
+// BenchmarkTab2RNG regenerates Table 2: round and communication
+// complexity of the distributed RNG protocols.
+func BenchmarkTab2RNG(b *testing.B) { benchExperiment(b, "tab2") }
+
+// BenchmarkSanitization regenerates the Appendix D experiment: geometric
+// decay of the byzantine population under halt-on-divergence.
+func BenchmarkSanitization(b *testing.B) { benchExperiment(b, "sanitize") }
+
+// BenchmarkBiasResistance regenerates the unbiasedness experiment:
+// attacked signature-RNG versus attacked ERNG.
+func BenchmarkBiasResistance(b *testing.B) { benchExperiment(b, "bias") }
+
+// BenchmarkClusterBroadcast measures one full ERB broadcast (setup
+// excluded) on a 64-node cluster through the public API.
+func BenchmarkClusterBroadcast(b *testing.B) {
+	cluster, err := sgxp2p.NewCluster(sgxp2p.Options{N: 64, T: 31, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := sgxp2p.ValueFromString("bench")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cluster.Broadcast(0, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClusterRandom measures one full basic-ERNG epoch on a 16-node
+// cluster through the public API.
+func BenchmarkClusterRandom(b *testing.B) {
+	cluster, err := sgxp2p.NewCluster(sgxp2p.Options{N: 16, T: 7, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cluster.GenerateRandom(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClusterSetup measures deployment construction (enclave launch,
+// attestation, pairwise channel establishment) for 128 nodes.
+func BenchmarkClusterSetup(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sgxp2p.NewCluster(sgxp2p.Options{N: 128, T: 63, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation regenerates the design-choice ablations (P4
+// halt-on-divergence on/off, early stopping vs deadline).
+func BenchmarkAblation(b *testing.B) { benchExperiment(b, "ablate") }

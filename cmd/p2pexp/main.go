@@ -1,0 +1,98 @@
+// Command p2pexp regenerates the tables and figures of "Robust P2P
+// Primitives Using SGX Enclaves" (ICDCS 2020) on the simulated testbed.
+//
+// Usage:
+//
+//	p2pexp -experiment all            # everything, default scale
+//	p2pexp -experiment fig2a -full    # one figure at paper scale
+//	p2pexp -experiment tab1 -csv      # machine-readable output
+//
+// Experiment ids: fig2a fig2b fig2c fig3a fig3b fig3c tab1 tab2 sanitize
+// bias ablate (see DESIGN.md for the per-experiment index).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime/debug"
+	"time"
+
+	"sgxp2p/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "p2pexp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("p2pexp", flag.ContinueOnError)
+	var (
+		experiment = fs.String("experiment", "all", "experiment id or 'all'")
+		full       = fs.Bool("full", false, "run the paper-scale sweeps (slower)")
+		seed       = fs.Int64("seed", 1, "deterministic seed")
+		csv        = fs.Bool("csv", false, "emit CSV instead of aligned tables")
+		delta      = fs.Duration("delta", time.Second, "base one-way delivery bound (a round is 2*delta)")
+		unlimited  = fs.Bool("unlimited-bandwidth", false, "disable the shared-link model")
+		list       = fs.Bool("list", false, "list experiment ids and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return nil
+	}
+
+	// Experiment sweeps allocate heavily and transiently; a lazier GC
+	// roughly halves wall-clock time for the big figures.
+	debug.SetGCPercent(400)
+
+	cfg := experiments.Config{
+		Full:  *full,
+		Seed:  *seed,
+		Delta: *delta,
+	}
+	if *unlimited {
+		cfg.Bandwidth = experiments.Unlimited
+	}
+
+	var tables []*experiments.Table
+	if *experiment == "all" {
+		all, err := experiments.All(cfg)
+		if err != nil {
+			return err
+		}
+		tables = all
+	} else {
+		runner, err := experiments.Get(*experiment)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		tbl, err := runner(cfg)
+		if err != nil {
+			return err
+		}
+		tbl.Notes = append(tbl.Notes, fmt.Sprintf("generated in %.1fs wall-clock", time.Since(start).Seconds()))
+		tables = []*experiments.Table{tbl}
+	}
+
+	for _, tbl := range tables {
+		if *csv {
+			if err := tbl.CSV(os.Stdout); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := tbl.Render(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}

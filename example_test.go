@@ -1,0 +1,75 @@
+package sgxp2p_test
+
+import (
+	"fmt"
+
+	"sgxp2p"
+)
+
+// ExampleCluster_Broadcast reliably broadcasts a value across a simulated
+// enclaved network and shows every node's decision.
+func ExampleCluster_Broadcast() {
+	cluster, err := sgxp2p.NewCluster(sgxp2p.Options{N: 5, T: 2, Seed: 42})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	payload := sgxp2p.ValueFromString("commit 7f3a")
+	results, err := cluster.Broadcast(0, payload)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	accepted := 0
+	for _, res := range results {
+		if res.Accepted && res.Value == payload {
+			accepted++
+		}
+	}
+	fmt.Printf("%d/5 nodes accepted in round %d\n", accepted, results[4].Round)
+	// Output: 5/5 nodes accepted in round 2
+}
+
+// ExampleCluster_GenerateRandom produces a common unbiased random number.
+func ExampleCluster_GenerateRandom() {
+	cluster, err := sgxp2p.NewCluster(sgxp2p.Options{N: 5, T: 2, Seed: 42})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	emission, err := cluster.GenerateRandom()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("ok=%v contributors=%d\n", emission.OK, len(emission.Contributors))
+	// Output: ok=true contributors=5
+}
+
+// ExampleCluster_Join grows the network at runtime: a sponsor announces
+// the newcomer through reliable broadcast and everyone admits it.
+func ExampleCluster_Join() {
+	cluster, err := sgxp2p.NewCluster(sgxp2p.Options{N: 4, T: 1, Seed: 42})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	newID, err := cluster.Join(sgxp2p.JoinOptions{Sponsor: 0})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("node %d joined, N=%d\n", newID, cluster.N())
+	// Output: node 4 joined, N=5
+}
+
+// ExampleMinCommitteeSize sizes shards so each keeps an honest majority.
+func ExampleMinCommitteeSize() {
+	m, err := sgxp2p.MinCommitteeSize(0.25, 0.001)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("beta=0.25 eps=0.1%%: %d nodes per shard\n", m)
+	// Output: beta=0.25 eps=0.1%: 56 nodes per shard
+}

@@ -1,0 +1,3 @@
+module sgxp2p
+
+go 1.22

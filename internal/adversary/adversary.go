@@ -1,0 +1,301 @@
+// Package adversary implements the byzantine operating system: the
+// untrusted layer below the enclave that owns the network.
+//
+// Its capabilities mirror the paper's attack taxonomy (Section 2.3):
+//
+//	A1 execution deviation — impossible below the channel: the OS cannot
+//	   run modified protocol code whose messages honest enclaves accept
+//	   (measurement-bound keys); it can only inject garbage, which fails
+//	   authentication. InjectForged models the attempt.
+//	A2 message forgery — CorruptEverything / InjectForged flip or invent
+//	   envelope bytes; the channel rejects them (tested to reduce to
+//	   omissions).
+//	A3 selective omission — OmitAll, OmitTo, OmitProbabilistic, Chain.
+//	   Content-based omission is structurally impossible: Behavior sees
+//	   only (destination, size), never plaintext (property P3).
+//	A4 message delay — DelayAll holds envelopes and releases them later;
+//	   lockstep round stamps (P5) turn late deliveries into omissions.
+//	A5 message replay — the OS records every envelope it has carried and
+//	   can replay recorded envelopes at any time; sequence numbers (P6)
+//	   and round stamps make replays reduce to omissions.
+//
+// The key structural property: a Behavior receives the destination and the
+// envelope size, never the envelope contents, let alone the plaintext.
+// That is the blind-box guarantee (P3) expressed in the type system.
+package adversary
+
+import (
+	"math/rand"
+	"time"
+
+	"sgxp2p/internal/runtime"
+	"sgxp2p/internal/wire"
+)
+
+// Action is the OS's disposition for one outbound envelope.
+type Action int
+
+// Possible dispositions.
+const (
+	// Deliver forwards the envelope unchanged.
+	Deliver Action = iota + 1
+	// Drop omits the envelope.
+	Drop
+	// Hold stores the envelope for a later Release (delay attack A4).
+	Hold
+	// Corrupt flips a bit and then delivers (forgery attempt A2).
+	Corrupt
+)
+
+// Behavior decides the disposition of outbound envelopes. Implementations
+// observe only the destination and size — the blind-box property P3.
+type Behavior interface {
+	Outbound(dst wire.NodeID, size int) Action
+}
+
+// BehaviorFunc adapts a function to the Behavior interface.
+type BehaviorFunc func(dst wire.NodeID, size int) Action
+
+// Outbound implements Behavior.
+func (f BehaviorFunc) Outbound(dst wire.NodeID, size int) Action { return f(dst, size) }
+
+// Epochal is implemented by behaviors that re-roll their disposition at
+// instance boundaries (e.g. probabilistic misbehaviour in the sanitization
+// experiment of Appendix D).
+type Epochal interface {
+	NewEpoch(epoch uint32)
+}
+
+// Stats counts what the byzantine OS did.
+type Stats struct {
+	Delivered uint64
+	Dropped   uint64
+	Held      uint64
+	Corrupted uint64
+	Replayed  uint64
+	Forged    uint64
+}
+
+// heldEnvelope is an envelope under a delay attack.
+type heldEnvelope struct {
+	dst     wire.NodeID
+	payload []byte
+}
+
+// captured is a recorded envelope available for replay.
+type captured struct {
+	dst     wire.NodeID
+	payload []byte
+}
+
+// OS wraps a node's transport with byzantine behaviour. It satisfies
+// runtime.Transport so it can be injected via deploy.Options.Wrap.
+type OS struct {
+	id       wire.NodeID
+	inner    runtime.Transport
+	behavior Behavior
+	rng      *rand.Rand
+	held     []heldEnvelope
+	recorded []captured
+	maxTape  int
+	stats    Stats
+}
+
+var _ runtime.Transport = (*OS)(nil)
+
+// Wrap builds a byzantine OS around a genuine transport. behavior nil
+// means honest passthrough (useful as a recording tap). seed drives the
+// corruption bit choices.
+func Wrap(id wire.NodeID, inner runtime.Transport, behavior Behavior, seed int64) *OS {
+	return &OS{
+		id:       id,
+		inner:    inner,
+		behavior: behavior,
+		rng:      rand.New(rand.NewSource(seed)),
+		maxTape:  4096,
+	}
+}
+
+// ID returns the wrapped node's id.
+func (o *OS) ID() wire.NodeID { return o.id }
+
+// Stats returns a snapshot of the OS's activity counters.
+func (o *OS) Stats() Stats { return o.stats }
+
+// Send implements runtime.Transport, applying the behaviour.
+func (o *OS) Send(dst wire.NodeID, payload []byte) {
+	o.record(dst, payload)
+	act := Deliver
+	if o.behavior != nil {
+		act = o.behavior.Outbound(dst, len(payload))
+	}
+	switch act {
+	case Drop:
+		o.stats.Dropped++
+	case Hold:
+		o.stats.Held++
+		o.held = append(o.held, heldEnvelope{dst: dst, payload: payload})
+	case Corrupt:
+		o.stats.Corrupted++
+		bad := append([]byte(nil), payload...)
+		if len(bad) > 0 {
+			i := o.rng.Intn(len(bad))
+			bad[i] ^= 1 << uint(o.rng.Intn(8))
+		}
+		o.inner.Send(dst, bad)
+	default:
+		o.stats.Delivered++
+		o.inner.Send(dst, payload)
+	}
+}
+
+// record keeps a bounded tape of every envelope for later replay (A5).
+func (o *OS) record(dst wire.NodeID, payload []byte) {
+	if len(o.recorded) >= o.maxTape {
+		return
+	}
+	o.recorded = append(o.recorded, captured{dst: dst, payload: append([]byte(nil), payload...)})
+}
+
+// Release delivers all held envelopes now — the second half of the delay
+// attack A4. Receivers' lockstep checks will discard them.
+func (o *OS) Release() {
+	held := o.held
+	o.held = nil
+	for _, h := range held {
+		o.stats.Delivered++
+		o.inner.Send(h.dst, h.payload)
+	}
+}
+
+// HeldCount returns how many envelopes are currently held.
+func (o *OS) HeldCount() int { return len(o.held) }
+
+// ReplayTape re-sends every recorded envelope to its original destination
+// (attack A5). Returns the number replayed.
+func (o *OS) ReplayTape() int {
+	n := len(o.recorded)
+	for _, c := range o.recorded {
+		o.stats.Replayed++
+		o.inner.Send(c.dst, append([]byte(nil), c.payload...))
+	}
+	return n
+}
+
+// InjectForged sends size bytes of OS-chosen garbage to dst — the best
+// available approximation of message forgery (A2) without enclave keys.
+func (o *OS) InjectForged(dst wire.NodeID, size int) {
+	buf := make([]byte, size)
+	o.rng.Read(buf)
+	o.stats.Forged++
+	o.inner.Send(dst, buf)
+}
+
+// NewEpoch forwards the epoch boundary to epochal behaviours.
+func (o *OS) NewEpoch(epoch uint32) {
+	if e, ok := o.behavior.(Epochal); ok {
+		e.NewEpoch(epoch)
+	}
+}
+
+// SetHandler implements runtime.Transport.
+func (o *OS) SetHandler(h func(src wire.NodeID, payload []byte)) { o.inner.SetHandler(h) }
+
+// Detach implements runtime.Transport.
+func (o *OS) Detach() { o.inner.Detach() }
+
+// After implements runtime.Transport.
+func (o *OS) After(d time.Duration, fn func()) { o.inner.After(d, fn) }
+
+// Now implements runtime.Transport.
+func (o *OS) Now() time.Duration { return o.inner.Now() }
+
+// OmitAll drops every outbound envelope.
+func OmitAll() Behavior {
+	return BehaviorFunc(func(wire.NodeID, int) Action { return Drop })
+}
+
+// OmitTo drops envelopes to destinations matching the predicate
+// (identity-based selective omission, A3).
+func OmitTo(pred func(dst wire.NodeID) bool) Behavior {
+	return BehaviorFunc(func(dst wire.NodeID, _ int) Action {
+		if pred(dst) {
+			return Drop
+		}
+		return Deliver
+	})
+}
+
+// OmitProbabilistic drops each envelope independently with probability p.
+func OmitProbabilistic(p float64, seed int64) Behavior {
+	rng := rand.New(rand.NewSource(seed))
+	return BehaviorFunc(func(wire.NodeID, int) Action {
+		if rng.Float64() < p {
+			return Drop
+		}
+		return Deliver
+	})
+}
+
+// CorruptEverything flips one bit of every outbound envelope (A2).
+func CorruptEverything() Behavior {
+	return BehaviorFunc(func(wire.NodeID, int) Action { return Corrupt })
+}
+
+// DelayAll holds every outbound envelope for later Release (A4).
+func DelayAll() Behavior {
+	return BehaviorFunc(func(wire.NodeID, int) Action { return Hold })
+}
+
+// Chain implements the worst-case strategy of Section 6.3: each byzantine
+// node forwards only to the next byzantine node in the chain (getting
+// itself eliminated by P4), delaying honest acceptance to ~f+2 rounds. The
+// last chain member releases to the designated honest node.
+//
+// self is the position of this node within chain; release is the honest
+// node the final member forwards to.
+func Chain(chain []wire.NodeID, self int, release wire.NodeID) Behavior {
+	var next wire.NodeID
+	if self+1 < len(chain) {
+		next = chain[self+1]
+	} else {
+		next = release
+	}
+	return BehaviorFunc(func(dst wire.NodeID, _ int) Action {
+		if dst == next {
+			return Deliver
+		}
+		return Drop
+	})
+}
+
+// probabilisticEpoch is the Appendix-D misbehaviour model: at every epoch
+// the node decides with probability p to misbehave (omit everything) for
+// that entire instance.
+type probabilisticEpoch struct {
+	p      float64
+	rng    *rand.Rand
+	active bool
+}
+
+// MisbehaveWithProbability returns an epochal behaviour that, per epoch,
+// omits all messages with probability p and behaves honestly otherwise —
+// the activation model of Theorems D.1/D.2.
+func MisbehaveWithProbability(p float64, seed int64) Behavior {
+	b := &probabilisticEpoch{p: p, rng: rand.New(rand.NewSource(seed))}
+	b.NewEpoch(0)
+	return b
+}
+
+// NewEpoch implements Epochal.
+func (b *probabilisticEpoch) NewEpoch(uint32) {
+	b.active = b.rng.Float64() < b.p
+}
+
+// Outbound implements Behavior.
+func (b *probabilisticEpoch) Outbound(wire.NodeID, int) Action {
+	if b.active {
+		return Drop
+	}
+	return Deliver
+}

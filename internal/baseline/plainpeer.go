@@ -1,0 +1,192 @@
+// Package baseline implements the comparator protocols the paper measures
+// ERB and ERNG against, in the models they were designed for:
+//
+//   - Strawman (Algorithm 1): broadcast-based random number agreement with
+//     no authentication at all. It is included to demonstrate the attacks
+//     of Section 2.3 — equivocation breaks agreement, look-ahead biases
+//     the output — which ERB/ERNG close.
+//   - RBsig (Algorithm 4 / Appendix B.1): reliable broadcast with digital
+//     signature chains in the byzantine model (Dolev-Strong style):
+//     tolerant to forgery, t+1 rounds, O(N^3) communication.
+//   - RBearly (Algorithm 5 / Appendix B.2): early-stopping broadcast in
+//     the general-omission model (Perry-Toueg style): min{f+2, t+1}
+//     rounds but O(N^3) communication because every node announces its
+//     state every round.
+//   - SigRNG: the broadcast-everyone's-coin RNG built on RBsig (the
+//     Table 2 stand-in for signature-based RNG protocols): O(N^4)
+//     communication and vulnerable to last-mover bias, which the bias
+//     experiment demonstrates.
+//
+// Baseline peers are *not* enclaved: they exchange plain (optionally
+// signed) wire messages, so byzantine nodes can equivocate and forge
+// whatever their keys allow — exactly the power the paper's SGX
+// construction removes.
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"sgxp2p/internal/runtime"
+	"sgxp2p/internal/wire"
+	"sgxp2p/internal/xcrypto"
+)
+
+// Proto is the protocol interface for baseline peers. Unlike the enclaved
+// runtime, the source id is passed explicitly: there is no authenticated
+// channel, the transport's claim is all a node gets.
+type Proto interface {
+	OnRound(rnd uint32)
+	OnMessage(src wire.NodeID, msg *wire.Message)
+	OnFinish()
+}
+
+// Roster holds the verification keys of all peers (the pre-established
+// PKI assumption of the signature-based protocols).
+type Roster struct {
+	Keys []xcrypto.VerifyKey
+}
+
+// Peer is a plain, non-enclaved peer: lockstep rounds over a transport,
+// no sealing. Byzantine behaviour is expressed by running a different
+// Proto — the full byzantine model.
+type Peer struct {
+	id     wire.NodeID
+	n, t   int
+	delta  time.Duration
+	tr     runtime.Transport
+	roster Roster
+	sk     *xcrypto.SigningKey
+
+	proto   Proto
+	rounds  uint32
+	round   uint32
+	started bool
+}
+
+// NewPeer builds a baseline peer. sk may be nil for unsigned protocols.
+func NewPeer(id wire.NodeID, n, t int, delta time.Duration, tr runtime.Transport, roster Roster, sk *xcrypto.SigningKey) (*Peer, error) {
+	if tr == nil {
+		return nil, errors.New("baseline: nil transport")
+	}
+	if n < 2 || t < 0 || t >= n {
+		return nil, fmt.Errorf("baseline: invalid sizes n=%d t=%d", n, t)
+	}
+	if delta <= 0 {
+		return nil, fmt.Errorf("baseline: invalid delta %v", delta)
+	}
+	if len(roster.Keys) != 0 && len(roster.Keys) != n {
+		return nil, fmt.Errorf("baseline: roster has %d keys, want %d", len(roster.Keys), n)
+	}
+	p := &Peer{id: id, n: n, t: t, delta: delta, tr: tr, roster: roster, sk: sk}
+	tr.SetHandler(p.receive)
+	return p, nil
+}
+
+// ID returns the peer id.
+func (p *Peer) ID() wire.NodeID { return p.id }
+
+// N returns the network size.
+func (p *Peer) N() int { return p.n }
+
+// T returns the fault bound.
+func (p *Peer) T() int { return p.t }
+
+// Round returns the current round.
+func (p *Peer) Round() uint32 { return p.round }
+
+// Now returns the transport time.
+func (p *Peer) Now() time.Duration { return p.tr.Now() }
+
+// Key returns the verification key of a peer, or false when no PKI was
+// configured.
+func (p *Peer) Key(id wire.NodeID) (xcrypto.VerifyKey, bool) {
+	if len(p.roster.Keys) == 0 || int(id) >= len(p.roster.Keys) {
+		return xcrypto.VerifyKey{}, false
+	}
+	return p.roster.Keys[id], true
+}
+
+// Sign signs bytes with the peer's own key.
+func (p *Peer) Sign(data []byte) ([]byte, error) {
+	if p.sk == nil {
+		return nil, errors.New("baseline: peer has no signing key")
+	}
+	return p.sk.Sign(data), nil
+}
+
+// Start begins a run of the protocol for the given number of rounds.
+func (p *Peer) Start(proto Proto, rounds int) {
+	p.proto = proto
+	p.rounds = uint32(rounds)
+	p.round = 0
+	p.started = true
+	p.scheduleTick(1, p.tr.Now())
+}
+
+func (p *Peer) scheduleTick(rnd uint32, start time.Duration) {
+	delay := start + time.Duration(rnd-1)*2*p.delta - p.tr.Now()
+	p.tr.After(delay, func() { p.tick(rnd, start) })
+}
+
+func (p *Peer) tick(rnd uint32, start time.Duration) {
+	if !p.started {
+		return
+	}
+	if rnd > p.rounds {
+		p.proto.OnFinish()
+		return
+	}
+	p.round = rnd
+	p.proto.OnRound(rnd)
+	p.scheduleTick(rnd+1, start)
+}
+
+// Send encodes and transmits a message to one peer.
+func (p *Peer) Send(dst wire.NodeID, msg *wire.Message) error {
+	data, err := msg.Encode()
+	if err != nil {
+		return err
+	}
+	p.tr.Send(dst, data)
+	return nil
+}
+
+// Multicast sends to every other peer (or an explicit destination list).
+func (p *Peer) Multicast(dsts []wire.NodeID, msg *wire.Message) error {
+	if dsts == nil {
+		for id := 0; id < p.n; id++ {
+			if wire.NodeID(id) == p.id {
+				continue
+			}
+			if err := p.Send(wire.NodeID(id), msg); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, dst := range dsts {
+		if dst == p.id {
+			continue
+		}
+		if err := p.Send(dst, msg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// receive decodes and forwards deliveries. Undecodable payloads are
+// dropped; there is no authenticity check — that is the point of the
+// baseline model.
+func (p *Peer) receive(src wire.NodeID, payload []byte) {
+	if !p.started || p.proto == nil {
+		return
+	}
+	msg, err := wire.Decode(payload)
+	if err != nil {
+		return
+	}
+	p.proto.OnMessage(src, msg)
+}

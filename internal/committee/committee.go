@@ -1,0 +1,142 @@
+// Package committee implements the committee-election application behind
+// the paper's Appendix H sharding use case (it cites Elastico-style
+// secure sharding): the network partitions itself into k committees using
+// the common unbiased beacon value. Because the partition is a
+// deterministic function of an unbiasable value, an adversary controlling
+// t <= beta*N nodes cannot concentrate its nodes into one committee beyond
+// what an honest-random assignment would give, and every honest node
+// computes the identical partition.
+package committee
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"sgxp2p/internal/beacon"
+	"sgxp2p/internal/wire"
+)
+
+// Partition is a committee assignment: Committees[c] lists the members of
+// committee c in ascending id order.
+type Partition struct {
+	Committees [][]wire.NodeID
+	byNode     map[wire.NodeID]int
+}
+
+// CommitteeOf returns the committee index of a node (-1 if unknown).
+func (p *Partition) CommitteeOf(id wire.NodeID) int {
+	c, ok := p.byNode[id]
+	if !ok {
+		return -1
+	}
+	return c
+}
+
+// Sizes returns the member count of every committee.
+func (p *Partition) Sizes() []int {
+	out := make([]int, len(p.Committees))
+	for i, c := range p.Committees {
+		out[i] = len(c)
+	}
+	return out
+}
+
+// Elector forms beacon-driven committees.
+type Elector struct {
+	src beacon.Source
+	n   int
+	k   int
+}
+
+// New builds an elector partitioning n nodes into k committees.
+func New(src beacon.Source, n, k int) (*Elector, error) {
+	if src == nil {
+		return nil, errors.New("committee: nil beacon source")
+	}
+	if n <= 0 || k <= 0 || k > n {
+		return nil, fmt.Errorf("committee: invalid n=%d k=%d", n, k)
+	}
+	return &Elector{src: src, n: n, k: k}, nil
+}
+
+// Elect draws one beacon value and forms the partition. Assignment uses a
+// beacon-keyed pseudorandom permutation rank, then round-robin slicing, so
+// committee sizes differ by at most one.
+func (e *Elector) Elect() (*Partition, error) {
+	v, err := e.src.Next()
+	if err != nil {
+		return nil, fmt.Errorf("committee: beacon: %w", err)
+	}
+	return Form(v[:], e.n, e.k), nil
+}
+
+// Form is the pure partition function: nodes are ranked by
+// H(entropy, id) and dealt round-robin into k committees. Exposed so any
+// observer of the beacon trace can re-derive (and audit) the partition.
+func Form(entropy []byte, n, k int) *Partition {
+	type ranked struct {
+		id   wire.NodeID
+		rank uint64
+	}
+	nodes := make([]ranked, n)
+	for i := 0; i < n; i++ {
+		h := sha256.New()
+		h.Write([]byte("sgxp2p/committee/v1/"))
+		h.Write(entropy)
+		var idb [4]byte
+		binary.LittleEndian.PutUint32(idb[:], uint32(i))
+		h.Write(idb[:])
+		sum := h.Sum(nil)
+		nodes[i] = ranked{id: wire.NodeID(i), rank: binary.LittleEndian.Uint64(sum[:8])}
+	}
+	sort.Slice(nodes, func(a, b int) bool {
+		if nodes[a].rank != nodes[b].rank {
+			return nodes[a].rank < nodes[b].rank
+		}
+		return nodes[a].id < nodes[b].id
+	})
+	p := &Partition{
+		Committees: make([][]wire.NodeID, k),
+		byNode:     make(map[wire.NodeID]int, n),
+	}
+	for i, nd := range nodes {
+		c := i % k
+		p.Committees[c] = append(p.Committees[c], nd.id)
+		p.byNode[nd.id] = c
+	}
+	for _, members := range p.Committees {
+		sort.Slice(members, func(a, b int) bool { return members[a] < members[b] })
+	}
+	return p
+}
+
+// HonestMajorityProbability estimates, via the Chernoff bound the paper's
+// Lemma F.1 uses, a lower bound on the probability that ONE committee of
+// size m keeps an honest majority when a fraction beta < 1/2 of the
+// network is byzantine: P[byz >= m/2] <= exp(-2*m*(1/2 - beta)^2).
+func HonestMajorityProbability(m int, beta float64) float64 {
+	if m <= 0 || beta < 0 || beta >= 0.5 {
+		return 0
+	}
+	gap := 0.5 - beta
+	return 1 - math.Exp(-2*float64(m)*gap*gap)
+}
+
+// MinCommitteeSize returns the smallest committee size whose
+// honest-majority probability (per HonestMajorityProbability) is at least
+// 1 - epsilon, for byzantine fraction beta.
+func MinCommitteeSize(beta, epsilon float64) (int, error) {
+	if beta < 0 || beta >= 0.5 {
+		return 0, fmt.Errorf("committee: byzantine fraction %v out of [0, 0.5)", beta)
+	}
+	if epsilon <= 0 || epsilon >= 1 {
+		return 0, fmt.Errorf("committee: epsilon %v out of (0, 1)", epsilon)
+	}
+	gap := 0.5 - beta
+	m := math.Log(1/epsilon) / (2 * gap * gap)
+	return int(math.Ceil(m)), nil
+}

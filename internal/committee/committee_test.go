@@ -1,0 +1,246 @@
+package committee_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sgxp2p/internal/committee"
+	"sgxp2p/internal/stats"
+	"sgxp2p/internal/wire"
+)
+
+type stubSource struct {
+	rng *rand.Rand
+	err error
+}
+
+func (s *stubSource) Next() (wire.Value, error) {
+	if s.err != nil {
+		return wire.Value{}, s.err
+	}
+	var v wire.Value
+	s.rng.Read(v[:])
+	return v, nil
+}
+
+func TestFormCoversAllNodesOnce(t *testing.T) {
+	p := committee.Form([]byte("entropy"), 100, 7)
+	seen := make(map[wire.NodeID]bool)
+	for c, members := range p.Committees {
+		for _, id := range members {
+			if seen[id] {
+				t.Fatalf("node %d assigned twice", id)
+			}
+			seen[id] = true
+			if p.CommitteeOf(id) != c {
+				t.Fatalf("CommitteeOf(%d) = %d, want %d", id, p.CommitteeOf(id), c)
+			}
+		}
+	}
+	if len(seen) != 100 {
+		t.Fatalf("%d nodes assigned, want 100", len(seen))
+	}
+}
+
+func TestFormBalanced(t *testing.T) {
+	p := committee.Form([]byte("x"), 103, 10)
+	sizes := p.Sizes()
+	min, max := sizes[0], sizes[0]
+	for _, s := range sizes {
+		if s < min {
+			min = s
+		}
+		if s > max {
+			max = s
+		}
+	}
+	if max-min > 1 {
+		t.Fatalf("committee sizes unbalanced: %v", sizes)
+	}
+}
+
+func TestFormDeterministic(t *testing.T) {
+	a := committee.Form([]byte("same"), 40, 4)
+	b := committee.Form([]byte("same"), 40, 4)
+	for i := range a.Committees {
+		if len(a.Committees[i]) != len(b.Committees[i]) {
+			t.Fatal("partitions differ for equal entropy")
+		}
+		for j := range a.Committees[i] {
+			if a.Committees[i][j] != b.Committees[i][j] {
+				t.Fatal("partitions differ for equal entropy")
+			}
+		}
+	}
+	c := committee.Form([]byte("different"), 40, 4)
+	same := true
+	for i := range a.Committees {
+		for j := range a.Committees[i] {
+			if a.Committees[i][j] != c.Committees[i][j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different entropy produced identical partition")
+	}
+}
+
+func TestElectUsesBeacon(t *testing.T) {
+	e, err := committee.New(&stubSource{rng: rand.New(rand.NewSource(1))}, 30, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := e.Elect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := e.Elect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.CommitteeOf(0) == -1 || p2.CommitteeOf(0) == -1 {
+		t.Fatal("node 0 unassigned")
+	}
+	moved := false
+	for id := wire.NodeID(0); id < 30; id++ {
+		if p1.CommitteeOf(id) != p2.CommitteeOf(id) {
+			moved = true
+			break
+		}
+	}
+	if !moved {
+		t.Fatal("two elections produced identical partitions")
+	}
+}
+
+func TestByzantineDispersion(t *testing.T) {
+	// Mark the first 30% of nodes byzantine; over many beacon draws the
+	// per-committee byzantine fraction should look binomial, never
+	// concentrated: with m=25, beta=0.3, a majority-byzantine committee
+	// has probability < exp(-2*25*0.04) ~ 0.13 per committee; across 50
+	// draws x 4 committees we allow a small number of exceedances but not
+	// systematic capture.
+	const n, k, byz = 100, 4, 30
+	rng := rand.New(rand.NewSource(9))
+	captured := 0
+	for draw := 0; draw < 50; draw++ {
+		var entropy [32]byte
+		rng.Read(entropy[:])
+		p := committee.Form(entropy[:], n, k)
+		for _, members := range p.Committees {
+			count := 0
+			for _, id := range members {
+				if int(id) < byz {
+					count++
+				}
+			}
+			if count > len(members)/2 {
+				captured++
+			}
+		}
+	}
+	if captured > 20 { // 10% of 200 committee draws
+		t.Fatalf("byzantine nodes captured %d/200 committees despite unbiased election", captured)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	src := &stubSource{rng: rand.New(rand.NewSource(1))}
+	if _, err := committee.New(nil, 10, 2); err == nil {
+		t.Error("nil source accepted")
+	}
+	if _, err := committee.New(src, 0, 2); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := committee.New(src, 5, 9); err == nil {
+		t.Error("k>n accepted")
+	}
+	e, err := committee.New(&stubSource{err: errors.New("down")}, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Elect(); err == nil {
+		t.Error("beacon error not propagated")
+	}
+	if committee.Form([]byte("x"), 10, 2).CommitteeOf(99) != -1 {
+		t.Error("unknown node has a committee")
+	}
+}
+
+func TestHonestMajorityMath(t *testing.T) {
+	// Probability increases with committee size and decreases with beta.
+	if committee.HonestMajorityProbability(20, 0.3) >= committee.HonestMajorityProbability(100, 0.3) {
+		t.Error("probability not increasing in m")
+	}
+	if committee.HonestMajorityProbability(50, 0.2) <= committee.HonestMajorityProbability(50, 0.4) {
+		t.Error("probability not decreasing in beta")
+	}
+	if committee.HonestMajorityProbability(50, 0.6) != 0 {
+		t.Error("beta >= 1/2 must give 0")
+	}
+	m, err := committee.MinCommitteeSize(0.3, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := committee.HonestMajorityProbability(m, 0.3); got < 0.999 {
+		t.Fatalf("MinCommitteeSize(0.3, 0.001) = %d gives probability %v", m, got)
+	}
+	if _, err := committee.MinCommitteeSize(0.5, 0.01); err == nil {
+		t.Error("beta=0.5 accepted")
+	}
+	if _, err := committee.MinCommitteeSize(0.3, 0); err == nil {
+		t.Error("epsilon=0 accepted")
+	}
+}
+
+// Property: every node is assigned exactly once, committees are balanced
+// within one, for arbitrary entropy and sizes.
+func TestQuickFormInvariants(t *testing.T) {
+	f := func(entropy [32]byte, nRaw, kRaw uint8) bool {
+		n := int(nRaw%120) + 1
+		k := int(kRaw)%n + 1
+		p := committee.Form(entropy[:], n, k)
+		seen := make(map[wire.NodeID]bool, n)
+		min, max := n+1, 0
+		for _, members := range p.Committees {
+			if len(members) < min {
+				min = len(members)
+			}
+			if len(members) > max {
+				max = len(members)
+			}
+			for _, id := range members {
+				if seen[id] || int(id) >= n {
+					return false
+				}
+				seen[id] = true
+			}
+		}
+		return len(seen) == n && max-min <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpreadUniformAcrossDraws(t *testing.T) {
+	// Node 0's committee over many draws should be ~uniform over k.
+	const k = 8
+	counts := make([]int, k)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 4000; i++ {
+		var entropy [32]byte
+		rng.Read(entropy[:])
+		counts[committee.Form(entropy[:], 64, k).CommitteeOf(0)]++
+	}
+	chi, err := stats.ChiSquareUniform(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chi > 30 { // 7 dof, 99.9th percentile ~24.3, margin
+		t.Fatalf("committee choice chi-square %.1f: %v", chi, counts)
+	}
+}

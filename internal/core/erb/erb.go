@@ -1,0 +1,463 @@
+// Package erb implements the paper's first primary contribution: the
+// Enclaved Reliable Broadcast protocol (Algorithm 2).
+//
+// ERB reliably broadcasts a message from an initiator to all peers of a
+// synchronous network with N >= 2t+1 nodes, of which up to t are byzantine
+// OSes running genuine enclaves. Thanks to the blinded channel and the
+// lockstep runtime, the adversary is confined to omitting messages, and
+// the protocol achieves
+//
+//   - round complexity   min{f+2, t+2}, where f <= t is the number of
+//     nodes actually misbehaving in this instance, and
+//   - communication complexity O(N^2) — every node multicasts at most one
+//     ECHO and answers with ACKs,
+//
+// improving on the O(N^3) of prior omission-model protocols through the
+// active halt-on-divergence rule (property P4): a sender that does not
+// collect at least t acknowledgments within the round churns itself out.
+//
+// An Engine can run many concurrent Broadcast instances (one per
+// initiator), which is exactly how the ERNG protocols of Section 5 use it,
+// and can be scoped to a subset of the network (the representative cluster
+// of the optimized ERNG) via Config.Members.
+package erb
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"sgxp2p/internal/runtime"
+	"sgxp2p/internal/wire"
+)
+
+// Config parametrizes an Engine.
+type Config struct {
+	// Members is the set of peers participating in this broadcast scope.
+	// Nil means the whole network [0, N). The local peer must be a
+	// member to participate actively; non-members' messages are ignored.
+	Members []wire.NodeID
+	// T is the byzantine bound within Members. The protocol runs T+2
+	// rounds and accepts on N_m - T distinct echoes (N_m = len(Members)).
+	T int
+	// AckThreshold is the minimum number of acknowledgments a multicast
+	// must gather to avoid halting (Algorithm 2: halt when Nack < t).
+	// Zero defaults to T. Negative disables ACK tracking entirely.
+	AckThreshold int
+	// StartRound is the lockstep round at which initiators multicast
+	// INIT. Zero defaults to 1. The optimized ERNG embeds ERB starting
+	// at round 2 of its own schedule.
+	StartRound uint32
+	// ExpectedInitiators lists the initiators whose broadcasts this
+	// engine tracks; instances from other initiators are ignored. Nil
+	// means "any member". Results are defined for expected initiators
+	// (or any initiator heard from, when nil).
+	ExpectedInitiators []wire.NodeID
+}
+
+// Result is the outcome of one broadcast instance at this node.
+type Result struct {
+	// Accepted is true when a value was accepted; false means bottom
+	// (the initiator failed or stayed silent).
+	Accepted bool
+	// Value is the accepted message m (zero when !Accepted).
+	Value wire.Value
+	// Round is the lockstep round at which the decision was made.
+	Round uint32
+	// At is the virtual time of the decision.
+	At time.Duration
+}
+
+// instance is the per-initiator broadcast state of Algorithm 2.
+type instance struct {
+	initiator wire.NodeID
+	value     wire.Value // m~: current candidate
+	hasValue  bool
+	echo      map[wire.NodeID]bool // Secho
+	queued    bool                 // ECHO queued for next round start
+	echoed    bool                 // ECHO already multicast
+	decided   bool
+	result    Result
+}
+
+// Engine drives all broadcast instances of one protocol epoch at one peer.
+// It implements runtime.Protocol.
+type Engine struct {
+	peer    *runtime.Peer
+	cfg     Config
+	members map[wire.NodeID]bool
+	nm      int // len(members)
+	expect  map[wire.NodeID]bool
+
+	input     *wire.Value
+	instances map[wire.NodeID]*instance
+	pending   []*instance // instances with an ECHO queued for next round
+	accepted  int         // instances decided with a value (not bottom)
+}
+
+var _ runtime.Protocol = (*Engine)(nil)
+
+// NewEngine validates the configuration and builds an engine bound to a
+// peer runtime.
+func NewEngine(peer *runtime.Peer, cfg Config) (*Engine, error) {
+	if peer == nil {
+		return nil, errors.New("erb: nil peer")
+	}
+	if cfg.Members == nil {
+		cfg.Members = allNodes(peer.N())
+	}
+	if len(cfg.Members) < 2 {
+		return nil, fmt.Errorf("erb: need at least 2 members, got %d", len(cfg.Members))
+	}
+	if cfg.T < 0 || 2*cfg.T+1 > len(cfg.Members) {
+		return nil, fmt.Errorf("erb: byzantine bound t=%d violates N_m >= 2t+1 for N_m=%d", cfg.T, len(cfg.Members))
+	}
+	if cfg.StartRound == 0 {
+		cfg.StartRound = 1
+	}
+	if cfg.AckThreshold == 0 {
+		cfg.AckThreshold = cfg.T
+	}
+	e := &Engine{
+		peer:      peer,
+		cfg:       cfg,
+		members:   make(map[wire.NodeID]bool, len(cfg.Members)),
+		nm:        len(cfg.Members),
+		instances: make(map[wire.NodeID]*instance),
+	}
+	for _, id := range cfg.Members {
+		e.members[id] = true
+	}
+	if cfg.ExpectedInitiators != nil {
+		e.expect = make(map[wire.NodeID]bool, len(cfg.ExpectedInitiators))
+		for _, id := range cfg.ExpectedInitiators {
+			if !e.members[id] {
+				return nil, fmt.Errorf("erb: expected initiator %d is not a member", id)
+			}
+			e.expect[id] = true
+		}
+	}
+	return e, nil
+}
+
+func allNodes(n int) []wire.NodeID {
+	out := make([]wire.NodeID, n)
+	for i := range out {
+		out[i] = wire.NodeID(i)
+	}
+	return out
+}
+
+// Rounds returns the number of lockstep rounds the engine needs from
+// round 1 through its deadline: StartRound + T + 1.
+func (e *Engine) Rounds() int {
+	return int(e.cfg.StartRound) + e.cfg.T + 1
+}
+
+// SetInput makes this peer an initiator broadcasting v in this epoch.
+// Must be called before the start round fires.
+func (e *Engine) SetInput(v wire.Value) {
+	e.input = &v
+}
+
+// Result returns this node's decision for the given initiator's broadcast.
+// The boolean reports whether a decision exists (it always does after the
+// engine finished, for expected initiators).
+func (e *Engine) Result(initiator wire.NodeID) (Result, bool) {
+	inst, ok := e.instances[initiator]
+	if !ok || !inst.decided {
+		return Result{}, false
+	}
+	return inst.result, true
+}
+
+// Results returns all decided instances keyed by initiator.
+func (e *Engine) Results() map[wire.NodeID]Result {
+	out := make(map[wire.NodeID]Result, len(e.instances))
+	for id, inst := range e.instances {
+		if inst.decided {
+			out[id] = inst.result
+		}
+	}
+	return out
+}
+
+// DecidedAll reports whether every expected initiator's instance decided.
+// With ExpectedInitiators nil it reports whether all known instances did.
+func (e *Engine) DecidedAll() bool {
+	if e.expect != nil {
+		for id := range e.expect {
+			inst, ok := e.instances[id]
+			if !ok || !inst.decided {
+				return false
+			}
+		}
+		return true
+	}
+	for _, inst := range e.instances {
+		if !inst.decided {
+			return false
+		}
+	}
+	return len(e.instances) > 0
+}
+
+// deadline is the last round of the instance window.
+func (e *Engine) deadline() uint32 {
+	return e.cfg.StartRound + uint32(e.cfg.T) + 1
+}
+
+// acceptThreshold is |Secho| needed to accept: N_m - T.
+func (e *Engine) acceptThreshold() int {
+	return e.nm - e.cfg.T
+}
+
+// getInstance returns (creating if needed) the state for an initiator's
+// broadcast, or nil if the initiator is not tracked.
+//
+// The initiator is deliberately NOT required to be in Members: enclave
+// execution integrity (P1) already guarantees that only genuinely selected
+// nodes initiate, and in the optimized ERNG the local view of the cluster
+// may lack byzantine members whose CHOSEN announcement was selectively
+// omitted. Requiring initiator membership would make honest nodes refuse
+// to acknowledge relays of such instances, starving honest echoers below
+// the ACK threshold and churning them out. Relays are still only accepted
+// from members, and explicit ExpectedInitiators still filter.
+func (e *Engine) getInstance(initiator wire.NodeID) *instance {
+	if e.expect != nil && !e.expect[initiator] {
+		return nil
+	}
+	inst, ok := e.instances[initiator]
+	if !ok {
+		inst = &instance{
+			initiator: initiator,
+			echo:      make(map[wire.NodeID]bool, e.nm),
+		}
+		e.instances[initiator] = inst
+	}
+	return inst
+}
+
+// OnRound implements runtime.Protocol: flush queued ECHOs, then (at the
+// start round) launch our own broadcast if we are an initiator.
+func (e *Engine) OnRound(rnd uint32) {
+	if !e.members[e.peer.ID()] {
+		return
+	}
+	// Queued ECHO multicasts fire at the beginning of the round after the
+	// value was learned (the Wait(rnd) of Algorithm 2).
+	pending := e.pending
+	e.pending = nil
+	for _, inst := range pending {
+		if e.peer.Halted() {
+			return
+		}
+		e.multicastEcho(inst, rnd)
+	}
+	if rnd == e.cfg.StartRound && e.input != nil {
+		e.startBroadcast(rnd)
+	}
+	// Past the deadline nothing further can be accepted; decide bottom.
+	if rnd > e.deadline() {
+		e.finalize(rnd)
+	}
+}
+
+// startBroadcast is the initiator path of Algorithm 2: set m~, add self to
+// Secho, multicast INIT to all members.
+func (e *Engine) startBroadcast(rnd uint32) {
+	self := e.peer.ID()
+	inst := e.getInstance(self)
+	if inst == nil || inst.hasValue {
+		return
+	}
+	inst.value = *e.input
+	inst.hasValue = true
+	inst.echo[self] = true
+	inst.echoed = true // the INIT plays the role of the initiator's ECHO
+	msg := &wire.Message{
+		Type:      wire.TypeInit,
+		Sender:    self,
+		Initiator: self,
+		Instance:  e.peer.Instance(),
+		Seq:       e.peer.SeqOf(self),
+		Round:     rnd,
+		HasValue:  true,
+		Value:     inst.value,
+	}
+	if err := e.peer.Multicast(e.cfg.Members, msg, e.cfg.AckThreshold); err != nil {
+		// Halted mid-multicast: nothing further to do.
+		return
+	}
+	e.maybeAccept(inst, rnd)
+}
+
+// multicastEcho relays the learned value to all members.
+func (e *Engine) multicastEcho(inst *instance, rnd uint32) {
+	if inst.echoed || !inst.hasValue {
+		return
+	}
+	inst.echoed = true
+	msg := &wire.Message{
+		Type:      wire.TypeEcho,
+		Sender:    e.peer.ID(),
+		Initiator: inst.initiator,
+		Instance:  e.peer.Instance(),
+		Seq:       e.peer.SeqOf(inst.initiator),
+		Round:     rnd,
+		HasValue:  true,
+		Value:     inst.value,
+	}
+	_ = e.peer.Multicast(e.cfg.Members, msg, e.cfg.AckThreshold)
+}
+
+// OnMessage implements runtime.Protocol. The runtime already enforced
+// authenticity (P2), program identity (P1) and the lockstep round check
+// (P5); the engine enforces membership, instance and sequence freshness
+// (P6) and runs the Echo/Decision phases of Algorithm 2.
+func (e *Engine) OnMessage(msg *wire.Message) {
+	if !e.members[e.peer.ID()] {
+		return
+	}
+	// INITs are self-identifying and genuine under P1 even when the
+	// initiator is missing from the local member view (see getInstance);
+	// ECHO relays only count from known members.
+	if msg.Type == wire.TypeEcho && !e.members[msg.Sender] {
+		return
+	}
+	if msg.Instance != e.peer.Instance() {
+		return // stale epoch (replay), treated as omission
+	}
+	rnd := e.peer.Round()
+	if rnd > e.deadline() {
+		return
+	}
+	switch msg.Type {
+	case wire.TypeInit:
+		e.onInit(msg, rnd)
+	case wire.TypeEcho:
+		e.onEcho(msg, rnd)
+	default:
+		// Other message types belong to other protocols sharing the
+		// peer (e.g. ERNG's CHOSEN/FINAL); not ours to handle.
+	}
+}
+
+// onInit handles an INIT from the initiator.
+func (e *Engine) onInit(msg *wire.Message, rnd uint32) {
+	if msg.Sender != msg.Initiator || !msg.HasValue {
+		return
+	}
+	if msg.Seq != e.peer.SeqOf(msg.Initiator) {
+		return // replayed or stale (P6)
+	}
+	inst := e.getInstance(msg.Initiator)
+	if inst == nil || inst.hasValue {
+		return
+	}
+	if err := e.peer.SendAck(msg.Sender, msg); err != nil {
+		return
+	}
+	inst.value = msg.Value
+	inst.hasValue = true
+	inst.echo[msg.Initiator] = true
+	inst.echo[e.peer.ID()] = true
+	e.queueEcho(inst)
+	e.maybeAccept(inst, rnd)
+}
+
+// onEcho handles an ECHO relay from any member.
+func (e *Engine) onEcho(msg *wire.Message, rnd uint32) {
+	if !msg.HasValue {
+		return
+	}
+	if msg.Seq != e.peer.SeqOf(msg.Initiator) {
+		return // replayed or stale (P6)
+	}
+	inst := e.getInstance(msg.Initiator)
+	if inst == nil {
+		return
+	}
+	if inst.hasValue && inst.value != msg.Value {
+		// With genuine enclaves all relays of one (initiator, seq) carry
+		// the same m; a mismatch can only be an in-flight corruption that
+		// somehow survived, so it is treated as an omission.
+		return
+	}
+	if err := e.peer.SendAck(msg.Sender, msg); err != nil {
+		return
+	}
+	if !inst.hasValue {
+		inst.value = msg.Value
+		inst.hasValue = true
+		inst.echo[e.peer.ID()] = true
+		e.queueEcho(inst)
+	}
+	if !inst.echo[msg.Sender] {
+		inst.echo[msg.Sender] = true
+	}
+	e.maybeAccept(inst, rnd)
+}
+
+// queueEcho schedules the ECHO multicast for the beginning of the next
+// round (Wait(rnd) in Algorithm 2).
+func (e *Engine) queueEcho(inst *instance) {
+	if inst.queued || inst.echoed {
+		return
+	}
+	inst.queued = true
+	e.pending = append(e.pending, inst)
+}
+
+// maybeAccept runs the decision rule: accept m once |Secho| >= N_m - t.
+func (e *Engine) maybeAccept(inst *instance, rnd uint32) {
+	if inst.decided || !inst.hasValue {
+		return
+	}
+	if len(inst.echo) >= e.acceptThreshold() {
+		inst.decided = true
+		e.accepted++
+		inst.result = Result{
+			Accepted: true,
+			Value:    inst.value,
+			Round:    rnd,
+			At:       e.peer.Now(),
+		}
+	}
+}
+
+// AcceptedCount returns the number of instances that have accepted a
+// value so far (bottom decisions excluded). It lets compositions like the
+// ERNG detect all-accepted early stopping in O(1).
+func (e *Engine) AcceptedCount() int { return e.accepted }
+
+// OnFinish implements runtime.Protocol: decide bottom for anything still
+// open.
+func (e *Engine) OnFinish() {
+	e.finalize(e.deadline() + 1)
+}
+
+// finalize decides bottom for all undecided tracked instances, creating
+// bottom decisions for expected initiators never heard from. Peers outside
+// the member scope do not participate and record nothing.
+func (e *Engine) finalize(rnd uint32) {
+	if !e.members[e.peer.ID()] {
+		return
+	}
+	if e.expect != nil {
+		for id := range e.expect {
+			e.getInstance(id)
+		}
+	}
+	for _, inst := range e.instances {
+		if inst.decided {
+			continue
+		}
+		inst.decided = true
+		inst.result = Result{
+			Accepted: false,
+			Round:    rnd,
+			At:       e.peer.Now(),
+		}
+	}
+}

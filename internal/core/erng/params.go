@@ -1,0 +1,142 @@
+// Package erng implements the paper's second primary contribution: the
+// Enclaved Random Number Generation protocols of Section 5.
+//
+//   - Basic (Algorithm 3): every node broadcasts an enclave-generated
+//     random value via ERB; the beacon output is the XOR of the accepted
+//     set. Tolerates t < N/2 with O(N) rounds and O(N^3) communication.
+//   - Optimized (Algorithm 6): a representative cluster is sampled with
+//     private enclave randomness (blind-box, P3), ERB runs only inside the
+//     cluster, and the cluster disseminates the agreed set to everyone.
+//     Tolerates t <= N/3 with O(log N) rounds and O(N log N)
+//     communication when N is large enough; for small N it falls back —
+//     exactly as the paper's evaluation does — to a cluster of about 2/3
+//     of the network.
+package erng
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mode selects how the optimized protocol samples its cluster.
+type Mode int
+
+// Sampling modes.
+const (
+	// ModeAuto picks ModeSampled when N is large enough for the Chernoff
+	// bounds of Lemma F.1 to be meaningful, ModeFallback otherwise.
+	ModeAuto Mode = iota
+	// ModeSampled is the asymptotic construction: the first cluster joins
+	// with probability ~2*gamma/N, the second initiates with probability
+	// 1/ceil(sqrt(gamma)).
+	ModeSampled
+	// ModeFallback fixes the cluster at ~2/3 of the network and lets
+	// every cluster member initiate, matching the paper's evaluation at
+	// small N (Section 6.2).
+	ModeFallback
+)
+
+// Params are the resolved sampling parameters of one optimized-ERNG run.
+type Params struct {
+	// Mode is the resolved sampling mode (never ModeAuto).
+	Mode Mode
+	// Gamma is the statistical parameter of Algorithm 6.
+	Gamma int
+	// JoinRange is the size of the uniform draw for first-cluster
+	// selection: a node joins when its draw is 0 (sampled mode) — the
+	// draw from {0, ..., N/(2*gamma)-1} of Algorithm 6. In fallback mode
+	// a node joins when its draw from {0,1,2} is nonzero (probability
+	// 2/3).
+	JoinRange uint64
+	// InitRange is the second-cluster draw range gamma'; a cluster
+	// member initiates an ERB instance when its draw is 0. 1 means
+	// every member initiates (fallback).
+	InitRange uint64
+	// MaxClusterT is the byzantine bound the embedded cluster ERB is
+	// provisioned for; it determines the global round schedule.
+	MaxClusterT int
+}
+
+// Rounds returns the total lockstep rounds of the optimized protocol:
+// the paper's gamma+4 schedule generalized to the provisioned cluster
+// bound (round 1 CHOSEN, rounds 2..T+3 embedded ERB window, final round
+// FINAL dissemination).
+func (p Params) Rounds() int {
+	return p.MaxClusterT + 4
+}
+
+// minSampledN is the network size below which the sampled construction
+// cannot pick a cluster that is simultaneously small (join range >= 3)
+// and safe (gamma large enough for the tail bounds); below it ModeAuto
+// resolves to ModeFallback, like the paper's evaluation.
+const minSampledN = 256
+
+// ResolveParams computes the sampling parameters for a network of size n
+// tolerating t <= n/3 byzantine nodes. gammaOverride > 0 forces gamma in
+// sampled mode; mode ModeAuto selects by size.
+func ResolveParams(n, t int, mode Mode, gammaOverride int) (Params, error) {
+	if n < 4 {
+		return Params{}, fmt.Errorf("erng: optimized ERNG needs at least 4 nodes, got %d", n)
+	}
+	if t < 0 || 3*t > n {
+		return Params{}, fmt.Errorf("erng: optimized ERNG requires t <= N/3, got t=%d N=%d", t, n)
+	}
+	if mode == ModeAuto {
+		if n >= minSampledN || gammaOverride > 0 {
+			mode = ModeSampled
+		} else {
+			mode = ModeFallback
+		}
+	}
+	switch mode {
+	case ModeSampled:
+		gamma := gammaOverride
+		if gamma <= 0 {
+			// gamma = Theta(log N): 3*ln N keeps the Lemma F.1 failure
+			// probabilities e^(-gamma/24), e^(-gamma/41) shrinking with N
+			// while the cluster stays O(log N).
+			gamma = int(math.Ceil(3 * math.Log(float64(n))))
+		}
+		if gamma < 4 {
+			gamma = 4
+		}
+		joinRange := uint64(math.Round(float64(n) / (2 * float64(gamma))))
+		if joinRange < 2 {
+			return Params{}, fmt.Errorf("erng: N=%d too small for sampled cluster with gamma=%d (join range %d)", n, gamma, joinRange)
+		}
+		initRange := uint64(math.Ceil(math.Sqrt(float64(gamma))))
+		if initRange < 1 {
+			initRange = 1
+		}
+		return Params{
+			Mode:        ModeSampled,
+			Gamma:       gamma,
+			JoinRange:   joinRange,
+			InitRange:   initRange,
+			MaxClusterT: gamma,
+		}, nil
+	case ModeFallback:
+		// Cluster ~ 2N/3 (join with probability 2/3); every member
+		// initiates. The cluster can contain every byzantine node, so the
+		// embedded ERB is provisioned for t_c up to N/3 plus slack for
+		// sampling variance.
+		gamma := (n + 2) / 3
+		return Params{
+			Mode:        ModeFallback,
+			Gamma:       gamma,
+			JoinRange:   3,
+			InitRange:   1,
+			MaxClusterT: gamma + 2,
+		}, nil
+	default:
+		return Params{}, fmt.Errorf("erng: unknown mode %d", mode)
+	}
+}
+
+// joined reports whether a first-cluster draw means "join" under the mode.
+func (p Params) joined(draw uint64) bool {
+	if p.Mode == ModeFallback {
+		return draw != 0 // probability 2/3
+	}
+	return draw == 0 // probability 1/JoinRange ~ 2*gamma/N
+}

@@ -1,0 +1,213 @@
+// Package deploy assembles complete simulated deployments: a virtual-time
+// simulator, a simulated network with the paper's shared-link bandwidth
+// model, one enclave plus peer runtime per node, attestation quotes for
+// the roster, and the executed setup phase. It is the single entry point
+// used by the protocol tests, the experiment harness and the public
+// facade, so every consumer runs on an identically constructed testbed.
+package deploy
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"sgxp2p/internal/channel"
+	"sgxp2p/internal/enclave"
+	"sgxp2p/internal/overlay"
+	"sgxp2p/internal/runtime"
+	"sgxp2p/internal/simnet"
+	"sgxp2p/internal/vclock"
+	"sgxp2p/internal/wire"
+	"sgxp2p/internal/xcrypto"
+)
+
+// DefaultProgram is the canonical protocol program identity measured into
+// every enclave. Changing the protocol version changes the measurement and
+// therefore isolates incompatible deployments (property P1).
+var DefaultProgram = []byte("sgxp2p/erb+erng/v1")
+
+// TransportWrapper intercepts a node's transport, the hook through which
+// byzantine OS behaviour (internal/adversary) is injected. It receives the
+// node id and the genuine transport and returns the transport the peer
+// runtime will actually use.
+type TransportWrapper func(id wire.NodeID, tr runtime.Transport) runtime.Transport
+
+// Options configures a deployment.
+type Options struct {
+	// N is the network size, T the byzantine bound.
+	N, T int
+	// Delta is the one-way delivery bound; rounds last 2*Delta.
+	// Defaults to 1 second, the paper's honest-case scale.
+	Delta time.Duration
+	// Bandwidth is the shared-link bandwidth in bytes/second.
+	// Zero means unlimited; use simnet.DefaultBandwidth (128 MB/s) to
+	// match the paper's testbed.
+	Bandwidth float64
+	// Seed makes the whole deployment deterministic: network jitter and
+	// every enclave's randomness derive from it. Seed 0 is valid.
+	Seed int64
+	// RealCrypto selects the real AES+HMAC sealer instead of the
+	// size-identical model sealer. Experiments default to the model
+	// sealer; protocol-equivalence is proven in internal/channel tests.
+	RealCrypto bool
+	// Program overrides the protocol program identity.
+	Program []byte
+	// Wrap, when non-nil, wraps each node's transport (adversary hook).
+	// With Neighbors set, the wrap sits at the physical layer, below the
+	// overlay router — a byzantine OS there can also drop frames it was
+	// supposed to forward for others.
+	Wrap TransportWrapper
+	// Neighbors, when non-nil, replaces the full mesh of assumption S5
+	// with a sparse overlay (Appendix G): node id may exchange frames
+	// only with Neighbors(id, n), and all protocol traffic is flooded
+	// through the overlay (internal/overlay).
+	Neighbors func(id wire.NodeID, n int) []wire.NodeID
+	// LinkDelta is the per-hop delivery bound of the sparse overlay
+	// (defaults to Delta). The lockstep round bound Delta must cover the
+	// overlay diameter times LinkDelta; see overlay.Diameter.
+	LinkDelta time.Duration
+}
+
+// Deployment is a fully wired simulated network of peers.
+type Deployment struct {
+	Sim     *vclock.Sim
+	Net     *simnet.Network
+	Service *enclave.AttestationService
+	Roster  runtime.Roster
+	Encls   []*enclave.Enclave
+	Peers   []*runtime.Peer
+	Opts    Options
+}
+
+// simClock adapts the simulator to the enclave Clock interface.
+type simClock struct {
+	sim *vclock.Sim
+}
+
+func (c simClock) Now() time.Duration { return c.sim.Now() }
+
+// New builds a deployment and runs the setup phase (attestation, link
+// establishment, sequence-number exchange).
+func New(opts Options) (*Deployment, error) {
+	if opts.N < 2 {
+		return nil, fmt.Errorf("deploy: need at least 2 nodes, got %d", opts.N)
+	}
+	if opts.T < 0 || 2*opts.T+1 > opts.N {
+		return nil, fmt.Errorf("deploy: byzantine bound t=%d violates N >= 2t+1 for N=%d", opts.T, opts.N)
+	}
+	if opts.Delta <= 0 {
+		opts.Delta = time.Second
+	}
+	if len(opts.Program) == 0 {
+		opts.Program = DefaultProgram
+	}
+
+	linkDelta := opts.Delta
+	if opts.Neighbors != nil && opts.LinkDelta > 0 {
+		linkDelta = opts.LinkDelta
+	}
+	sim := vclock.New()
+	net, err := simnet.New(sim, simnet.Config{
+		N:         opts.N,
+		Delta:     linkDelta,
+		Bandwidth: opts.Bandwidth,
+		Seed:      opts.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("deploy: network: %w", err)
+	}
+
+	masterRNG := rand.New(rand.NewSource(opts.Seed ^ 0x5eed))
+	service, err := enclave.NewAttestationService(masterRNG)
+	if err != nil {
+		return nil, fmt.Errorf("deploy: attestation service: %w", err)
+	}
+
+	d := &Deployment{
+		Sim:     sim,
+		Net:     net,
+		Service: service,
+		Encls:   make([]*enclave.Enclave, opts.N),
+		Peers:   make([]*runtime.Peer, opts.N),
+		Opts:    opts,
+	}
+	d.Roster = runtime.Roster{
+		Quotes:      make([]enclave.Quote, opts.N),
+		ServiceKey:  service.VerifyKey(),
+		Measurement: xcrypto.Measure(opts.Program),
+	}
+
+	clock := simClock{sim: sim}
+	var enclOpts []enclave.Option
+	if !opts.RealCrypto {
+		enclOpts = append(enclOpts, enclave.WithModelKEX())
+	}
+	for id := 0; id < opts.N; id++ {
+		rng := rand.New(rand.NewSource(opts.Seed ^ int64(id+1)*0x9E3779B9))
+		encl, err := enclave.Launch(opts.Program, wire.NodeID(id), rng, clock, enclOpts...)
+		if err != nil {
+			return nil, fmt.Errorf("deploy: enclave %d: %w", id, err)
+		}
+		d.Encls[id] = encl
+		d.Roster.Quotes[id] = service.Attest(encl)
+	}
+	// Verify the whole roster once here instead of once per peer: the
+	// simulated deployment shares one process, so N^2 re-verifications of
+	// identical quotes would only burn CPU.
+	for id, q := range d.Roster.Quotes {
+		if err := enclave.VerifyQuote(d.Roster.ServiceKey, d.Roster.Measurement, q); err != nil {
+			return nil, fmt.Errorf("deploy: attestation of node %d: %w", id, err)
+		}
+	}
+	d.Roster.PreVerified = true
+
+	for id := 0; id < opts.N; id++ {
+		var tr runtime.Transport = net.Port(wire.NodeID(id))
+		if opts.Wrap != nil {
+			tr = opts.Wrap(wire.NodeID(id), tr)
+		}
+		if opts.Neighbors != nil {
+			router, err := overlay.NewRouter(wire.NodeID(id), opts.Neighbors(wire.NodeID(id), opts.N), tr, 0)
+			if err != nil {
+				return nil, fmt.Errorf("deploy: overlay router %d: %w", id, err)
+			}
+			tr = router
+		}
+		var sealer channel.Sealer
+		if opts.RealCrypto {
+			sealer = channel.RealSealer{}
+		} else {
+			sealer = channel.NewModelSealer()
+		}
+		peer, err := runtime.NewPeer(d.Encls[id], tr, d.Roster, runtime.Config{
+			N:      opts.N,
+			T:      opts.T,
+			Delta:  opts.Delta,
+			Sealer: sealer,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("deploy: peer %d: %w", id, err)
+		}
+		d.Peers[id] = peer
+	}
+
+	if err := runtime.Setup(d.Peers); err != nil {
+		return nil, fmt.Errorf("deploy: setup: %w", err)
+	}
+	return d, nil
+}
+
+// Run drains the simulation.
+func (d *Deployment) Run() error {
+	return d.Sim.Run()
+}
+
+// RunFor advances the simulation by the given virtual duration.
+func (d *Deployment) RunFor(dur time.Duration) {
+	d.Sim.RunUntil(d.Sim.Now() + dur)
+}
+
+// RoundDuration returns the lockstep round length, 2*Delta.
+func (d *Deployment) RoundDuration() time.Duration {
+	return 2 * d.Opts.Delta
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import "fmt"
+
+// Ablate quantifies the design choices DESIGN.md calls out:
+//
+//  1. halt-on-divergence (P4): ERB with active ACK-driven churn versus the
+//     same protocol with ACK tracking disabled (passive, like the prior
+//     omission-model protocols the paper compares against in Appendix B).
+//     Without P4, misbehaving nodes stay in the network and keep
+//     receiving echoes and sending acknowledgments, so byzantine runs
+//     carry more traffic and nobody is sanitized.
+//  2. early stopping: honest-case decision rounds versus the worst-case
+//     deadline t+2, per network size.
+func Ablate(cfg Config) (*Table, error) {
+	n := 128
+	if cfg.Full {
+		n = 256
+	}
+	f := n / 4
+
+	t := &Table{
+		ID:      "ablate",
+		Title:   fmt.Sprintf("Ablations: halt-on-divergence and early stopping (N=%d, chain f=%d)", n, f),
+		Columns: []string{"variant", "rounds", "Ex (MB)", "halted byz", "deadline rounds"},
+		Notes: []string{
+			"P4 off = ACK tracking disabled: misbehaving nodes are never churned, so the network keeps carrying their echo/ACK traffic",
+			"early stopping: honest and chain runs decide in min{f+2, t+2} rounds, far below the t+2 deadline",
+		},
+	}
+	deadline := (n-1)/2 + 2
+
+	honest, err := runERB(cfg, n, 0)
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = append(t.Rows, []string{
+		"honest, P4 on", fmt.Sprint(honest.MaxRound), fmtMB(float64(honest.Bytes)),
+		"0", fmt.Sprint(deadline),
+	})
+
+	withP4, err := runERBOpts(cfg, n, f, 0)
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = append(t.Rows, []string{
+		"chain, P4 on", fmt.Sprint(withP4.MaxRound), fmtMB(float64(withP4.Bytes)),
+		fmt.Sprint(withP4.HaltedByz), fmt.Sprint(deadline),
+	})
+
+	withoutP4, err := runERBOpts(cfg, n, f, -1)
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = append(t.Rows, []string{
+		"chain, P4 off", fmt.Sprint(withoutP4.MaxRound), fmtMB(float64(withoutP4.Bytes)),
+		fmt.Sprint(withoutP4.HaltedByz), fmt.Sprint(deadline),
+	})
+	return t, nil
+}

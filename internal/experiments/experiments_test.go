@@ -1,0 +1,313 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func cfg() Config {
+	return Config{Seed: 7}
+}
+
+// cell parses a table cell as float.
+func cell(t *testing.T, tbl *Table, row, col int) float64 {
+	t.Helper()
+	s := tbl.Rows[row][col]
+	s = strings.TrimSuffix(s, "%")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell (%d,%d) = %q not numeric: %v", row, col, s, err)
+	}
+	return v
+}
+
+func TestFig2aShape(t *testing.T) {
+	tbl, err := Fig2a(cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) < 6 {
+		t.Fatalf("only %d rows", len(tbl.Rows))
+	}
+	// Honest termination is about two rounds at every size: termination /
+	// oneRound in [1, 3).
+	for i := range tbl.Rows {
+		oneRound := cell(t, tbl, i, 1)
+		term := cell(t, tbl, i, 2)
+		if ratio := term / oneRound; ratio < 1 || ratio >= 3 {
+			t.Fatalf("row %v: termination/round ratio %.2f outside [1,3)", tbl.Rows[i], ratio)
+		}
+		if rounds := cell(t, tbl, i, 3); rounds > 2 {
+			t.Fatalf("row %v: decision round %v > 2 in honest case", tbl.Rows[i], rounds)
+		}
+	}
+}
+
+func TestFig2bShape(t *testing.T) {
+	tbl, err := Fig2b(cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Termination grows with N once the link saturates: last row strictly
+	// above the first.
+	first := cell(t, tbl, 0, 2)
+	last := cell(t, tbl, len(tbl.Rows)-1, 2)
+	if last <= first {
+		t.Fatalf("fig2b termination not increasing: first %.2f last %.2f", first, last)
+	}
+}
+
+func TestFig2cLinearInF(t *testing.T) {
+	tbl, err := Fig2c(cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) < 3 {
+		t.Fatalf("only %d rows", len(tbl.Rows))
+	}
+	// Termination should scale roughly linearly with f: rounds ~ f+2 and
+	// every chain member halted.
+	for i := range tbl.Rows {
+		f := cell(t, tbl, i, 1)
+		rounds := cell(t, tbl, i, 3)
+		if rounds < f || rounds > f+2 {
+			t.Fatalf("row %v: rounds %.0f not in [f, f+2] for f=%.0f", tbl.Rows[i], rounds, f)
+		}
+		if halted := cell(t, tbl, i, 4); halted != f {
+			t.Fatalf("row %v: %v halted, want all %v chain members", tbl.Rows[i], halted, f)
+		}
+	}
+	firstTerm := cell(t, tbl, 0, 2)
+	lastTerm := cell(t, tbl, len(tbl.Rows)-1, 2)
+	if lastTerm < 4*firstTerm {
+		t.Fatalf("fig2c termination not growing linearly: %.1f -> %.1f", firstTerm, lastTerm)
+	}
+}
+
+func TestFig3aQuadratic(t *testing.T) {
+	tbl, err := Fig3a(cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Experimental within 2x of the theoretical quadratic curve at the
+	// largest size, and message growth ratio ~4 between the last two rows.
+	lastRow := len(tbl.Rows) - 1
+	ex := cell(t, tbl, lastRow, 1)
+	th := cell(t, tbl, lastRow, 2)
+	if ex < th/3 || ex > th*3 {
+		t.Fatalf("fig3a Ex %.2f MB far from Th %.2f MB", ex, th)
+	}
+	m1 := cell(t, tbl, lastRow-1, 3)
+	m2 := cell(t, tbl, lastRow, 3)
+	if r := m2 / m1; r < 3 || r > 6 {
+		t.Fatalf("fig3a message growth ratio %.2f not quadratic", r)
+	}
+}
+
+func TestFig3bOptimizedSavings(t *testing.T) {
+	tbl, err := Fig3b(cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastRow := len(tbl.Rows) - 1
+	basic := cell(t, tbl, lastRow, 1)
+	opt := cell(t, tbl, lastRow, 3)
+	if opt >= basic {
+		t.Fatalf("fig3b: optimized %.2f MB not below basic %.2f MB", opt, basic)
+	}
+	// The paper reports ~60% improvement at their fallback scale; ours
+	// should save at least 40% at the largest default size.
+	if savings := 1 - opt/basic; savings < 0.4 {
+		t.Fatalf("fig3b savings %.0f%% below 40%%", savings*100)
+	}
+	// Basic ERNG growth is cubic-ish: ratio between last two sizes > 6.
+	b1 := cell(t, tbl, lastRow-1, 1)
+	if r := basic / b1; r < 6 {
+		t.Fatalf("fig3b ERNG-0 growth ratio %.2f not cubic", r)
+	}
+}
+
+func TestFig3cTrafficDecreases(t *testing.T) {
+	tbl, err := Fig3c(cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := cell(t, tbl, 0, 2)
+	last := cell(t, tbl, len(tbl.Rows)-1, 2)
+	if last >= first {
+		t.Fatalf("fig3c traffic did not decrease with byzantine fraction: %.2f -> %.2f MB", first, last)
+	}
+	// Paper: ~50% at 1/4; accept anything below 75%.
+	if pct := cell(t, tbl, len(tbl.Rows)-1, 4); pct > 75 {
+		t.Fatalf("fig3c traffic at 1/4 is %.0f%% of honest, want clearly below", pct)
+	}
+}
+
+func TestTab1Exponents(t *testing.T) {
+	tbl, err := Tab1(cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("tab1 rows = %d", len(tbl.Rows))
+	}
+	// ERB honest message growth ~ N^2.
+	erbExp := cell(t, tbl, 0, 5)
+	if erbExp < 1.7 || erbExp > 2.3 {
+		t.Fatalf("ERB exponent %.2f not ~2", erbExp)
+	}
+	// ERB's chain-round column shows the min{f+2, t+2} bound met at
+	// f = probe/4 (probe = 64 by default, so f = 16).
+	erbRounds := cell(t, tbl, 0, 3)
+	const f = 16.0
+	if erbRounds < f || erbRounds > f+2 {
+		t.Fatalf("ERB chain rounds %.0f not ~f+2 (f=%.0f)", erbRounds, f)
+	}
+	// ERB decides honest broadcasts in 2 rounds; RBsig never stops early.
+	if cell(t, tbl, 0, 2) != 2 {
+		t.Fatalf("ERB honest rounds %v, want 2", tbl.Rows[0][2])
+	}
+	if rbsigRounds := cell(t, tbl, 1, 2); rbsigRounds < 10 {
+		t.Fatalf("RBsig honest rounds %v, want t+1 (no early stopping)", rbsigRounds)
+	}
+}
+
+func TestTab2Exponents(t *testing.T) {
+	tbl, err := Tab2(cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("tab2 rows = %d", len(tbl.Rows))
+	}
+	basicExp := cell(t, tbl, 0, 4)
+	if basicExp < 2.5 || basicExp > 3.6 {
+		t.Fatalf("basic ERNG exponent %.2f not ~3", basicExp)
+	}
+	// At small N the optimized protocol runs the paper's 2N/3 fallback:
+	// same cubic order with a smaller constant, so compare absolute
+	// volume at the probe size (the N log N regime needs sampled mode,
+	// exercised in internal/core/erng tests at N=300).
+	basicMsgs := cell(t, tbl, 0, 2)
+	optMsgs := cell(t, tbl, 1, 2)
+	if optMsgs >= basicMsgs {
+		t.Fatalf("optimized messages %.0f not below basic %.0f", optMsgs, basicMsgs)
+	}
+}
+
+func TestSanitizeDecay(t *testing.T) {
+	tbl, err := Sanitize(cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := cell(t, tbl, 0, 1)
+	last := cell(t, tbl, len(tbl.Rows)-1, 1)
+	if last >= first {
+		t.Fatalf("sanitize: byzantine population did not decay (%v -> %v)", first, last)
+	}
+	if last > 3 {
+		t.Fatalf("sanitize: %v byzantine nodes survive after all epochs", last)
+	}
+	// Late epochs should decide in ~2 rounds.
+	lateRounds := cell(t, tbl, len(tbl.Rows)-1, 3)
+	if lateRounds > 3 {
+		t.Fatalf("sanitize: late-epoch decision round %v, want ~2", lateRounds)
+	}
+}
+
+func TestBiasSeparation(t *testing.T) {
+	tbl, err := Bias(cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigBias := cell(t, tbl, 0, 2)
+	erngBias := cell(t, tbl, 1, 2)
+	threshold := cell(t, tbl, 1, 3)
+	if sigBias < 0.4 {
+		t.Fatalf("attacked SigRNG bias %.3f, want ~0.5 (output forced)", sigBias)
+	}
+	if erngBias > threshold {
+		t.Fatalf("attacked ERNG bias %.3f above threshold %.3f", erngBias, threshold)
+	}
+	if !strings.Contains(tbl.Rows[0][4], "/") {
+		t.Fatalf("forced-output cell malformed: %q", tbl.Rows[0][4])
+	}
+	forced := strings.Split(tbl.Rows[0][4], "/")[0]
+	total := strings.Split(strings.Fields(tbl.Rows[0][4])[0], "/")[1]
+	if forced != total {
+		t.Fatalf("attacker forced only %s/%s epochs", forced, total)
+	}
+}
+
+func TestAblateP4(t *testing.T) {
+	tbl, err := Ablate(cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("ablate rows = %d", len(tbl.Rows))
+	}
+	withP4 := cell(t, tbl, 1, 2)
+	withoutP4 := cell(t, tbl, 2, 2)
+	if withoutP4 <= withP4 {
+		t.Fatalf("disabling P4 did not increase byzantine-run traffic: %.2f vs %.2f MB", withoutP4, withP4)
+	}
+	if halted := cell(t, tbl, 2, 3); halted != 0 {
+		t.Fatalf("P4-off run halted %v nodes", halted)
+	}
+	if halted := cell(t, tbl, 1, 3); halted == 0 {
+		t.Fatal("P4-on run halted nobody")
+	}
+}
+
+func TestRegistryAndRendering(t *testing.T) {
+	if len(IDs()) != 11 {
+		t.Fatalf("IDs() = %v", IDs())
+	}
+	if _, err := Get("fig2a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Get("nope"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+	tbl := &Table{
+		ID: "x", Title: "demo",
+		Columns: []string{"a", "bb"},
+		Rows:    [][]string{{"1", "2"}},
+		Notes:   []string{"note"},
+	}
+	var buf bytes.Buffer
+	if err := tbl.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"demo", "a", "bb", "1", "note:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q in:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	if err := tbl.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "a,bb\n1,2\n") {
+		t.Fatalf("csv output %q", buf.String())
+	}
+}
+
+func TestEffectiveDelta(t *testing.T) {
+	base := time.Second
+	if got := effectiveDelta(base, 1000, 0); got != base {
+		t.Fatalf("unlimited bandwidth changed delta: %v", got)
+	}
+	if got := effectiveDelta(base, 1<<20, 1<<30); got != base {
+		t.Fatalf("light load changed delta: %v", got)
+	}
+	got := effectiveDelta(base, 1<<30, 1<<27) // 1 GiB over 128 MiB/s = 8 s * 1.5
+	if got < 10*time.Second || got > 14*time.Second {
+		t.Fatalf("heavy load delta = %v, want ~12s", got)
+	}
+}

@@ -1,0 +1,10 @@
+package experiments
+
+import "testing"
+
+func TestProfileFig2bOnce(t *testing.T) {
+	c := Config{Seed: 7}
+	if _, err := runBasicERNG(c, 128); err != nil {
+		t.Fatal(err)
+	}
+}

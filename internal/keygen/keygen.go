@@ -1,0 +1,72 @@
+// Package keygen implements the shared-key-generation application of the
+// paper's Appendix H: every honest node derives the same sequence of
+// symmetric keys from the beacon's common unbiased random values. The
+// derived keys can serve as group keys, salts or initialization vectors;
+// because the beacon output is unbiased and unpredictable to byzantine
+// nodes until it is emitted, so are the keys.
+package keygen
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"sgxp2p/internal/beacon"
+	"sgxp2p/internal/xcrypto"
+)
+
+// Key is a derived shared symmetric key.
+type Key [xcrypto.KeySize]byte
+
+// String implements fmt.Stringer with a short prefix.
+func (k Key) String() string { return fmt.Sprintf("%x", k[:4]) }
+
+// Schedule derives a deterministic sequence of keys from a beacon source.
+// All honest nodes observing the same beacon derive identical schedules.
+type Schedule struct {
+	src     beacon.Source
+	context string
+	epoch   uint64
+}
+
+// NewSchedule builds a key schedule over a beacon source. The context
+// string domain-separates schedules that share a beacon (e.g. "storage"
+// vs "transport" keys).
+func NewSchedule(src beacon.Source, context string) (*Schedule, error) {
+	if src == nil {
+		return nil, errors.New("keygen: nil beacon source")
+	}
+	return &Schedule{src: src, context: context}, nil
+}
+
+// Epoch returns the number of keys derived so far.
+func (s *Schedule) Epoch() uint64 { return s.epoch }
+
+// NextKey obtains the next beacon value and derives the epoch key:
+// SHA-256 over a domain tag, the context, the epoch counter and the
+// beacon value.
+func (s *Schedule) NextKey() (Key, error) {
+	v, err := s.src.Next()
+	if err != nil {
+		return Key{}, fmt.Errorf("keygen: beacon: %w", err)
+	}
+	k := Derive(s.context, s.epoch, v[:])
+	s.epoch++
+	return k, nil
+}
+
+// Derive is the pure key-derivation function, exposed so recorded beacon
+// traces can be turned into keys offline.
+func Derive(context string, epoch uint64, entropy []byte) Key {
+	h := sha256.New()
+	h.Write([]byte("sgxp2p/keygen/v1/"))
+	h.Write([]byte(context))
+	var eb [8]byte
+	binary.LittleEndian.PutUint64(eb[:], epoch)
+	h.Write(eb[:])
+	h.Write(entropy)
+	var k Key
+	copy(k[:], h.Sum(nil))
+	return k
+}

@@ -1,0 +1,133 @@
+package keygen_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"sgxp2p/internal/keygen"
+	"sgxp2p/internal/wire"
+)
+
+// stubSource replays a fixed sequence of values.
+type stubSource struct {
+	values []wire.Value
+	i      int
+	err    error
+}
+
+func (s *stubSource) Next() (wire.Value, error) {
+	if s.err != nil {
+		return wire.Value{}, s.err
+	}
+	if s.i >= len(s.values) {
+		return wire.Value{}, errors.New("stub exhausted")
+	}
+	v := s.values[s.i]
+	s.i++
+	return v, nil
+}
+
+func randomValues(seed int64, n int) []wire.Value {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]wire.Value, n)
+	for i := range out {
+		rng.Read(out[i][:])
+	}
+	return out
+}
+
+func TestScheduleDeterministicAcrossNodes(t *testing.T) {
+	values := randomValues(1, 4)
+	s1, err := keygen.NewSchedule(&stubSource{values: values}, "transport")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := keygen.NewSchedule(&stubSource{values: values}, "transport")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		k1, err := s1.NextKey()
+		if err != nil {
+			t.Fatal(err)
+		}
+		k2, err := s2.NextKey()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k1 != k2 {
+			t.Fatalf("epoch %d: nodes derived different keys", i)
+		}
+	}
+	if s1.Epoch() != 4 {
+		t.Fatalf("epoch counter %d, want 4", s1.Epoch())
+	}
+}
+
+func TestScheduleKeysDistinctAcrossEpochs(t *testing.T) {
+	s, err := keygen.NewSchedule(&stubSource{values: randomValues(2, 8)}, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[keygen.Key]bool)
+	for i := 0; i < 8; i++ {
+		k, err := s.NextKey()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[k] {
+			t.Fatalf("epoch %d repeated a key", i)
+		}
+		seen[k] = true
+	}
+}
+
+func TestContextSeparation(t *testing.T) {
+	values := randomValues(3, 1)
+	sa, _ := keygen.NewSchedule(&stubSource{values: values}, "storage")
+	sb, _ := keygen.NewSchedule(&stubSource{values: values}, "transport")
+	ka, err := sa.NextKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb, err := sb.NextKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ka == kb {
+		t.Fatal("different contexts derived the same key")
+	}
+}
+
+func TestDerivePure(t *testing.T) {
+	e := []byte{1, 2, 3}
+	if keygen.Derive("c", 0, e) != keygen.Derive("c", 0, e) {
+		t.Fatal("Derive not deterministic")
+	}
+	if keygen.Derive("c", 0, e) == keygen.Derive("c", 1, e) {
+		t.Fatal("epoch not separated")
+	}
+	if keygen.Derive("c", 0, e) == keygen.Derive("c", 0, []byte{9}) {
+		t.Fatal("entropy ignored")
+	}
+	if keygen.Derive("c", 0, e).String() == "" {
+		t.Fatal("empty key string")
+	}
+}
+
+func TestScheduleErrors(t *testing.T) {
+	if _, err := keygen.NewSchedule(nil, "x"); err == nil {
+		t.Fatal("nil source accepted")
+	}
+	s, err := keygen.NewSchedule(&stubSource{err: errors.New("beacon down")}, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.NextKey(); err == nil {
+		t.Fatal("beacon error not propagated")
+	}
+	if s.Epoch() != 0 {
+		t.Fatal("failed epoch advanced the counter")
+	}
+}

@@ -1,0 +1,85 @@
+// Package loadbal implements the random-load-balancing application of the
+// paper's Appendix H: instead of a centralized dispatcher (a single point
+// of failure and bias), a committee of nodes uses the common unbiased
+// beacon value to assign incoming tasks to workers. Every honest
+// committee member computes the identical assignment, and byzantine
+// members cannot steer tasks toward or away from any worker because they
+// cannot bias the beacon.
+package loadbal
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"sgxp2p/internal/beacon"
+)
+
+// Assignment maps task identifiers to worker indices.
+type Assignment map[string]int
+
+// Balancer assigns tasks to workers using beacon randomness.
+type Balancer struct {
+	src     beacon.Source
+	workers int
+	round   uint64
+}
+
+// New builds a balancer dispatching onto the given number of workers.
+func New(src beacon.Source, workers int) (*Balancer, error) {
+	if src == nil {
+		return nil, errors.New("loadbal: nil beacon source")
+	}
+	if workers <= 0 {
+		return nil, fmt.Errorf("loadbal: need at least one worker, got %d", workers)
+	}
+	return &Balancer{src: src, workers: workers}, nil
+}
+
+// Workers returns the worker count.
+func (b *Balancer) Workers() int { return b.workers }
+
+// AssignBatch draws one beacon value and deterministically assigns every
+// task in the batch. Identical batches and beacon outputs yield identical
+// assignments at every honest node.
+func (b *Balancer) AssignBatch(tasks []string) (Assignment, error) {
+	v, err := b.src.Next()
+	if err != nil {
+		return nil, fmt.Errorf("loadbal: beacon: %w", err)
+	}
+	round := b.round
+	b.round++
+	out := make(Assignment, len(tasks))
+	for _, task := range tasks {
+		out[task] = Assign(v[:], round, task, b.workers)
+	}
+	return out, nil
+}
+
+// Assign is the pure assignment function: worker = H(entropy, round,
+// task) mod workers. Exposed for offline verification of a dispatcher's
+// decisions against the public beacon trace.
+func Assign(entropy []byte, round uint64, task string, workers int) int {
+	h := sha256.New()
+	h.Write([]byte("sgxp2p/loadbal/v1/"))
+	h.Write(entropy)
+	var rb [8]byte
+	binary.LittleEndian.PutUint64(rb[:], round)
+	h.Write(rb[:])
+	h.Write([]byte(task))
+	sum := h.Sum(nil)
+	idx := binary.LittleEndian.Uint64(sum[:8])
+	return int(idx % uint64(workers))
+}
+
+// Spread summarizes an assignment: tasks per worker.
+func Spread(a Assignment, workers int) []int {
+	counts := make([]int, workers)
+	for _, w := range a {
+		if w >= 0 && w < workers {
+			counts[w]++
+		}
+	}
+	return counts
+}

@@ -1,0 +1,160 @@
+package loadbal_test
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"sgxp2p/internal/loadbal"
+	"sgxp2p/internal/stats"
+	"sgxp2p/internal/wire"
+)
+
+type stubSource struct {
+	rng *rand.Rand
+	err error
+}
+
+func (s *stubSource) Next() (wire.Value, error) {
+	if s.err != nil {
+		return wire.Value{}, s.err
+	}
+	var v wire.Value
+	s.rng.Read(v[:])
+	return v, nil
+}
+
+func taskNames(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("task-%04d", i)
+	}
+	return out
+}
+
+func TestAssignBatchDeterministicAcrossNodes(t *testing.T) {
+	// Two "nodes" observing the same beacon assign identically.
+	b1, err := loadbal.New(&stubSource{rng: rand.New(rand.NewSource(7))}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := loadbal.New(&stubSource{rng: rand.New(rand.NewSource(7))}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks := taskNames(100)
+	a1, err := b1.AssignBatch(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := b2.AssignBatch(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, task := range tasks {
+		if a1[task] != a2[task] {
+			t.Fatalf("task %s assigned to %d vs %d", task, a1[task], a2[task])
+		}
+	}
+}
+
+func TestAssignmentsInRange(t *testing.T) {
+	b, err := loadbal.New(&stubSource{rng: rand.New(rand.NewSource(8))}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := b.AssignBatch(taskNames(500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for task, w := range a {
+		if w < 0 || w >= 7 {
+			t.Fatalf("task %s assigned out-of-range worker %d", task, w)
+		}
+	}
+}
+
+func TestSpreadRoughlyUniform(t *testing.T) {
+	const workers = 16
+	b, err := loadbal.New(&stubSource{rng: rand.New(rand.NewSource(9))}, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := b.AssignBatch(taskNames(8000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := loadbal.Spread(a, workers)
+	chi, err := stats.ChiSquareUniform(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 15 degrees of freedom; 99.9th percentile ~ 37.7. Generous margin.
+	if chi > 45 {
+		t.Fatalf("assignment spread chi-square %.1f too high: %v", chi, counts)
+	}
+}
+
+func TestRoundsProduceDifferentAssignments(t *testing.T) {
+	b, err := loadbal.New(&stubSource{rng: rand.New(rand.NewSource(10))}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks := taskNames(64)
+	a1, err := b.AssignBatch(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := b.AssignBatch(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for _, task := range tasks {
+		if a1[task] == a2[task] {
+			same++
+		}
+	}
+	if same == len(tasks) {
+		t.Fatal("two rounds produced identical assignments")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := loadbal.New(nil, 3); err == nil {
+		t.Error("nil source accepted")
+	}
+	if _, err := loadbal.New(&stubSource{rng: rand.New(rand.NewSource(1))}, 0); err == nil {
+		t.Error("zero workers accepted")
+	}
+	b, err := loadbal.New(&stubSource{err: errors.New("down")}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.AssignBatch(taskNames(1)); err == nil {
+		t.Error("beacon error not propagated")
+	}
+	if b.Workers() != 3 {
+		t.Error("Workers() wrong")
+	}
+}
+
+func TestAssignPureStability(t *testing.T) {
+	e := []byte{1, 2, 3}
+	if loadbal.Assign(e, 0, "a", 5) != loadbal.Assign(e, 0, "a", 5) {
+		t.Fatal("Assign not deterministic")
+	}
+	// Different rounds should (almost surely) move at least some tasks.
+	moved := false
+	for i := 0; i < 32; i++ {
+		task := fmt.Sprintf("t%d", i)
+		if loadbal.Assign(e, 0, task, 5) != loadbal.Assign(e, 1, task, 5) {
+			moved = true
+			break
+		}
+	}
+	if !moved {
+		t.Fatal("round number has no effect")
+	}
+}

@@ -1,0 +1,269 @@
+// Package overlay relaxes the paper's full-connectivity assumption S5
+// the way Appendix G describes: "the direct point-to-point broadcast in
+// our protocol can be replaced with a flooding algorithm", provided the
+// topology keeps honest nodes connected (a sparse expander or random
+// graph).
+//
+// A Router wraps a node's transport so that every envelope travels only
+// along overlay edges: the sender floods a routed frame to its neighbors,
+// every router forwards unseen frames onward, and the frame's payload is
+// delivered when it reaches its addressee. Envelope contents stay sealed
+// end-to-end — intermediate routers (including byzantine ones) forward
+// opaque bytes and can at worst drop them, which the connectivity
+// assumption absorbs.
+//
+// The Router implements runtime.Transport, so the protocols run over a
+// sparse overlay without a single line of change.
+package overlay
+
+import (
+	"encoding/binary"
+	"errors"
+	"time"
+
+	"sgxp2p/internal/runtime"
+	"sgxp2p/internal/wire"
+)
+
+// header layout: src(4) dst(4) seq(8) ttl(2) len(4).
+const headerSize = 4 + 4 + 8 + 2 + 4
+
+// maxSeen bounds the deduplication memory; when reached, the older
+// generation is discarded (two-generation scheme).
+const maxSeen = 1 << 16
+
+// ErrNoNeighbors indicates a router built with an empty adjacency.
+var ErrNoNeighbors = errors.New("overlay: node has no neighbors")
+
+// frameKey identifies a frame for deduplication.
+type frameKey struct {
+	src wire.NodeID
+	seq uint64
+}
+
+// Router is the flooding overlay layer of one node.
+type Router struct {
+	id        wire.NodeID
+	neighbors []wire.NodeID
+	under     runtime.Transport
+	handler   func(src wire.NodeID, payload []byte)
+	seq       uint64
+	seen      map[frameKey]bool
+	seenPrev  map[frameKey]bool
+	ttl       uint16
+	detached  bool
+
+	// Stats counters.
+	originated uint64
+	forwarded  uint64
+	delivered  uint64
+	duplicates uint64
+}
+
+var _ runtime.Transport = (*Router)(nil)
+
+// Stats reports the router's activity.
+type Stats struct {
+	Originated uint64 // frames this node created
+	Forwarded  uint64 // frames relayed onward
+	Delivered  uint64 // frames delivered to the local handler
+	Duplicates uint64 // frames dropped by deduplication
+}
+
+// NewRouter builds the overlay layer for a node: under is the physical
+// transport (a simnet port or TCP port), neighbors its overlay adjacency,
+// ttl the forwarding budget (0 defaults to 64 hops).
+func NewRouter(id wire.NodeID, neighbors []wire.NodeID, under runtime.Transport, ttl uint16) (*Router, error) {
+	if under == nil {
+		return nil, errors.New("overlay: nil transport")
+	}
+	if len(neighbors) == 0 {
+		return nil, ErrNoNeighbors
+	}
+	if ttl == 0 {
+		ttl = 64
+	}
+	adj := make([]wire.NodeID, 0, len(neighbors))
+	for _, nb := range neighbors {
+		if nb != id {
+			adj = append(adj, nb)
+		}
+	}
+	r := &Router{
+		id:        id,
+		neighbors: adj,
+		under:     under,
+		seen:      make(map[frameKey]bool),
+		seenPrev:  make(map[frameKey]bool),
+		ttl:       ttl,
+	}
+	under.SetHandler(r.receive)
+	return r, nil
+}
+
+// Neighbors returns the overlay adjacency (copy).
+func (r *Router) Neighbors() []wire.NodeID {
+	return append([]wire.NodeID(nil), r.neighbors...)
+}
+
+// Stats returns a snapshot of the router counters.
+func (r *Router) Stats() Stats {
+	return Stats{
+		Originated: r.originated,
+		Forwarded:  r.forwarded,
+		Delivered:  r.delivered,
+		Duplicates: r.duplicates,
+	}
+}
+
+// Send implements runtime.Transport: wrap the payload in a routed frame
+// and flood it to the overlay neighbors.
+func (r *Router) Send(dst wire.NodeID, payload []byte) {
+	if r.detached {
+		return
+	}
+	r.seq++
+	frame := encodeFrame(r.id, dst, r.seq, r.ttl, payload)
+	r.remember(frameKey{src: r.id, seq: r.seq})
+	r.originated++
+	r.flood(frame, wire.NoNode)
+}
+
+// flood sends a frame to all neighbors except the arrival hop.
+func (r *Router) flood(frame []byte, except wire.NodeID) {
+	for _, nb := range r.neighbors {
+		if nb == except {
+			continue
+		}
+		// Each neighbor gets its own copy: the underlying transport owns
+		// the slice after Send.
+		r.under.Send(nb, append([]byte(nil), frame...))
+	}
+}
+
+// receive handles a frame arriving over an overlay edge.
+func (r *Router) receive(hop wire.NodeID, data []byte) {
+	if r.detached {
+		return
+	}
+	src, dst, seq, ttl, payload, ok := decodeFrame(data)
+	if !ok {
+		return
+	}
+	key := frameKey{src: src, seq: seq}
+	if r.isSeen(key) {
+		r.duplicates++
+		return
+	}
+	r.remember(key)
+	if dst == r.id {
+		r.delivered++
+		if r.handler != nil {
+			r.handler(src, payload)
+		}
+		return
+	}
+	if ttl <= 1 {
+		return
+	}
+	r.forwarded++
+	r.flood(encodeFrame(src, dst, seq, ttl-1, payload), hop)
+}
+
+// isSeen checks both deduplication generations.
+func (r *Router) isSeen(key frameKey) bool {
+	return r.seen[key] || r.seenPrev[key]
+}
+
+// remember records a frame key, rotating generations at capacity.
+func (r *Router) remember(key frameKey) {
+	if len(r.seen) >= maxSeen {
+		r.seenPrev = r.seen
+		r.seen = make(map[frameKey]bool, maxSeen/2)
+	}
+	r.seen[key] = true
+}
+
+// SetHandler implements runtime.Transport.
+func (r *Router) SetHandler(h func(src wire.NodeID, payload []byte)) {
+	r.handler = h
+}
+
+// Detach implements runtime.Transport: the node leaves the overlay (it
+// stops originating, forwarding and delivering).
+func (r *Router) Detach() {
+	r.detached = true
+	r.under.Detach()
+}
+
+// After implements runtime.Transport.
+func (r *Router) After(d time.Duration, fn func()) { r.under.After(d, fn) }
+
+// Now implements runtime.Transport.
+func (r *Router) Now() time.Duration { return r.under.Now() }
+
+// Diameter computes the hop diameter of an overlay described by a
+// neighbor function over n nodes (BFS from every node). It returns -1 for
+// a disconnected overlay. Callers size the lockstep round bound as
+// Delta >= Diameter * linkDelta so flooded envelopes and their
+// acknowledgments fit in one round.
+func Diameter(neighbors func(id wire.NodeID, n int) []wire.NodeID, n int) int {
+	diameter := 0
+	dist := make([]int, n)
+	queue := make([]wire.NodeID, 0, n)
+	for start := 0; start < n; start++ {
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[start] = 0
+		queue = append(queue[:0], wire.NodeID(start))
+		visited := 1
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, nb := range neighbors(cur, n) {
+				if int(nb) >= n || nb == cur || dist[nb] >= 0 {
+					continue
+				}
+				dist[nb] = dist[cur] + 1
+				visited++
+				if dist[nb] > diameter {
+					diameter = dist[nb]
+				}
+				queue = append(queue, nb)
+			}
+		}
+		if visited < n {
+			return -1
+		}
+	}
+	return diameter
+}
+
+// encodeFrame serializes a routed frame.
+func encodeFrame(src, dst wire.NodeID, seq uint64, ttl uint16, payload []byte) []byte {
+	out := make([]byte, headerSize+len(payload))
+	binary.LittleEndian.PutUint32(out, uint32(src))
+	binary.LittleEndian.PutUint32(out[4:], uint32(dst))
+	binary.LittleEndian.PutUint64(out[8:], seq)
+	binary.LittleEndian.PutUint16(out[16:], ttl)
+	binary.LittleEndian.PutUint32(out[18:], uint32(len(payload)))
+	copy(out[headerSize:], payload)
+	return out
+}
+
+// decodeFrame parses a routed frame.
+func decodeFrame(data []byte) (src, dst wire.NodeID, seq uint64, ttl uint16, payload []byte, ok bool) {
+	if len(data) < headerSize {
+		return 0, 0, 0, 0, nil, false
+	}
+	src = wire.NodeID(binary.LittleEndian.Uint32(data))
+	dst = wire.NodeID(binary.LittleEndian.Uint32(data[4:]))
+	seq = binary.LittleEndian.Uint64(data[8:])
+	ttl = binary.LittleEndian.Uint16(data[16:])
+	n := binary.LittleEndian.Uint32(data[18:])
+	if int(n) != len(data)-headerSize {
+		return 0, 0, 0, 0, nil, false
+	}
+	return src, dst, seq, ttl, data[headerSize:], true
+}

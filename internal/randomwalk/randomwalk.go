@@ -1,0 +1,128 @@
+// Package randomwalk implements the random-walk application of the
+// paper's Appendix H: byzantine-resilient random walks over a P2P
+// topology. Sampling peers by random walk is a standard way to maintain
+// expander-like overlays; if the step choices can be biased, an adversary
+// herds walks toward byzantine regions. Here every step is drawn from the
+// common unbiased beacon value, so all honest nodes compute the same walk
+// and no participant can steer it.
+package randomwalk
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"sgxp2p/internal/beacon"
+	"sgxp2p/internal/wire"
+)
+
+// Graph is an undirected P2P topology given as adjacency lists.
+type Graph struct {
+	adj map[wire.NodeID][]wire.NodeID
+}
+
+// NewGraph builds an empty graph.
+func NewGraph() *Graph {
+	return &Graph{adj: make(map[wire.NodeID][]wire.NodeID)}
+}
+
+// AddEdge inserts an undirected edge (idempotent).
+func (g *Graph) AddEdge(a, b wire.NodeID) {
+	if a == b {
+		return
+	}
+	if !contains(g.adj[a], b) {
+		g.adj[a] = append(g.adj[a], b)
+	}
+	if !contains(g.adj[b], a) {
+		g.adj[b] = append(g.adj[b], a)
+	}
+}
+
+// Neighbors returns the adjacency list of a node (shared slice; callers
+// must not mutate).
+func (g *Graph) Neighbors(id wire.NodeID) []wire.NodeID {
+	return g.adj[id]
+}
+
+// Nodes returns the number of nodes with at least one edge.
+func (g *Graph) Nodes() int { return len(g.adj) }
+
+func contains(list []wire.NodeID, id wire.NodeID) bool {
+	for _, x := range list {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Ring builds a ring of n nodes with k chords per node (a simple
+// expander-ish overlay used by the example and tests).
+func Ring(n, chords int) *Graph {
+	g := NewGraph()
+	for i := 0; i < n; i++ {
+		g.AddEdge(wire.NodeID(i), wire.NodeID((i+1)%n))
+		for c := 2; c < 2+chords; c++ {
+			g.AddEdge(wire.NodeID(i), wire.NodeID((i+c*c)%n))
+		}
+	}
+	return g
+}
+
+// Walker performs beacon-driven random walks.
+type Walker struct {
+	src beacon.Source
+	g   *Graph
+}
+
+// New builds a walker over a graph and beacon source.
+func New(src beacon.Source, g *Graph) (*Walker, error) {
+	if src == nil {
+		return nil, errors.New("randomwalk: nil beacon source")
+	}
+	if g == nil || g.Nodes() == 0 {
+		return nil, errors.New("randomwalk: empty graph")
+	}
+	return &Walker{src: src, g: g}, nil
+}
+
+// Walk performs a walk of the given number of steps from start, drawing
+// one beacon value and expanding it into per-step choices. It returns the
+// visited nodes including the start.
+func (w *Walker) Walk(start wire.NodeID, steps int) ([]wire.NodeID, error) {
+	if len(w.g.Neighbors(start)) == 0 {
+		return nil, fmt.Errorf("randomwalk: start node %d has no edges", start)
+	}
+	v, err := w.src.Next()
+	if err != nil {
+		return nil, fmt.Errorf("randomwalk: beacon: %w", err)
+	}
+	path := make([]wire.NodeID, 0, steps+1)
+	path = append(path, start)
+	cur := start
+	for s := 0; s < steps; s++ {
+		nbrs := w.g.Neighbors(cur)
+		if len(nbrs) == 0 {
+			break
+		}
+		cur = nbrs[Step(v[:], uint64(s), cur, len(nbrs))]
+		path = append(path, cur)
+	}
+	return path, nil
+}
+
+// Step is the pure per-hop choice: index = H(entropy, step, position) mod
+// degree. Exposed so a walk can be re-verified against the beacon trace.
+func Step(entropy []byte, step uint64, at wire.NodeID, degree int) int {
+	h := sha256.New()
+	h.Write([]byte("sgxp2p/randomwalk/v1/"))
+	h.Write(entropy)
+	var buf [12]byte
+	binary.LittleEndian.PutUint64(buf[:8], step)
+	binary.LittleEndian.PutUint32(buf[8:], uint32(at))
+	h.Write(buf[:])
+	sum := h.Sum(nil)
+	return int(binary.LittleEndian.Uint64(sum[:8]) % uint64(degree))
+}

@@ -1,0 +1,141 @@
+package randomwalk_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"sgxp2p/internal/randomwalk"
+	"sgxp2p/internal/stats"
+	"sgxp2p/internal/wire"
+)
+
+type stubSource struct {
+	rng *rand.Rand
+	err error
+}
+
+func (s *stubSource) Next() (wire.Value, error) {
+	if s.err != nil {
+		return wire.Value{}, s.err
+	}
+	var v wire.Value
+	s.rng.Read(v[:])
+	return v, nil
+}
+
+func TestGraphBasics(t *testing.T) {
+	g := randomwalk.NewGraph()
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 1) // idempotent
+	g.AddEdge(1, 2)
+	g.AddEdge(3, 3) // self loop ignored
+	if got := len(g.Neighbors(0)); got != 1 {
+		t.Fatalf("node 0 degree %d, want 1", got)
+	}
+	if got := len(g.Neighbors(1)); got != 2 {
+		t.Fatalf("node 1 degree %d, want 2", got)
+	}
+	if g.Nodes() != 3 {
+		t.Fatalf("nodes = %d, want 3", g.Nodes())
+	}
+}
+
+func TestRingConnected(t *testing.T) {
+	g := randomwalk.Ring(20, 2)
+	for i := 0; i < 20; i++ {
+		if len(g.Neighbors(wire.NodeID(i))) < 2 {
+			t.Fatalf("ring node %d degree %d too low", i, len(g.Neighbors(wire.NodeID(i))))
+		}
+	}
+}
+
+func TestWalkStaysOnEdges(t *testing.T) {
+	g := randomwalk.Ring(32, 3)
+	w, err := randomwalk.New(&stubSource{rng: rand.New(rand.NewSource(4))}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := w.Walk(0, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 51 {
+		t.Fatalf("path length %d, want 51", len(path))
+	}
+	for i := 1; i < len(path); i++ {
+		nbrs := g.Neighbors(path[i-1])
+		found := false
+		for _, n := range nbrs {
+			if n == path[i] {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("hop %d: %d -> %d is not an edge", i, path[i-1], path[i])
+		}
+	}
+}
+
+func TestWalkDeterministicAcrossNodes(t *testing.T) {
+	g := randomwalk.Ring(32, 3)
+	w1, _ := randomwalk.New(&stubSource{rng: rand.New(rand.NewSource(5))}, g)
+	w2, _ := randomwalk.New(&stubSource{rng: rand.New(rand.NewSource(5))}, g)
+	p1, err := w1.Walk(7, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := w2.Walk(7, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("step %d differs: %d vs %d", i, p1[i], p2[i])
+		}
+	}
+}
+
+func TestStepChoicesRoughlyUniform(t *testing.T) {
+	const degree = 8
+	counts := make([]int, degree)
+	rng := rand.New(rand.NewSource(6))
+	var e wire.Value
+	for i := 0; i < 8000; i++ {
+		rng.Read(e[:])
+		counts[randomwalk.Step(e[:], uint64(i), 3, degree)]++
+	}
+	chi, err := stats.ChiSquareUniform(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 7 degrees of freedom; 99.9th percentile ~ 24.3. Generous margin.
+	if chi > 30 {
+		t.Fatalf("step choice chi-square %.1f too high: %v", chi, counts)
+	}
+}
+
+func TestWalkValidation(t *testing.T) {
+	g := randomwalk.Ring(8, 1)
+	if _, err := randomwalk.New(nil, g); err == nil {
+		t.Error("nil source accepted")
+	}
+	if _, err := randomwalk.New(&stubSource{rng: rand.New(rand.NewSource(1))}, randomwalk.NewGraph()); err == nil {
+		t.Error("empty graph accepted")
+	}
+	w, err := randomwalk.New(&stubSource{rng: rand.New(rand.NewSource(1))}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Walk(99, 5); err == nil {
+		t.Error("walk from isolated node accepted")
+	}
+	wErr, err := randomwalk.New(&stubSource{err: errors.New("down")}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wErr.Walk(0, 5); err == nil {
+		t.Error("beacon error not propagated")
+	}
+}

@@ -1,0 +1,520 @@
+// Package runtime implements the peer runtime shared by the enclaved
+// protocols: the setup phase of Section 4.1 (mutual remote attestation,
+// Diffie-Hellman link establishment and initial sequence-number exchange),
+// lockstep round scheduling (property P5, rounds of 2*Delta), the
+// authenticated multicast with ACK counting that realizes
+// halt-on-divergence (property P4), and the per-peer sequence tables that
+// realize message freshness (property P6).
+//
+// Protocols (internal/core/erb, internal/core/erng) are state machines
+// driven by two callbacks: OnRound at the start of every round and
+// OnMessage for every message that survived the channel's authentication
+// and the runtime's lockstep round check. Everything a protocol sends
+// travels through Peer.Multicast / Peer.Send, which seal per-link
+// envelopes and hand them to the Transport — where a byzantine OS (see
+// internal/adversary) may interfere, but only by omitting, holding or
+// replaying envelopes.
+package runtime
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"time"
+
+	"sgxp2p/internal/channel"
+	"sgxp2p/internal/enclave"
+	"sgxp2p/internal/wire"
+	"sgxp2p/internal/xcrypto"
+)
+
+// Transport is the narrow network interface the runtime needs. It is
+// satisfied by *simnet.Port (simulation) and *tcpnet.Port (live TCP).
+type Transport interface {
+	// Send transmits a sealed envelope to dst. Ownership of the slice
+	// passes to the transport.
+	Send(dst wire.NodeID, payload []byte)
+	// SetHandler registers the delivery callback.
+	SetHandler(h func(src wire.NodeID, payload []byte))
+	// Detach removes this node from the network (halt-on-divergence).
+	Detach()
+	// After schedules fn after a delay on the node's event loop.
+	After(d time.Duration, fn func())
+	// Now returns the transport's current time.
+	Now() time.Duration
+}
+
+// Protocol is the state-machine interface protocols implement.
+type Protocol interface {
+	// OnRound fires at the start of every round, 1-based.
+	OnRound(rnd uint32)
+	// OnMessage fires for every authenticated message whose stamped
+	// round matches the current round. ACKs are consumed by the runtime
+	// and never reach the protocol.
+	OnMessage(msg *wire.Message)
+	// OnFinish fires once, at the end of the final round.
+	OnFinish()
+}
+
+// Roster describes the network membership every peer knows (assumptions
+// S1/S5): the attestation quotes of all peers indexed by NodeID, the
+// attestation service's verification key, and the expected program
+// measurement.
+type Roster struct {
+	Quotes      []enclave.Quote
+	ServiceKey  xcrypto.VerifyKey
+	Measurement xcrypto.Measurement
+	// PreVerified marks a roster whose quotes were already verified by
+	// the deployment builder, letting NewPeer skip the per-peer
+	// re-verification (which is O(N^2) signature checks across a
+	// simulated deployment sharing one process). Live deployments leave
+	// it false so every node verifies for itself.
+	PreVerified bool
+}
+
+// Config carries the protocol-independent parameters of a deployment.
+type Config struct {
+	// N is the network size; T the byzantine bound (N >= 2T+1 for ERB).
+	N, T int
+	// Delta is the one-way delivery bound; a round lasts 2*Delta (S3).
+	Delta time.Duration
+	// Sealer builds this peer's sealer. Nil defaults to the real
+	// AES+HMAC sealer.
+	Sealer channel.Sealer
+}
+
+// Errors returned by peer construction and messaging.
+var (
+	// ErrHalted is returned by operations on a peer that has churned
+	// itself out of the network.
+	ErrHalted = errors.New("runtime: peer halted")
+	// ErrUnknownPeer indicates a destination outside the roster.
+	ErrUnknownPeer = errors.New("runtime: unknown peer")
+)
+
+// Stats counts runtime-level events, used by tests and experiments.
+type Stats struct {
+	// Delivered counts messages passed to the protocol.
+	Delivered uint64
+	// AuthFailures counts envelopes rejected by the channel (forgeries,
+	// corruption, wrong program) — treated as omissions per Theorem A.2.
+	AuthFailures uint64
+	// RoundMismatches counts authenticated messages dropped by the
+	// lockstep check (delay/replay attacks surfacing as stale rounds).
+	RoundMismatches uint64
+	// AcksSent and AcksReceived count the P4 acknowledgment traffic.
+	AcksSent     uint64
+	AcksReceived uint64
+	// Halts is 1 once the peer executed halt-on-divergence.
+	Halts uint64
+}
+
+// ackTracker tracks acknowledgments for one multicast.
+type ackTracker struct {
+	digest    wire.Value
+	round     uint32
+	threshold int
+	acked     map[wire.NodeID]bool
+}
+
+// Peer is one node's runtime.
+type Peer struct {
+	encl  *enclave.Enclave
+	tr    Transport
+	cfg   Config
+	links []*channel.Link
+
+	proto       Protocol
+	rounds      uint32
+	round       uint32
+	started     bool
+	finished    bool
+	seqs        []uint64
+	instanceID  uint32
+	trackers    []*ackTracker
+	startOffset time.Duration
+	stats       Stats
+}
+
+// NewPeer verifies the roster's attestation quotes (F3, property P1),
+// establishes a blinded channel to every other peer, and returns the
+// runtime. The peer's own quote must be at index enclave.ID().
+func NewPeer(encl *enclave.Enclave, tr Transport, roster Roster, cfg Config) (*Peer, error) {
+	if encl == nil || tr == nil {
+		return nil, errors.New("runtime: nil enclave or transport")
+	}
+	if cfg.N != len(roster.Quotes) {
+		return nil, fmt.Errorf("runtime: roster has %d quotes, config N=%d", len(roster.Quotes), cfg.N)
+	}
+	if cfg.N < 2 || cfg.T < 0 {
+		return nil, fmt.Errorf("runtime: invalid sizes N=%d T=%d", cfg.N, cfg.T)
+	}
+	if cfg.Delta <= 0 {
+		return nil, fmt.Errorf("runtime: invalid delta %v", cfg.Delta)
+	}
+	if cfg.Sealer == nil {
+		cfg.Sealer = channel.RealSealer{}
+	}
+	p := &Peer{
+		encl:  encl,
+		tr:    tr,
+		cfg:   cfg,
+		links: make([]*channel.Link, cfg.N),
+		seqs:  make([]uint64, cfg.N),
+	}
+	self := int(encl.ID())
+	for id, q := range roster.Quotes {
+		if id == self {
+			continue
+		}
+		if !roster.PreVerified {
+			if err := enclave.VerifyQuote(roster.ServiceKey, roster.Measurement, q); err != nil {
+				return nil, fmt.Errorf("runtime: attestation of peer %d: %w", id, err)
+			}
+		}
+		if q.NodeID != wire.NodeID(id) {
+			return nil, fmt.Errorf("runtime: quote %d claims node id %d", id, q.NodeID)
+		}
+		link, err := channel.NewLink(encl, wire.NodeID(id), q.DHPublic, cfg.Sealer)
+		if err != nil {
+			return nil, fmt.Errorf("runtime: link to %d: %w", id, err)
+		}
+		p.links[id] = link
+	}
+	tr.SetHandler(p.receive)
+	return p, nil
+}
+
+// ID returns this peer's node id.
+func (p *Peer) ID() wire.NodeID { return p.encl.ID() }
+
+// N returns the network size.
+func (p *Peer) N() int { return p.cfg.N }
+
+// T returns the byzantine bound.
+func (p *Peer) T() int { return p.cfg.T }
+
+// Delta returns the delivery bound.
+func (p *Peer) Delta() time.Duration { return p.cfg.Delta }
+
+// Enclave exposes the peer's enclave to the protocol layer (which is
+// trusted code; the OS layer never holds a *Peer).
+func (p *Peer) Enclave() *enclave.Enclave { return p.encl }
+
+// Stats returns a snapshot of the runtime counters.
+func (p *Peer) Stats() Stats { return p.stats }
+
+// Halted reports whether this peer has churned itself out.
+func (p *Peer) Halted() bool { return p.encl.Halted() }
+
+// Round returns the current lockstep round (0 before Start).
+func (p *Peer) Round() uint32 { return p.round }
+
+// Now returns the transport's current time (virtual in simulation).
+func (p *Peer) Now() time.Duration { return p.tr.Now() }
+
+// Instance returns the current protocol instance (epoch) number.
+func (p *Peer) Instance() uint32 { return p.instanceID }
+
+// InitialSeq draws this peer's initial sequence number inside the enclave
+// (setup phase; property P6).
+func (p *Peer) InitialSeq() (uint64, error) {
+	return p.encl.RandomSeq()
+}
+
+// InstallSeqs installs the sequence numbers of all peers, as exchanged
+// over the blinded channels during setup. In the simulator the exchange is
+// orchestrated by Setup; in the TCP deployment it is a real message round.
+func (p *Peer) InstallSeqs(seqs []uint64) error {
+	if len(seqs) != p.cfg.N {
+		return fmt.Errorf("runtime: got %d seqs, want %d", len(seqs), p.cfg.N)
+	}
+	copy(p.seqs, seqs)
+	return nil
+}
+
+// SeqOf returns the expected current sequence number of a peer.
+func (p *Peer) SeqOf(id wire.NodeID) uint64 { return p.seqs[int(id)] }
+
+// AddPeer extends the membership with a newly joined node (the dynamic
+// join of Appendix G / assumption S1): the quote is verified, a blinded
+// channel is established, and the joiner's initial sequence number is
+// recorded. The new node's id must be the next dense index.
+func (p *Peer) AddPeer(roster Roster, q enclave.Quote, seq uint64) error {
+	if p.Halted() {
+		return ErrHalted
+	}
+	if q.NodeID != wire.NodeID(len(p.links)) {
+		return fmt.Errorf("runtime: joiner id %d is not the next index %d", q.NodeID, len(p.links))
+	}
+	if err := enclave.VerifyQuote(roster.ServiceKey, roster.Measurement, q); err != nil {
+		return fmt.Errorf("runtime: attestation of joiner %d: %w", q.NodeID, err)
+	}
+	link, err := channel.NewLink(p.encl, q.NodeID, q.DHPublic, p.cfg.Sealer)
+	if err != nil {
+		return fmt.Errorf("runtime: link to joiner %d: %w", q.NodeID, err)
+	}
+	p.links = append(p.links, link)
+	p.seqs = append(p.seqs, seq)
+	p.cfg.N++
+	return nil
+}
+
+// AlignInstance sets the instance (epoch) counter; a joining node calls
+// it so its message-freshness state matches the network it joined.
+func (p *Peer) AlignInstance(instance uint32) {
+	p.instanceID = instance
+}
+
+// BumpSeqs increments every peer's sequence number after a completed
+// instance ("After every valid instance of the protocol, nodes will
+// increase all sequence numbers by 1") and advances the instance id.
+func (p *Peer) BumpSeqs() {
+	for i := range p.seqs {
+		p.seqs[i]++
+	}
+	p.instanceID++
+}
+
+// Start begins a protocol instance: the enclave's trusted-time reference
+// is reset to "now" (synchronized start, S2), and rounds 1..rounds are
+// scheduled every 2*Delta. OnFinish fires at the end of the last round.
+func (p *Peer) Start(proto Protocol, rounds int) {
+	p.StartIn(proto, rounds, 0)
+}
+
+// StartIn begins a protocol instance whose round 1 fires after the given
+// delay. Live (TCP) deployments use it to arm every peer ahead of the
+// agreed start instant, so no round-1 message can arrive at a peer that
+// has not started yet — the synchronized-start assumption S2 realized
+// across processes.
+func (p *Peer) StartIn(proto Protocol, rounds int, startDelay time.Duration) {
+	if startDelay < 0 {
+		startDelay = 0
+	}
+	p.proto = proto
+	p.rounds = uint32(rounds)
+	p.round = 0
+	p.started = true
+	p.finished = false
+	p.encl.ResetReference()
+	p.startOffset = startDelay
+	p.scheduleTick(1)
+}
+
+func (p *Peer) scheduleTick(rnd uint32) {
+	delay := p.startOffset + time.Duration(rnd-1)*2*p.cfg.Delta
+	// Re-anchor against the enclave's trusted elapsed time so a byzantine
+	// OS cannot skew the tick (F4 / lockstep P5).
+	p.tr.After(delay-p.encl.ElapsedTime(), func() { p.tick(rnd) })
+}
+
+func (p *Peer) tick(rnd uint32) {
+	if p.Halted() || !p.started {
+		return
+	}
+	p.closeRound()
+	if p.Halted() {
+		return
+	}
+	if rnd > p.rounds {
+		p.finished = true
+		p.proto.OnFinish()
+		return
+	}
+	p.round = rnd
+	p.proto.OnRound(rnd)
+	if !p.Halted() {
+		p.scheduleTick(rnd + 1)
+	}
+}
+
+// closeRound evaluates the ACK trackers of the round that just ended: a
+// multicast that gathered fewer than threshold acknowledgments halts the
+// peer (property P4, the Halt function of Algorithm 2).
+func (p *Peer) closeRound() {
+	trackers := p.trackers
+	p.trackers = nil
+	for _, tk := range trackers {
+		if len(tk.acked) < tk.threshold {
+			p.HaltSelf()
+			return
+		}
+	}
+}
+
+// HaltSelf executes halt-on-divergence: the enclave state becomes bottom
+// and the node churns out of the network.
+func (p *Peer) HaltSelf() {
+	if p.Halted() {
+		return
+	}
+	p.stats.Halts++
+	p.encl.Halt()
+	p.tr.Detach()
+}
+
+// Digest computes H(val), the message digest ACKs carry.
+func Digest(msg *wire.Message) (wire.Value, error) {
+	var d wire.Value
+	enc, err := msg.Encode()
+	if err != nil {
+		return d, err
+	}
+	d = sha256.Sum256(enc)
+	return d, nil
+}
+
+// Multicast seals msg for every destination and sends it. If ackThreshold
+// is positive the runtime tracks acknowledgments until the end of the
+// current round and halts the peer if fewer than ackThreshold arrive.
+// Destinations nil means "all other peers".
+func (p *Peer) Multicast(dsts []wire.NodeID, msg *wire.Message, ackThreshold int) error {
+	if p.Halted() {
+		return ErrHalted
+	}
+	var tk *ackTracker
+	if ackThreshold > 0 {
+		digest, err := Digest(msg)
+		if err != nil {
+			return err
+		}
+		tk = &ackTracker{
+			digest:    digest,
+			round:     p.round,
+			threshold: ackThreshold,
+			acked:     make(map[wire.NodeID]bool, p.cfg.N),
+		}
+		p.trackers = append(p.trackers, tk)
+	}
+	if dsts == nil {
+		for id := 0; id < p.cfg.N; id++ {
+			if wire.NodeID(id) == p.ID() {
+				continue
+			}
+			if err := p.Send(wire.NodeID(id), msg); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, dst := range dsts {
+		if dst == p.ID() {
+			continue
+		}
+		if err := p.Send(dst, msg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Send seals msg for one destination and hands it to the transport.
+func (p *Peer) Send(dst wire.NodeID, msg *wire.Message) error {
+	if p.Halted() {
+		return ErrHalted
+	}
+	if int(dst) >= len(p.links) || p.links[dst] == nil {
+		return ErrUnknownPeer
+	}
+	env, err := p.links[dst].Seal(msg)
+	if err != nil {
+		return err
+	}
+	p.tr.Send(dst, env)
+	return nil
+}
+
+// SendAck acknowledges a valid received message: ACKs carry the digest
+// H(val) of the acknowledged message, the initiator's sequence number and
+// the current round, per Section 4's val format.
+func (p *Peer) SendAck(dst wire.NodeID, received *wire.Message) error {
+	digest, err := Digest(received)
+	if err != nil {
+		return err
+	}
+	ack := &wire.Message{
+		Type:      wire.TypeAck,
+		Sender:    p.ID(),
+		Initiator: received.Initiator,
+		Instance:  received.Instance,
+		Seq:       received.Seq,
+		Round:     p.round,
+		HasValue:  true,
+		Value:     digest,
+	}
+	p.stats.AcksSent++
+	return p.Send(dst, ack)
+}
+
+// receive is the transport delivery callback: it opens the envelope,
+// enforces the lockstep round check, consumes ACKs, and forwards protocol
+// messages.
+func (p *Peer) receive(src wire.NodeID, payload []byte) {
+	if p.Halted() || !p.started || p.finished {
+		return
+	}
+	if int(src) >= len(p.links) || p.links[src] == nil {
+		return
+	}
+	msg, err := p.links[src].Open(payload)
+	if err != nil {
+		// Forged, corrupted, cross-program or mis-addressed envelopes
+		// reduce to omissions (Theorem A.2).
+		p.stats.AuthFailures++
+		return
+	}
+	if msg.Type == wire.TypeAck {
+		p.stats.AcksReceived++
+		p.handleAck(src, msg)
+		return
+	}
+	// Lockstep execution (P5): a message stamped with a different round
+	// than the receiver's current round is a delayed or replayed message
+	// and is ignored, i.e. treated as omitted.
+	if msg.Round != p.round {
+		p.stats.RoundMismatches++
+		return
+	}
+	p.stats.Delivered++
+	p.proto.OnMessage(msg)
+}
+
+// handleAck credits an acknowledgment to the matching tracker. ACKs are
+// only valid within the round of the multicast they acknowledge.
+func (p *Peer) handleAck(src wire.NodeID, ack *wire.Message) {
+	if !ack.HasValue {
+		return
+	}
+	for _, tk := range p.trackers {
+		if tk.round == ack.Round && tk.digest == ack.Value {
+			tk.acked[src] = true
+			return
+		}
+	}
+}
+
+// Setup performs the one-time setup phase for a set of peers living in the
+// same simulation: it distributes every peer's enclave-drawn initial
+// sequence number to all others. This models the O(N^2) secure exchange of
+// Section 4.1 — byzantine nodes cannot misreport their sequence number
+// because it is drawn and sent by enclave code over the blinded channel.
+func Setup(peers []*Peer) error {
+	seqs := make([]uint64, len(peers))
+	for i, p := range peers {
+		if p == nil {
+			return fmt.Errorf("runtime: nil peer %d in setup", i)
+		}
+		s, err := p.InitialSeq()
+		if err != nil {
+			return fmt.Errorf("runtime: peer %d initial seq: %w", i, err)
+		}
+		seqs[i] = s
+	}
+	for i, p := range peers {
+		if err := p.InstallSeqs(seqs); err != nil {
+			return fmt.Errorf("runtime: peer %d install seqs: %w", i, err)
+		}
+	}
+	return nil
+}

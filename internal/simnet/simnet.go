@@ -1,0 +1,260 @@
+// Package simnet implements the simulated synchronous network the
+// experiments run on: the Go analogue of the paper's DeterLab testbed
+// (40 machines sharing one 128 MB/s link, up to 2^10 peers).
+//
+// The network is driven by the discrete-event engine in internal/vclock.
+// Every message experiences
+//
+//   - a propagation latency, uniform in [BaseLatency, Delta] (the TCP/IP
+//     substrate's bounded delivery delay, assumption S3), plus
+//   - serialization on a single shared link of configurable bandwidth,
+//     modelled as a FIFO queue, which reproduces the bandwidth-bottleneck
+//     knee the paper observes in Figures 2a/2b.
+//
+// The network also keeps the traffic accounting (message and byte counts,
+// per node and total) that the communication-complexity experiments of
+// Figure 3 report, and supports detaching nodes, which is how
+// halt-on-divergence (P4) churn is reflected at the transport level.
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"sgxp2p/internal/vclock"
+	"sgxp2p/internal/wire"
+)
+
+// Handler receives a delivered payload on the destination node.
+type Handler func(src wire.NodeID, payload []byte)
+
+// Config describes the simulated network.
+type Config struct {
+	// N is the number of nodes.
+	N int
+	// Delta is the one-way delivery bound (assumption S3): propagation
+	// latency never exceeds it. A round lasts 2*Delta.
+	Delta time.Duration
+	// BaseLatency is the minimum propagation latency. Defaults to
+	// Delta/10.
+	BaseLatency time.Duration
+	// Bandwidth is the shared-link bandwidth in bytes per second.
+	// Zero means unlimited (no serialization delay).
+	Bandwidth float64
+	// Seed seeds the latency jitter. Runs with equal seeds are
+	// bit-for-bit reproducible.
+	Seed int64
+}
+
+// DefaultBandwidth matches the paper's testbed: a shared 128 MB/s link.
+const DefaultBandwidth = 128 << 20
+
+// Traffic aggregates transport-level accounting.
+type Traffic struct {
+	// Messages is the number of payloads handed to the network.
+	Messages uint64
+	// Bytes is the total payload bytes handed to the network.
+	Bytes uint64
+	// Dropped counts messages discarded because the source or
+	// destination had been detached (churned out by P4).
+	Dropped uint64
+	// Late counts deliveries whose total delay (queueing + propagation)
+	// exceeded Delta — a sign the configured Delta is too small for the
+	// offered load, exactly the condition that forced the authors to
+	// raise Delta for the ERNG runs.
+	Late uint64
+}
+
+// Network is the simulated network. It is single-threaded: all sends and
+// deliveries happen on the event loop of the underlying vclock.Sim.
+type Network struct {
+	sim      *vclock.Sim
+	cfg      Config
+	rng      *rand.Rand
+	handlers []Handler
+	detached []bool
+	linkFree time.Duration
+	traffic  Traffic
+	perNode  []Traffic
+}
+
+// New creates a network of cfg.N disconnected ports on the given simulator.
+func New(sim *vclock.Sim, cfg Config) (*Network, error) {
+	if sim == nil {
+		return nil, errors.New("simnet: nil simulator")
+	}
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("simnet: invalid node count %d", cfg.N)
+	}
+	if cfg.Delta <= 0 {
+		return nil, fmt.Errorf("simnet: invalid delta %v", cfg.Delta)
+	}
+	if cfg.BaseLatency <= 0 {
+		cfg.BaseLatency = cfg.Delta / 10
+	}
+	if cfg.BaseLatency > cfg.Delta {
+		return nil, fmt.Errorf("simnet: base latency %v exceeds delta %v", cfg.BaseLatency, cfg.Delta)
+	}
+	return &Network{
+		sim:      sim,
+		cfg:      cfg,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		handlers: make([]Handler, cfg.N),
+		detached: make([]bool, cfg.N),
+		perNode:  make([]Traffic, cfg.N),
+	}, nil
+}
+
+// Sim returns the simulator driving this network.
+func (n *Network) Sim() *vclock.Sim { return n.sim }
+
+// Config returns the network configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Now returns the current virtual time.
+func (n *Network) Now() time.Duration { return n.sim.Now() }
+
+// After schedules fn after the given virtual delay. It exists so protocol
+// runtimes can depend on a narrow scheduling interface.
+func (n *Network) After(d time.Duration, fn func()) {
+	n.sim.After(d, fn)
+}
+
+// SetHandler registers the delivery callback for a node.
+func (n *Network) SetHandler(id wire.NodeID, h Handler) {
+	n.handlers[id] = h
+}
+
+// AddNode grows the network by one node and returns its id (dynamic
+// membership, Appendix G).
+func (n *Network) AddNode() wire.NodeID {
+	id := wire.NodeID(len(n.handlers))
+	n.handlers = append(n.handlers, nil)
+	n.detached = append(n.detached, false)
+	n.perNode = append(n.perNode, Traffic{})
+	n.cfg.N++
+	return id
+}
+
+// Detach removes a node from the network: subsequent sends from or to it
+// are dropped. This is the transport-level effect of halt-on-divergence.
+func (n *Network) Detach(id wire.NodeID) {
+	n.detached[int(id)] = true
+}
+
+// Detached reports whether a node has been detached.
+func (n *Network) Detached(id wire.NodeID) bool {
+	return n.detached[int(id)]
+}
+
+// Send transmits payload from src to dst. Ownership of payload passes to
+// the network; callers must not mutate it afterwards. Delivery is
+// scheduled on the simulator after queueing and propagation delay.
+func (n *Network) Send(src, dst wire.NodeID, payload []byte) {
+	if int(src) >= len(n.handlers) || int(dst) >= len(n.handlers) || src == dst {
+		return
+	}
+	if n.detached[int(src)] || n.detached[int(dst)] {
+		n.traffic.Dropped++
+		return
+	}
+	size := len(payload)
+	n.traffic.Messages++
+	n.traffic.Bytes += uint64(size)
+	n.perNode[int(src)].Messages++
+	n.perNode[int(src)].Bytes += uint64(size)
+
+	now := n.sim.Now()
+	start := now
+	if n.cfg.Bandwidth > 0 {
+		if n.linkFree > start {
+			start = n.linkFree
+		}
+		tx := time.Duration(float64(size) / n.cfg.Bandwidth * float64(time.Second))
+		n.linkFree = start + tx
+		start = n.linkFree
+	}
+	// Latency is strictly below Delta so that a message sent at a round
+	// boundary is always delivered before the next boundary's lockstep
+	// tick, never exactly on it.
+	latency := n.cfg.BaseLatency
+	if spread := n.cfg.Delta - n.cfg.BaseLatency; spread > 0 {
+		latency += time.Duration(n.rng.Int63n(int64(spread)))
+	}
+	arrival := start + latency
+	if arrival-now > n.cfg.Delta {
+		n.traffic.Late++
+	}
+	n.sim.At(arrival, func() {
+		// Only the destination is re-checked at delivery time: envelopes
+		// already in flight when their sender halts still arrive, as they
+		// would on a real network.
+		if n.detached[int(dst)] {
+			n.traffic.Dropped++
+			return
+		}
+		if h := n.handlers[int(dst)]; h != nil {
+			h(src, payload)
+		}
+	})
+}
+
+// Traffic returns a snapshot of the aggregate traffic counters.
+func (n *Network) Traffic() Traffic { return n.traffic }
+
+// NodeTraffic returns a snapshot of one node's outbound traffic counters.
+func (n *Network) NodeTraffic(id wire.NodeID) Traffic { return n.perNode[int(id)] }
+
+// ResetTraffic zeroes all traffic counters. Experiments call it between
+// the setup phase and the measured protocol instance so Figure 3 reports
+// protocol traffic only, like the paper.
+func (n *Network) ResetTraffic() {
+	n.traffic = Traffic{}
+	for i := range n.perNode {
+		n.perNode[i] = Traffic{}
+	}
+}
+
+// Port binds a node id to the network behind the narrow Transport-style
+// interface protocol runtimes use.
+type Port struct {
+	net *Network
+	id  wire.NodeID
+}
+
+// Port returns the port for a node.
+func (n *Network) Port(id wire.NodeID) *Port {
+	return &Port{net: n, id: id}
+}
+
+// ID returns the node id this port belongs to.
+func (p *Port) ID() wire.NodeID { return p.id }
+
+// Send transmits payload to dst.
+func (p *Port) Send(dst wire.NodeID, payload []byte) {
+	p.net.Send(p.id, dst, payload)
+}
+
+// SetHandler registers the delivery callback. The parameter uses the raw
+// function type so *Port satisfies transport interfaces declared in other
+// packages.
+func (p *Port) SetHandler(h func(src wire.NodeID, payload []byte)) {
+	p.net.SetHandler(p.id, h)
+}
+
+// Detach removes this node from the network.
+func (p *Port) Detach() {
+	p.net.Detach(p.id)
+}
+
+// After schedules fn after the given virtual delay.
+func (p *Port) After(d time.Duration, fn func()) {
+	p.net.After(d, fn)
+}
+
+// Now returns the current virtual time.
+func (p *Port) Now() time.Duration {
+	return p.net.Now()
+}

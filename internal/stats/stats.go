@@ -1,0 +1,171 @@
+// Package stats provides the small statistical toolbox shared by the
+// ERNG cluster sizing, the unbiasedness experiments and the experiment
+// harness: summary statistics, per-bit bias estimation for protocol
+// outputs (Definition 2.2), chi-square uniformity checks and power-law
+// fits for the complexity tables.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"sgxp2p/internal/wire"
+)
+
+// ErrNoData is returned by estimators invoked on empty samples.
+var ErrNoData = errors.New("stats: no data")
+
+// Mean returns the arithmetic mean.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrNoData
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs)), nil
+}
+
+// StdDev returns the sample standard deviation.
+func StdDev(xs []float64) (float64, error) {
+	if len(xs) < 2 {
+		return 0, ErrNoData
+	}
+	m, err := Mean(xs)
+	if err != nil {
+		return 0, err
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1)), nil
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using nearest-rank
+// on a sorted copy.
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrNoData
+	}
+	if p < 0 || p > 100 {
+		return 0, errors.New("stats: percentile out of range")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p == 0 {
+		return sorted[0], nil
+	}
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank], nil
+}
+
+// BitBias estimates the empirical bias of protocol outputs: for every bit
+// position of the 256-bit values it computes |freq(1) - 0.5|, and returns
+// the maximum over positions. For an unbiased generator this converges to
+// 0 at rate ~ 1/(2*sqrt(n)).
+func BitBias(values []wire.Value) (float64, error) {
+	if len(values) == 0 {
+		return 0, ErrNoData
+	}
+	const bits = wire.ValueSize * 8
+	ones := make([]int, bits)
+	for _, v := range values {
+		for i := 0; i < bits; i++ {
+			if v[i/8]&(1<<uint(i%8)) != 0 {
+				ones[i]++
+			}
+		}
+	}
+	var worst float64
+	n := float64(len(values))
+	for _, c := range ones {
+		if d := math.Abs(float64(c)/n - 0.5); d > worst {
+			worst = d
+		}
+	}
+	return worst, nil
+}
+
+// BitBiasThreshold returns a rejection threshold for BitBias at roughly
+// z standard deviations given n samples: values above it indicate bias.
+func BitBiasThreshold(n int, z float64) float64 {
+	if n <= 0 {
+		return 1
+	}
+	return z / (2 * math.Sqrt(float64(n)))
+}
+
+// ChiSquareUniform computes the chi-square statistic of observed counts
+// against a uniform expectation. The caller compares the statistic to a
+// critical value for len(counts)-1 degrees of freedom.
+func ChiSquareUniform(counts []int) (float64, error) {
+	if len(counts) < 2 {
+		return 0, ErrNoData
+	}
+	total := 0
+	for _, c := range counts {
+		if c < 0 {
+			return 0, errors.New("stats: negative count")
+		}
+		total += c
+	}
+	if total == 0 {
+		return 0, ErrNoData
+	}
+	expected := float64(total) / float64(len(counts))
+	var chi float64
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi += d * d / expected
+	}
+	return chi, nil
+}
+
+// FitPowerLaw fits y = a*x^k by least squares in log-log space and returns
+// the exponent k and coefficient a. It is used by the complexity tables to
+// verify that measured message counts grow as N^2 (ERB) versus N^3
+// (baselines). All inputs must be positive.
+func FitPowerLaw(xs, ys []float64) (exponent, coeff float64, err error) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0, 0, ErrNoData
+	}
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			return 0, 0, errors.New("stats: power-law fit needs positive data")
+		}
+		lx, ly := math.Log(xs[i]), math.Log(ys[i])
+		sx += lx
+		sy += ly
+		sxx += lx * lx
+		sxy += lx * ly
+	}
+	n := float64(len(xs))
+	denom := n*sxx - sx*sx
+	if denom == 0 {
+		return 0, 0, errors.New("stats: degenerate x values")
+	}
+	exponent = (n*sxy - sx*sy) / denom
+	coeff = math.Exp((sy - exponent*sx) / n)
+	return exponent, coeff, nil
+}
+
+// XORFold combines protocol outputs as the ERNG does and is shared by
+// tests that need the reference combination.
+func XORFold(values []wire.Value) wire.Value {
+	var out wire.Value
+	for _, v := range values {
+		out = out.XOR(v)
+	}
+	return out
+}

@@ -1,0 +1,201 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sgxp2p/internal/wire"
+)
+
+func TestMean(t *testing.T) {
+	if _, err := Mean(nil); err != ErrNoData {
+		t.Fatal("empty mean must error")
+	}
+	m, err := Mean([]float64{1, 2, 3, 4})
+	if err != nil || m != 2.5 {
+		t.Fatalf("mean = %v, %v", m, err)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if _, err := StdDev([]float64{1}); err != ErrNoData {
+		t.Fatal("single-element stddev must error")
+	}
+	s, err := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-2.138) > 0.01 {
+		t.Fatalf("stddev = %v, want ~2.138", s)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 9, 3, 7}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {20, 1}, {50, 5}, {100, 9},
+	}
+	for _, tt := range tests {
+		got, err := Percentile(xs, tt.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tt.want {
+			t.Errorf("p%v = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	if _, err := Percentile(nil, 50); err != ErrNoData {
+		t.Error("empty percentile must error")
+	}
+	if _, err := Percentile(xs, 101); err == nil {
+		t.Error("out-of-range percentile accepted")
+	}
+}
+
+func TestBitBiasUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	values := make([]wire.Value, 4000)
+	for i := range values {
+		rng.Read(values[i][:])
+	}
+	bias, err := BitBias(values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if thr := BitBiasThreshold(len(values), 5); bias > thr {
+		t.Fatalf("uniform data reported bias %v above threshold %v", bias, thr)
+	}
+}
+
+func TestBitBiasDetectsSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	values := make([]wire.Value, 4000)
+	for i := range values {
+		rng.Read(values[i][:])
+		values[i][0] |= 1 // bit 0 always set
+	}
+	bias, err := BitBias(values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bias < 0.4 {
+		t.Fatalf("stuck bit reported bias %v, want ~0.5", bias)
+	}
+	if _, err := BitBias(nil); err != ErrNoData {
+		t.Fatal("empty BitBias must error")
+	}
+}
+
+func TestChiSquareUniform(t *testing.T) {
+	if _, err := ChiSquareUniform([]int{5}); err != ErrNoData {
+		t.Error("single bucket must error")
+	}
+	if _, err := ChiSquareUniform([]int{0, 0}); err != ErrNoData {
+		t.Error("zero total must error")
+	}
+	if _, err := ChiSquareUniform([]int{3, -1}); err == nil {
+		t.Error("negative count accepted")
+	}
+	flat, err := ChiSquareUniform([]int{100, 100, 100, 100})
+	if err != nil || flat != 0 {
+		t.Fatalf("flat chi-square = %v, %v", flat, err)
+	}
+	skewed, err := ChiSquareUniform([]int{400, 0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skewed < 100 {
+		t.Fatalf("skewed chi-square = %v, want large", skewed)
+	}
+}
+
+func TestFitPowerLawExact(t *testing.T) {
+	xs := []float64{8, 16, 32, 64}
+	quadratic := make([]float64, len(xs))
+	cubic := make([]float64, len(xs))
+	for i, x := range xs {
+		quadratic[i] = 3 * x * x
+		cubic[i] = 0.5 * x * x * x
+	}
+	k, a, err := FitPowerLaw(xs, quadratic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(k-2) > 1e-9 || math.Abs(a-3) > 1e-6 {
+		t.Fatalf("quadratic fit k=%v a=%v", k, a)
+	}
+	k, a, err = FitPowerLaw(xs, cubic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(k-3) > 1e-9 || math.Abs(a-0.5) > 1e-6 {
+		t.Fatalf("cubic fit k=%v a=%v", k, a)
+	}
+}
+
+func TestFitPowerLawValidation(t *testing.T) {
+	if _, _, err := FitPowerLaw([]float64{1}, []float64{1}); err != ErrNoData {
+		t.Error("short input accepted")
+	}
+	if _, _, err := FitPowerLaw([]float64{1, -2}, []float64{1, 2}); err == nil {
+		t.Error("negative x accepted")
+	}
+	if _, _, err := FitPowerLaw([]float64{2, 2}, []float64{1, 2}); err == nil {
+		t.Error("degenerate x accepted")
+	}
+}
+
+func TestXORFold(t *testing.T) {
+	a := wire.Value{1}
+	b := wire.Value{2}
+	if got := XORFold([]wire.Value{a, b}); got != (wire.Value{3}) {
+		t.Fatalf("XORFold = %v", got)
+	}
+	if got := XORFold(nil); !got.IsZero() {
+		t.Fatalf("empty fold = %v, want zero", got)
+	}
+}
+
+// Property: XORFold order-independence — any permutation folds to the same
+// value (needed for Sfinal agreement across nodes that observed different
+// delivery orders).
+func TestQuickXORFoldPermutation(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		values := make([]wire.Value, int(n%16)+1)
+		for i := range values {
+			rng.Read(values[i][:])
+		}
+		base := XORFold(values)
+		perm := rng.Perm(len(values))
+		shuffled := make([]wire.Value, len(values))
+		for i, j := range perm {
+			shuffled[i] = values[j]
+		}
+		return XORFold(shuffled) == base
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: XOR with a fresh uniform value yields (statistically) unbiased
+// output even when all other inputs are adversarial — the heart of
+// Theorem 5.1. We verify the one-sample algebraic core: folding any fixed
+// set with a uniform u is a bijection of u.
+func TestQuickXORBijective(t *testing.T) {
+	f := func(fixed wire.Value, u1, u2 wire.Value) bool {
+		if u1 == u2 {
+			return fixed.XOR(u1) == fixed.XOR(u2)
+		}
+		return fixed.XOR(u1) != fixed.XOR(u2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

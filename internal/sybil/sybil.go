@@ -1,0 +1,97 @@
+// Package sybil implements the computational-puzzle sybil defence the
+// paper's Appendix G (assumption S4) points to: joining the network is
+// rate-limited by a hashcash-style proof of work bound to the joiner's
+// attested identity, so an adversary cannot cheaply flood the membership
+// with byzantine nodes. (In the paper's deployment model the SGX CPU
+// itself already limits enclave count; the puzzle is the software-only
+// complement for join control.)
+package sybil
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"math/bits"
+)
+
+// Errors returned by puzzle verification.
+var (
+	// ErrBadSolution indicates a nonce that does not meet the difficulty.
+	ErrBadSolution = errors.New("sybil: solution does not meet difficulty")
+	// ErrDifficulty indicates an unusable difficulty parameter.
+	ErrDifficulty = errors.New("sybil: difficulty out of range [0, 64]")
+	// ErrExhausted indicates Solve ran out of nonce budget.
+	ErrExhausted = errors.New("sybil: nonce budget exhausted")
+)
+
+// Puzzle is a proof-of-work challenge: find a nonce such that
+// SHA-256(tag || challenge || binding || nonce) has at least Difficulty
+// leading zero bits. The binding ties the solution to the joiner (e.g.
+// its attestation-quote digest) so solutions cannot be stockpiled or
+// transferred.
+type Puzzle struct {
+	// Challenge is the verifier-chosen randomness (e.g. a beacon output).
+	Challenge [32]byte
+	// Binding identifies the solver; a solution only verifies with it.
+	Binding []byte
+	// Difficulty is the required number of leading zero bits (0..64).
+	Difficulty int
+}
+
+// digest computes the puzzle hash for a nonce.
+func (p Puzzle) digest(nonce uint64) [32]byte {
+	h := sha256.New()
+	h.Write([]byte("sgxp2p/sybil/v1/"))
+	h.Write(p.Challenge[:])
+	h.Write(p.Binding)
+	var nb [8]byte
+	binary.LittleEndian.PutUint64(nb[:], nonce)
+	h.Write(nb[:])
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// leadingZeroBits counts leading zero bits of a digest prefix.
+func leadingZeroBits(d [32]byte) int {
+	hi := binary.BigEndian.Uint64(d[:8])
+	if hi != 0 {
+		return bits.LeadingZeros64(hi)
+	}
+	lo := binary.BigEndian.Uint64(d[8:16])
+	return 64 + bits.LeadingZeros64(lo)
+}
+
+// Verify checks a solution nonce.
+func (p Puzzle) Verify(nonce uint64) error {
+	if p.Difficulty < 0 || p.Difficulty > 64 {
+		return ErrDifficulty
+	}
+	if leadingZeroBits(p.digest(nonce)) < p.Difficulty {
+		return ErrBadSolution
+	}
+	return nil
+}
+
+// Solve searches nonces from 0 upward, up to budget attempts (0 means
+// 2^Difficulty * 64, comfortably above the ~2^Difficulty expectation).
+func (p Puzzle) Solve(budget uint64) (uint64, error) {
+	if p.Difficulty < 0 || p.Difficulty > 64 {
+		return 0, ErrDifficulty
+	}
+	if budget == 0 {
+		budget = uint64(64) << uint(p.Difficulty)
+	}
+	for nonce := uint64(0); nonce < budget; nonce++ {
+		if leadingZeroBits(p.digest(nonce)) >= p.Difficulty {
+			return nonce, nil
+		}
+	}
+	return 0, ErrExhausted
+}
+
+// Work estimates the expected number of hash evaluations a solver must
+// perform: 2^Difficulty.
+func Work(difficulty int) float64 {
+	return float64(uint64(1) << uint(difficulty))
+}

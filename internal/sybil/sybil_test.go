@@ -1,0 +1,133 @@
+package sybil
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func puzzle(diff int, seed int64, binding string) Puzzle {
+	var p Puzzle
+	rand.New(rand.NewSource(seed)).Read(p.Challenge[:])
+	p.Binding = []byte(binding)
+	p.Difficulty = diff
+	return p
+}
+
+func TestSolveVerifyRoundTrip(t *testing.T) {
+	for diff := 0; diff <= 12; diff += 3 {
+		p := puzzle(diff, int64(diff), "node-7")
+		nonce, err := p.Solve(0)
+		if err != nil {
+			t.Fatalf("difficulty %d: %v", diff, err)
+		}
+		if err := p.Verify(nonce); err != nil {
+			t.Fatalf("difficulty %d: own solution rejected: %v", diff, err)
+		}
+	}
+}
+
+func TestVerifyRejectsWrongNonce(t *testing.T) {
+	p := puzzle(12, 1, "node-7")
+	nonce, err := p.Solve(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rejected := 0
+	for delta := uint64(1); delta <= 8; delta++ {
+		if err := p.Verify(nonce + delta); err != nil {
+			rejected++
+		}
+	}
+	if rejected < 7 {
+		t.Fatalf("only %d/8 perturbed nonces rejected at difficulty 12", rejected)
+	}
+}
+
+func TestSolutionBoundToIdentity(t *testing.T) {
+	// A solution for one binding must not transfer to another (no
+	// stockpiling sybil identities).
+	a := puzzle(12, 2, "quote-digest-A")
+	b := puzzle(12, 2, "quote-digest-B")
+	nonce, err := a.Solve(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Verify(nonce); err == nil {
+		t.Fatal("solution transferred across bindings")
+	}
+}
+
+func TestSolutionBoundToChallenge(t *testing.T) {
+	a := puzzle(12, 3, "x")
+	b := puzzle(12, 4, "x")
+	nonce, err := a.Solve(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Verify(nonce); err == nil {
+		t.Fatal("solution transferred across challenges")
+	}
+}
+
+func TestDifficultyValidation(t *testing.T) {
+	p := puzzle(65, 5, "x")
+	if _, err := p.Solve(0); err != ErrDifficulty {
+		t.Fatalf("Solve: %v, want ErrDifficulty", err)
+	}
+	if err := p.Verify(0); err != ErrDifficulty {
+		t.Fatalf("Verify: %v, want ErrDifficulty", err)
+	}
+	p.Difficulty = -1
+	if _, err := p.Solve(0); err != ErrDifficulty {
+		t.Fatalf("Solve(-1): %v, want ErrDifficulty", err)
+	}
+}
+
+func TestBudgetExhaustion(t *testing.T) {
+	p := puzzle(40, 6, "x")
+	if _, err := p.Solve(4); err != ErrExhausted {
+		t.Fatalf("tiny budget at difficulty 40: %v, want ErrExhausted", err)
+	}
+}
+
+func TestZeroDifficultyAlwaysVerifies(t *testing.T) {
+	p := puzzle(0, 7, "x")
+	for nonce := uint64(0); nonce < 16; nonce++ {
+		if err := p.Verify(nonce); err != nil {
+			t.Fatalf("nonce %d rejected at difficulty 0", nonce)
+		}
+	}
+}
+
+func TestWorkDoubles(t *testing.T) {
+	if Work(5) != 32 || Work(6) != 64 {
+		t.Fatalf("Work(5)=%v Work(6)=%v", Work(5), Work(6))
+	}
+}
+
+// Property: any solution returned by Solve verifies, for random
+// challenges, bindings and small difficulties.
+func TestQuickSolveAlwaysVerifies(t *testing.T) {
+	f := func(seed int64, binding []byte, diffRaw uint8) bool {
+		p := Puzzle{Binding: binding, Difficulty: int(diffRaw % 10)}
+		rand.New(rand.NewSource(seed)).Read(p.Challenge[:])
+		nonce, err := p.Solve(0)
+		if err != nil {
+			return false
+		}
+		return p.Verify(nonce) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSolveDifficulty12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := puzzle(12, int64(i), "bench")
+		if _, err := p.Solve(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

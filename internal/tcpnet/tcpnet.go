@@ -1,0 +1,300 @@
+// Package tcpnet implements the runtime.Transport interface over real TCP
+// connections, so the enclaved protocols run unmodified over an actual
+// network stack (the live-demo counterpart of internal/simnet, as the
+// paper's prototype ran on DeterLab machines).
+//
+// Framing is a minimal length-prefixed format:
+//
+//	src uint32 | len uint32 | payload [len]byte
+//
+// Each Port owns one event loop goroutine; message deliveries and timer
+// callbacks are serialized onto it, giving protocols the same
+// single-threaded execution model they have in the simulator.
+package tcpnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"sgxp2p/internal/runtime"
+	"sgxp2p/internal/wire"
+)
+
+// maxFrame bounds accepted payload sizes (defense against garbage input).
+const maxFrame = 1 << 20
+
+// loopBuffer is the event-loop queue depth.
+const loopBuffer = 4096
+
+// Port is a TCP-backed transport for one node.
+type Port struct {
+	self   wire.NodeID
+	ln     net.Listener
+	origin time.Time
+
+	mu      sync.Mutex
+	addrs   map[wire.NodeID]string
+	conns   map[wire.NodeID]*outConn
+	inbound map[net.Conn]struct{}
+	handler func(src wire.NodeID, payload []byte)
+	closed  bool
+
+	loop chan func()
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+var _ runtime.Transport = (*Port)(nil)
+
+// outConn is an outbound connection with an async writer.
+type outConn struct {
+	conn net.Conn
+	ch   chan []byte
+}
+
+// Listen opens a listening socket for a node. Use Addr to learn the bound
+// address (pass "127.0.0.1:0" for an ephemeral port), then Connect to
+// install the address table once all peers are known.
+func Listen(self wire.NodeID, addr string) (*Port, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet: listen %s: %w", addr, err)
+	}
+	p := &Port{
+		self:    self,
+		ln:      ln,
+		origin:  time.Now(),
+		addrs:   make(map[wire.NodeID]string),
+		conns:   make(map[wire.NodeID]*outConn),
+		inbound: make(map[net.Conn]struct{}),
+		loop:    make(chan func(), loopBuffer),
+		done:    make(chan struct{}),
+	}
+	p.wg.Add(2)
+	go p.acceptLoop()
+	go p.runLoop()
+	return p, nil
+}
+
+// Addr returns the bound listen address.
+func (p *Port) Addr() string { return p.ln.Addr().String() }
+
+// Connect installs the peer address table.
+func (p *Port) Connect(addrs map[wire.NodeID]string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for id, a := range addrs {
+		p.addrs[id] = a
+	}
+}
+
+// SetOrigin re-anchors the transport clock, letting multiple processes
+// agree on a common time origin (the synchronized start, assumption S2).
+func (p *Port) SetOrigin(t time.Time) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.origin = t
+}
+
+// Now implements runtime.Transport.
+func (p *Port) Now() time.Duration {
+	p.mu.Lock()
+	origin := p.origin
+	p.mu.Unlock()
+	return time.Since(origin)
+}
+
+// SetHandler implements runtime.Transport.
+func (p *Port) SetHandler(h func(src wire.NodeID, payload []byte)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.handler = h
+}
+
+// After implements runtime.Transport: fn runs on the event loop.
+func (p *Port) After(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	time.AfterFunc(d, func() { p.post(fn) })
+}
+
+// post enqueues fn on the event loop, dropping it if the port is closed.
+func (p *Port) post(fn func()) {
+	select {
+	case <-p.done:
+	case p.loop <- fn:
+	}
+}
+
+// runLoop executes posted callbacks serially.
+func (p *Port) runLoop() {
+	defer p.wg.Done()
+	for {
+		select {
+		case <-p.done:
+			return
+		case fn := <-p.loop:
+			fn()
+		}
+	}
+}
+
+// Send implements runtime.Transport.
+func (p *Port) Send(dst wire.NodeID, payload []byte) {
+	oc, err := p.outbound(dst)
+	if err != nil {
+		return // unreachable peer: equivalent to an omission
+	}
+	frame := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(frame, uint32(p.self))
+	binary.LittleEndian.PutUint32(frame[4:], uint32(len(payload)))
+	copy(frame[8:], payload)
+	select {
+	case oc.ch <- frame:
+	case <-p.done:
+	default:
+		// Writer queue full: drop (bounded memory; omission-equivalent).
+	}
+}
+
+// outbound returns (dialing if necessary) the connection to dst.
+func (p *Port) outbound(dst wire.NodeID) (*outConn, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, errors.New("tcpnet: closed")
+	}
+	if oc, ok := p.conns[dst]; ok {
+		p.mu.Unlock()
+		return oc, nil
+	}
+	addr, ok := p.addrs[dst]
+	p.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("tcpnet: no address for peer %d", dst)
+	}
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet: dial %d@%s: %w", dst, addr, err)
+	}
+	oc := &outConn{conn: conn, ch: make(chan []byte, 1024)}
+	p.mu.Lock()
+	if existing, ok := p.conns[dst]; ok {
+		p.mu.Unlock()
+		_ = conn.Close()
+		return existing, nil
+	}
+	p.conns[dst] = oc
+	p.mu.Unlock()
+	p.wg.Add(1)
+	go p.writeLoop(oc)
+	return oc, nil
+}
+
+// writeLoop drains an outbound queue onto its connection.
+func (p *Port) writeLoop(oc *outConn) {
+	defer p.wg.Done()
+	defer oc.conn.Close()
+	for {
+		select {
+		case <-p.done:
+			return
+		case frame := <-oc.ch:
+			if _, err := oc.conn.Write(frame); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// acceptLoop accepts inbound connections.
+func (p *Port) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		p.inbound[conn] = struct{}{}
+		p.mu.Unlock()
+		p.wg.Add(1)
+		go p.readLoop(conn)
+	}
+}
+
+// readLoop parses frames off one inbound connection and posts them to the
+// event loop.
+func (p *Port) readLoop(conn net.Conn) {
+	defer p.wg.Done()
+	defer func() {
+		_ = conn.Close()
+		p.mu.Lock()
+		delete(p.inbound, conn)
+		p.mu.Unlock()
+	}()
+	header := make([]byte, 8)
+	for {
+		if _, err := io.ReadFull(conn, header); err != nil {
+			return
+		}
+		src := wire.NodeID(binary.LittleEndian.Uint32(header))
+		size := binary.LittleEndian.Uint32(header[4:])
+		if size > maxFrame {
+			return
+		}
+		payload := make([]byte, size)
+		if _, err := io.ReadFull(conn, payload); err != nil {
+			return
+		}
+		p.post(func() {
+			p.mu.Lock()
+			h := p.handler
+			closed := p.closed
+			p.mu.Unlock()
+			if h != nil && !closed {
+				h(src, payload)
+			}
+		})
+	}
+}
+
+// Detach implements runtime.Transport: the node leaves the network.
+func (p *Port) Detach() { p.Close() }
+
+// Close shuts the port down and waits for its goroutines.
+func (p *Port) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	conns := p.conns
+	p.conns = make(map[wire.NodeID]*outConn)
+	inbound := make([]net.Conn, 0, len(p.inbound))
+	for c := range p.inbound {
+		inbound = append(inbound, c)
+	}
+	p.mu.Unlock()
+	close(p.done)
+	_ = p.ln.Close()
+	for _, oc := range conns {
+		_ = oc.conn.Close()
+	}
+	for _, c := range inbound {
+		_ = c.Close()
+	}
+	p.wg.Wait()
+}

@@ -1,0 +1,180 @@
+package tcpnet_test
+
+import (
+	"crypto/rand"
+	"testing"
+	"time"
+
+	"sgxp2p/internal/core/erb"
+	"sgxp2p/internal/enclave"
+	"sgxp2p/internal/runtime"
+	"sgxp2p/internal/tcpnet"
+	"sgxp2p/internal/wire"
+	"sgxp2p/internal/xcrypto"
+)
+
+func TestFrameDelivery(t *testing.T) {
+	a, err := tcpnet.Listen(0, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := tcpnet.Listen(1, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	a.Connect(map[wire.NodeID]string{1: b.Addr()})
+
+	got := make(chan string, 1)
+	b.SetHandler(func(src wire.NodeID, payload []byte) {
+		if src == 0 {
+			got <- string(payload)
+		}
+	})
+	a.Send(1, []byte("over tcp"))
+	select {
+	case s := <-got:
+		if s != "over tcp" {
+			t.Fatalf("payload %q", s)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("timeout waiting for delivery")
+	}
+}
+
+func TestAfterRunsOnLoop(t *testing.T) {
+	p, err := tcpnet.Listen(0, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	done := make(chan struct{})
+	p.After(10*time.Millisecond, func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("After callback never ran")
+	}
+	if p.Now() <= 0 {
+		t.Fatal("Now must advance")
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	p, err := tcpnet.Listen(0, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	p.Close()
+	p.Detach()
+	p.Send(1, []byte("dropped")) // must not panic after close
+}
+
+// finishProbe wraps an ERB engine and signals completion.
+type finishProbe struct {
+	eng  *erb.Engine
+	done chan struct{}
+}
+
+func (f *finishProbe) OnRound(rnd uint32)          { f.eng.OnRound(rnd) }
+func (f *finishProbe) OnMessage(msg *wire.Message) { f.eng.OnMessage(msg) }
+func (f *finishProbe) OnFinish()                   { f.eng.OnFinish(); close(f.done) }
+
+func TestERBOverRealTCP(t *testing.T) {
+	// End-to-end: 5 enclaved peers with real AES+HMAC channels over real
+	// TCP sockets on localhost run one ERB broadcast.
+	const n, byz = 5, 2
+	const delta = 150 * time.Millisecond
+
+	ports := make([]*tcpnet.Port, n)
+	addrs := make(map[wire.NodeID]string, n)
+	for i := 0; i < n; i++ {
+		p, err := tcpnet.Listen(wire.NodeID(i), "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Close()
+		ports[i] = p
+		addrs[wire.NodeID(i)] = p.Addr()
+	}
+	origin := time.Now()
+	for _, p := range ports {
+		p.Connect(addrs)
+		p.SetOrigin(origin)
+	}
+
+	service, err := enclave.NewAttestationService(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	program := []byte("erb-over-tcp-v1")
+	encls := make([]*enclave.Enclave, n)
+	roster := runtime.Roster{
+		Quotes:      make([]enclave.Quote, n),
+		ServiceKey:  service.VerifyKey(),
+		Measurement: measurement(program),
+	}
+	clock := enclave.NewWallClock()
+	for i := 0; i < n; i++ {
+		e, err := enclave.Launch(program, wire.NodeID(i), rand.Reader, clock)
+		if err != nil {
+			t.Fatal(err)
+		}
+		encls[i] = e
+		roster.Quotes[i] = service.Attest(e)
+	}
+
+	peers := make([]*runtime.Peer, n)
+	for i := 0; i < n; i++ {
+		p, err := runtime.NewPeer(encls[i], ports[i], roster, runtime.Config{
+			N: n, T: byz, Delta: delta,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		peers[i] = p
+	}
+	if err := runtime.Setup(peers); err != nil {
+		t.Fatal(err)
+	}
+
+	probes := make([]*finishProbe, n)
+	for i := 0; i < n; i++ {
+		eng, err := erb.NewEngine(peers[i], erb.Config{T: byz, ExpectedInitiators: []wire.NodeID{0}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		probes[i] = &finishProbe{eng: eng, done: make(chan struct{})}
+		if i == 0 {
+			eng.SetInput(wire.Value{0xCA, 0xFE})
+		}
+	}
+	// Start on each node's event loop: peer state is loop-confined.
+	for i := 0; i < n; i++ {
+		i := i
+		ports[i].After(0, func() {
+			peers[i].Start(probes[i], probes[i].eng.Rounds())
+		})
+	}
+
+	deadline := time.After(time.Duration(byz+4) * 2 * delta * 4)
+	for i := 0; i < n; i++ {
+		select {
+		case <-probes[i].done:
+		case <-deadline:
+			t.Fatalf("peer %d did not finish in time", i)
+		}
+	}
+	for i := 0; i < n; i++ {
+		res, ok := probes[i].eng.Result(0)
+		if !ok || !res.Accepted || res.Value != (wire.Value{0xCA, 0xFE}) {
+			t.Fatalf("peer %d: %+v ok=%v", i, res, ok)
+		}
+	}
+}
+
+func measurement(program []byte) xcrypto.Measurement {
+	return xcrypto.Measure(program)
+}

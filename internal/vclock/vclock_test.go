@@ -1,0 +1,287 @@
+package vclock
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRunFiresInTimeOrder(t *testing.T) {
+	s := New()
+	var got []time.Duration
+	for _, d := range []time.Duration{5, 1, 3, 2, 4} {
+		d := d * time.Second
+		s.At(d, func() { got = append(got, d) })
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatalf("events fired out of order: %v", got)
+	}
+	if len(got) != 5 {
+		t.Fatalf("fired %d events, want 5", len(got))
+	}
+	if s.Now() != 5*time.Second {
+		t.Fatalf("clock = %v, want 5s", s.Now())
+	}
+}
+
+func TestEqualTimesFireFIFO(t *testing.T) {
+	s := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(time.Second, func() { got = append(got, i) })
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("FIFO tie-break violated: %v", got)
+		}
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	s := New()
+	var at time.Duration
+	s.At(2*time.Second, func() {
+		s.After(3*time.Second, func() { at = s.Now() })
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 5*time.Second {
+		t.Fatalf("After fired at %v, want 5s", at)
+	}
+}
+
+func TestPastEventsClampToNow(t *testing.T) {
+	s := New()
+	var fired bool
+	s.At(10*time.Second, func() {
+		s.At(time.Second, func() { fired = true }) // in the past
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("clamped event never fired")
+	}
+	if s.Now() != 10*time.Second {
+		t.Fatalf("clock moved backwards: %v", s.Now())
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	fired := false
+	e := s.At(time.Second, func() { fired = true })
+	s.Cancel(e)
+	s.Cancel(e) // idempotent
+	s.Cancel(nil)
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !e.Cancelled() {
+		t.Fatal("event should report cancelled")
+	}
+}
+
+func TestCancelMiddleOfQueue(t *testing.T) {
+	s := New()
+	var got []int
+	var events []*Event
+	for i := 0; i < 20; i++ {
+		i := i
+		events = append(events, s.At(time.Duration(i)*time.Second, func() { got = append(got, i) }))
+	}
+	for i := 0; i < 20; i += 2 {
+		s.Cancel(events[i])
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("fired %d events, want 10", len(got))
+	}
+	for _, v := range got {
+		if v%2 == 0 {
+			t.Fatalf("cancelled event %d fired", v)
+		}
+	}
+}
+
+func TestStop(t *testing.T) {
+	s := New()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		s.At(time.Duration(i)*time.Second, func() {
+			count++
+			if count == 3 {
+				s.Stop()
+			}
+		})
+	}
+	if err := s.Run(); err != ErrStopped {
+		t.Fatalf("Run = %v, want ErrStopped", err)
+	}
+	if count != 3 {
+		t.Fatalf("fired %d events before stop, want 3", count)
+	}
+}
+
+func TestDeadline(t *testing.T) {
+	s := New()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		s.At(time.Duration(i)*time.Second, func() { count++ })
+	}
+	s.SetDeadline(5 * time.Second)
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 5 {
+		t.Fatalf("fired %d events, want 5", count)
+	}
+	if s.Now() != 5*time.Second {
+		t.Fatalf("clock = %v, want deadline 5s", s.Now())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		s.At(time.Duration(i)*time.Second, func() { count++ })
+	}
+	s.RunUntil(3 * time.Second)
+	if count != 3 {
+		t.Fatalf("fired %d, want 3", count)
+	}
+	if s.Now() != 3*time.Second {
+		t.Fatalf("clock %v, want 3s", s.Now())
+	}
+	s.RunUntil(20 * time.Second)
+	if count != 10 {
+		t.Fatalf("fired %d, want 10", count)
+	}
+	if s.Now() != 20*time.Second {
+		t.Fatalf("clock %v, want 20s (RunUntil advances to target)", s.Now())
+	}
+}
+
+func TestPending(t *testing.T) {
+	s := New()
+	if s.Pending() != 0 {
+		t.Fatal("fresh sim has pending events")
+	}
+	s.At(time.Second, func() {})
+	s.At(2*time.Second, func() {})
+	if s.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", s.Pending())
+	}
+	s.Step()
+	if s.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", s.Pending())
+	}
+}
+
+func TestNilCallbackPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling nil callback must panic")
+		}
+	}()
+	New().At(time.Second, nil)
+}
+
+// Property: for any set of delays, Run fires every event exactly once in
+// nondecreasing time order and ends with the clock at the max delay.
+func TestQuickOrdering(t *testing.T) {
+	f := func(delays []uint16) bool {
+		s := New()
+		var fired []time.Duration
+		var max time.Duration
+		for _, d := range delays {
+			at := time.Duration(d) * time.Millisecond
+			if at > max {
+				max = at
+			}
+			s.At(at, func() { fired = append(fired, s.Now()) })
+		}
+		if err := s.Run(); err != nil {
+			return false
+		}
+		if len(fired) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(delays) == 0 || s.Now() == max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: interleaving random cancellations preserves exactly the
+// surviving events.
+func TestQuickCancellation(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := New()
+		fired := make(map[int]bool)
+		events := make([]*Event, n)
+		for i := 0; i < int(n); i++ {
+			i := i
+			events[i] = s.At(time.Duration(rng.Intn(100))*time.Millisecond, func() { fired[i] = true })
+		}
+		cancelled := make(map[int]bool)
+		for i := 0; i < int(n)/2; i++ {
+			j := rng.Intn(int(n))
+			s.Cancel(events[j])
+			cancelled[j] = true
+		}
+		if err := s.Run(); err != nil {
+			return false
+		}
+		for i := 0; i < int(n); i++ {
+			if cancelled[i] == fired[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	delays := make([]time.Duration, 10000)
+	for i := range delays {
+		delays[i] = time.Duration(rng.Intn(1e6)) * time.Microsecond
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := New()
+		for _, d := range delays {
+			s.At(d, func() {})
+		}
+		if err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

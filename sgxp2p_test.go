@@ -1,0 +1,222 @@
+package sgxp2p_test
+
+import (
+	"testing"
+
+	"sgxp2p"
+)
+
+func TestClusterBroadcast(t *testing.T) {
+	c, err := sgxp2p.NewCluster(sgxp2p.Options{N: 7, T: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.N() != 7 || c.T() != 3 {
+		t.Fatalf("N=%d T=%d", c.N(), c.T())
+	}
+	payload := sgxp2p.ValueFromString("block #42")
+	results, err := c.Broadcast(2, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 7 {
+		t.Fatalf("got %d results, want 7", len(results))
+	}
+	for id, res := range results {
+		if !res.Accepted || res.Value != payload {
+			t.Fatalf("node %d: %+v", id, res)
+		}
+	}
+	if tr := c.Traffic(); tr.Messages == 0 || tr.Bytes == 0 {
+		t.Fatal("no traffic recorded")
+	}
+}
+
+func TestClusterSequentialBroadcasts(t *testing.T) {
+	c, err := sgxp2p.NewCluster(sgxp2p.Options{N: 5, T: 2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ {
+		payload := sgxp2p.ValueFromString("msg")
+		results, err := c.Broadcast(sgxp2p.NodeID(round), payload)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		for id, res := range results {
+			if !res.Accepted {
+				t.Fatalf("round %d node %d rejected", round, id)
+			}
+		}
+	}
+}
+
+func TestClusterGenerateRandom(t *testing.T) {
+	c, err := sgxp2p.NewCluster(sgxp2p.Options{N: 5, T: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, err := c.GenerateRandom()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := c.GenerateRandom()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e1.OK || !e2.OK {
+		t.Fatalf("emissions not OK: %+v %+v", e1, e2)
+	}
+	if e1.Value == e2.Value {
+		t.Fatal("two epochs emitted the same value")
+	}
+}
+
+func TestClusterWithAdversary(t *testing.T) {
+	c, err := sgxp2p.NewCluster(sgxp2p.Options{
+		N: 7, T: 3, Seed: 4,
+		Adversary: map[sgxp2p.NodeID]sgxp2p.Behavior{
+			0: sgxp2p.OmitAll(),
+			1: sgxp2p.CorruptEverything(),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := sgxp2p.ValueFromString("despite attackers")
+	results, err := c.Broadcast(3, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := sgxp2p.NodeID(2); id < 7; id++ {
+		res, ok := results[id]
+		if !ok || !res.Accepted || res.Value != payload {
+			t.Fatalf("honest node %d: %+v ok=%v", id, res, ok)
+		}
+	}
+	if !c.Halted(0) {
+		t.Fatal("omit-all node not churned out")
+	}
+	if os := c.AdversaryState(1); os == nil || os.Stats().Corrupted == 0 {
+		t.Fatal("adversary state not exposed")
+	}
+	if c.AdversaryState(5) != nil {
+		t.Fatal("honest node has adversary state")
+	}
+}
+
+func TestClusterBeaconAndApps(t *testing.T) {
+	c, err := sgxp2p.NewCluster(sgxp2p.Options{N: 5, T: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.NewBeacon(sgxp2p.BeaconBasic)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sched, err := sgxp2p.NewKeySchedule(b, "transport")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1, err := sched.NextKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := sched.NextKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 == k2 {
+		t.Fatal("key schedule repeated a key")
+	}
+
+	bal, err := sgxp2p.NewBalancer(b, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign, err := bal.AssignBatch([]string{"t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spread := sgxp2p.AssignmentSpread(assign, 4)
+	total := 0
+	for _, n := range spread {
+		total += n
+	}
+	if total != 8 {
+		t.Fatalf("spread %v does not cover all tasks", spread)
+	}
+
+	walker, err := sgxp2p.NewWalker(b, sgxp2p.NewRing(16, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := walker.Walk(0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 11 {
+		t.Fatalf("walk length %d", len(path))
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	if _, err := sgxp2p.NewCluster(sgxp2p.Options{N: 1, T: 0}); err == nil {
+		t.Error("N=1 accepted")
+	}
+	if _, err := sgxp2p.NewCluster(sgxp2p.Options{N: 5, T: 3}); err == nil {
+		t.Error("T beyond bound accepted")
+	}
+	c, err := sgxp2p.NewCluster(sgxp2p.Options{N: 3, T: 1, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Broadcast(9, sgxp2p.Value{}); err == nil {
+		t.Error("out-of-range initiator accepted")
+	}
+}
+
+func TestClusterRealCrypto(t *testing.T) {
+	c, err := sgxp2p.NewCluster(sgxp2p.Options{N: 3, T: 1, Seed: 7, RealCrypto: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := c.Broadcast(0, sgxp2p.ValueFromString("aes for real"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, res := range results {
+		if !res.Accepted {
+			t.Fatalf("node %d rejected under real crypto", id)
+		}
+	}
+}
+
+func TestClusterJoin(t *testing.T) {
+	c, err := sgxp2p.NewCluster(sgxp2p.Options{N: 5, T: 2, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	newID, err := c.Join(sgxp2p.JoinOptions{Sponsor: 1, PuzzleDifficulty: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newID != 5 || c.N() != 6 {
+		t.Fatalf("newID=%d N=%d", newID, c.N())
+	}
+	// The newcomer can broadcast to everyone.
+	payload := sgxp2p.ValueFromString("fresh node")
+	results, err := c.Broadcast(newID, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 6 {
+		t.Fatalf("results = %d, want 6", len(results))
+	}
+	for id, res := range results {
+		if !res.Accepted || res.Value != payload {
+			t.Fatalf("node %d: %+v", id, res)
+		}
+	}
+}
