@@ -1,0 +1,30 @@
+# Tier-1 verification and benchmark entry points (see ROADMAP.md).
+
+GO ?= go
+
+.PHONY: build test vet race verify bench clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race-check the packages with real concurrency: the parallel deployment
+# builder, the sweep engine and the peer runtime underneath both.
+race:
+	$(GO) test -race ./internal/deploy/... ./internal/experiments/... ./internal/runtime/...
+
+# verify is the tier-1 gate: build, vet, full test suite, race subset.
+verify: build vet test race
+
+# bench regenerates BENCH_setup.json: setup/broadcast microbenchmarks plus
+# the fig2a/fig2b sweeps (ns/op and allocs/op) via cmd/p2pbench.
+bench:
+	$(GO) run ./cmd/p2pbench -o BENCH_setup.json
+
+clean:
+	$(GO) clean ./...

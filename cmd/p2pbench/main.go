@@ -1,0 +1,150 @@
+// Command p2pbench runs the repository's performance-critical benchmarks
+// in-process via testing.Benchmark and writes the results as JSON, so
+// regressions in the setup and sweep hot paths are caught by comparing
+// checked-in snapshots (BENCH_setup.json) instead of eyeballing `go test
+// -bench` output.
+//
+// Usage:
+//
+//	p2pbench                     # run all benchmarks, print JSON to stdout
+//	p2pbench -o BENCH_setup.json # also write the JSON to a file
+//	p2pbench -bench setup        # only benchmarks whose name contains "setup"
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"testing"
+	"time"
+
+	"sgxp2p"
+	"sgxp2p/internal/experiments"
+)
+
+// result is one benchmark measurement in the JSON snapshot.
+type result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Seconds     float64 `json:"seconds_per_op"`
+}
+
+// snapshot is the file layout of BENCH_setup.json.
+type snapshot struct {
+	GoVersion  string   `json:"go_version"`
+	GoMaxProcs int      `json:"gomaxprocs"`
+	Workers    int      `json:"workers"`
+	Results    []result `json:"results"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "p2pbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("p2pbench", flag.ContinueOnError)
+	var (
+		out     = fs.String("o", "", "also write the JSON snapshot to this file")
+		match   = fs.String("bench", "", "only run benchmarks whose name contains this substring")
+		workers = fs.Int("workers", 0, "worker pool size for the sweep benchmarks (0 = all cores)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	// Mirror cmd/p2pexp: the sweeps allocate heavily and transiently.
+	debug.SetGCPercent(400)
+
+	sweep := func(id string) func(b *testing.B) {
+		return func(b *testing.B) {
+			runner, err := experiments.Get(id)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := runner(experiments.Config{Seed: int64(i + 1), Workers: *workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	benches := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"cluster_setup_n128", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sgxp2p.NewCluster(sgxp2p.Options{N: 128, T: 63, Seed: int64(i)}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"cluster_broadcast_n64", func(b *testing.B) {
+			cluster, err := sgxp2p.NewCluster(sgxp2p.Options{N: 64, T: 31, Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			payload := sgxp2p.ValueFromString("bench")
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := cluster.Broadcast(0, payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"sweep_fig2a", sweep("fig2a")},
+		{"sweep_fig2b", sweep("fig2b")},
+	}
+
+	snap := snapshot{
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Workers:    *workers,
+	}
+	for _, bench := range benches {
+		if *match != "" && !strings.Contains(bench.name, *match) {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "running %s...\n", bench.name)
+		r := testing.Benchmark(bench.fn)
+		if r.N == 0 {
+			return fmt.Errorf("benchmark %s failed", bench.name)
+		}
+		snap.Results = append(snap.Results, result{
+			Name:        bench.name,
+			Iterations:  r.N,
+			NsPerOp:     r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Seconds:     time.Duration(r.NsPerOp()).Seconds(),
+		})
+	}
+
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if _, err := os.Stdout.Write(data); err != nil {
+		return err
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

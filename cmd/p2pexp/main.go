@@ -37,6 +37,7 @@ func run(args []string) error {
 		csv        = fs.Bool("csv", false, "emit CSV instead of aligned tables")
 		delta      = fs.Duration("delta", time.Second, "base one-way delivery bound (a round is 2*delta)")
 		unlimited  = fs.Bool("unlimited-bandwidth", false, "disable the shared-link model")
+		workers    = fs.Int("workers", 0, "goroutines sweeping independent data points (0 = all cores, 1 = serial); tables are identical for any value")
 		list       = fs.Bool("list", false, "list experiment ids and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -54,9 +55,10 @@ func run(args []string) error {
 	debug.SetGCPercent(400)
 
 	cfg := experiments.Config{
-		Full:  *full,
-		Seed:  *seed,
-		Delta: *delta,
+		Full:    *full,
+		Seed:    *seed,
+		Delta:   *delta,
+		Workers: *workers,
 	}
 	if *unlimited {
 		cfg.Bandwidth = experiments.Unlimited

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"time"
 
+	"sgxp2p/internal/parallel"
 	"sgxp2p/internal/runtime"
 	"sgxp2p/internal/simnet"
 	"sgxp2p/internal/vclock"
@@ -27,6 +28,11 @@ type DeployOptions struct {
 	// Wrap, when non-nil, wraps each node's transport (omission-fault /
 	// adversary injection, as in deploy.Options.Wrap).
 	Wrap func(id wire.NodeID, tr runtime.Transport) runtime.Transport
+	// Workers bounds the goroutines used for per-node key generation
+	// (0 = GOMAXPROCS, 1 = serial), as in deploy.Options.Workers. Each
+	// node's key derives from its own seeded RNG, so the deployment is
+	// identical for any worker count.
+	Workers int
 }
 
 // Deployment is a simulated network of plain (non-enclaved) peers.
@@ -60,14 +66,18 @@ func NewDeployment(opts DeployOptions) (*Deployment, error) {
 	if opts.PKI {
 		d.Keys = make([]*xcrypto.SigningKey, opts.N)
 		roster.Keys = make([]xcrypto.VerifyKey, opts.N)
-		for i := 0; i < opts.N; i++ {
+		err := parallel.ForEach(opts.N, opts.Workers, func(i int) error {
 			rng := rand.New(rand.NewSource(opts.Seed ^ int64(i+1)*0x51ED))
 			key, err := xcrypto.GenerateSigningKey(rng)
 			if err != nil {
-				return nil, fmt.Errorf("baseline: key %d: %w", i, err)
+				return fmt.Errorf("baseline: key %d: %w", i, err)
 			}
 			d.Keys[i] = key
 			roster.Keys[i] = key.VerifyKey()
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 	}
 	d.Peers = make([]*Peer, opts.N)

@@ -183,22 +183,40 @@ func (l *Link) Seal(msg *wire.Message) ([]byte, error) {
 	return l.sealer.Seal(l.keys, plaintext)
 }
 
+// SealEncoded seals an already-encoded message for the remote peer. It is
+// the multicast hot path: a message sent to N-1 destinations is encoded
+// once by the runtime and sealed per link, instead of being re-encoded
+// inside every Seal. The envelope is byte-identical to Seal(msg) for the
+// same sealer state (proven by the package's equivalence tests).
+func (l *Link) SealEncoded(encoded []byte) ([]byte, error) {
+	return l.sealer.Seal(l.keys, encoded)
+}
+
 // Open verifies, decrypts and decodes an envelope received from the remote
 // peer. Any failure means the envelope must be treated as an omission
 // (Theorem A.2, step 1).
 func (l *Link) Open(sealed []byte) (*wire.Message, error) {
+	msg, _, err := l.OpenEncoded(sealed)
+	return msg, err
+}
+
+// OpenEncoded is Open returning the decoded message together with its
+// encoded plaintext. The receive path uses the plaintext to compute the
+// ACK digest H(val) directly, instead of re-encoding the message it just
+// decoded.
+func (l *Link) OpenEncoded(sealed []byte) (*wire.Message, []byte, error) {
 	plaintext, err := l.sealer.Open(l.keys, sealed)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	msg, err := wire.Decode(plaintext)
 	if err != nil {
-		return nil, fmt.Errorf("channel: decode: %w", err)
+		return nil, nil, fmt.Errorf("channel: decode: %w", err)
 	}
 	if msg.Sender != l.remote {
-		return nil, ErrSenderMismatch
+		return nil, nil, ErrSenderMismatch
 	}
-	return msg, nil
+	return msg, plaintext, nil
 }
 
 // SealedMessageSize returns the on-wire envelope size for a message,

@@ -14,6 +14,7 @@ import (
 	"sgxp2p/internal/channel"
 	"sgxp2p/internal/enclave"
 	"sgxp2p/internal/overlay"
+	"sgxp2p/internal/parallel"
 	"sgxp2p/internal/runtime"
 	"sgxp2p/internal/simnet"
 	"sgxp2p/internal/vclock"
@@ -66,6 +67,13 @@ type Options struct {
 	// (defaults to Delta). The lockstep round bound Delta must cover the
 	// overlay diameter times LinkDelta; see overlay.Diameter.
 	LinkDelta time.Duration
+	// Workers bounds the goroutines used for the per-node setup work
+	// (enclave launch, attestation, quote verification, link key
+	// derivation). Zero means GOMAXPROCS; one means strictly serial.
+	// The resulting deployment is identical for any worker count: every
+	// enclave draws from its own seeded RNG and all results land in
+	// index-distinct slots.
+	Workers int
 }
 
 // Deployment is a fully wired simulated network of peers.
@@ -77,6 +85,12 @@ type Deployment struct {
 	Encls   []*enclave.Enclave
 	Peers   []*runtime.Peer
 	Opts    Options
+
+	// keyCache memoizes pairwise session keys across all enclaves of the
+	// deployment: the (i,j) and (j,i) link derivations are symmetric, so
+	// sharing one cache halves the O(N^2) key-agreement work. Joining
+	// nodes (join.go) reuse it too.
+	keyCache *enclave.KeyCache
 }
 
 // simClock adapts the simulator to the enclave Clock interface.
@@ -138,29 +152,46 @@ func New(opts Options) (*Deployment, error) {
 	}
 
 	clock := simClock{sim: sim}
-	var enclOpts []enclave.Option
+	d.keyCache = enclave.NewKeyCache()
+	enclOpts := []enclave.Option{enclave.WithKeyCache(d.keyCache)}
 	if !opts.RealCrypto {
 		enclOpts = append(enclOpts, enclave.WithModelKEX())
 	}
-	for id := 0; id < opts.N; id++ {
+	// Phase 1 (parallel): launch and attest every enclave. Each enclave
+	// draws only from its own seeded RNG and writes index-distinct slots,
+	// so the result is independent of the worker count.
+	err = parallel.ForEach(opts.N, opts.Workers, func(id int) error {
 		rng := rand.New(rand.NewSource(opts.Seed ^ int64(id+1)*0x9E3779B9))
 		encl, err := enclave.Launch(opts.Program, wire.NodeID(id), rng, clock, enclOpts...)
 		if err != nil {
-			return nil, fmt.Errorf("deploy: enclave %d: %w", id, err)
+			return fmt.Errorf("deploy: enclave %d: %w", id, err)
 		}
 		d.Encls[id] = encl
 		d.Roster.Quotes[id] = service.Attest(encl)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	// Verify the whole roster once here instead of once per peer: the
-	// simulated deployment shares one process, so N^2 re-verifications of
-	// identical quotes would only burn CPU.
-	for id, q := range d.Roster.Quotes {
-		if err := enclave.VerifyQuote(d.Roster.ServiceKey, d.Roster.Measurement, q); err != nil {
-			return nil, fmt.Errorf("deploy: attestation of node %d: %w", id, err)
+	// Phase 2 (parallel): verify the whole roster once here instead of
+	// once per peer — the simulated deployment shares one process, so N^2
+	// re-verifications of identical quotes would only burn CPU.
+	err = parallel.ForEach(opts.N, opts.Workers, func(id int) error {
+		if err := enclave.VerifyQuote(d.Roster.ServiceKey, d.Roster.Measurement, d.Roster.Quotes[id]); err != nil {
+			return fmt.Errorf("deploy: attestation of node %d: %w", id, err)
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	d.Roster.PreVerified = true
 
+	// Phase 3 (serial): build the transports. Caller-supplied Wrap and
+	// Neighbors closures are not required to be goroutine-safe (adversary
+	// wrappers routinely capture shared mutable state), so this phase
+	// stays on one goroutine.
+	transports := make([]runtime.Transport, opts.N)
 	for id := 0; id < opts.N; id++ {
 		var tr runtime.Transport = net.Port(wire.NodeID(id))
 		if opts.Wrap != nil {
@@ -173,22 +204,34 @@ func New(opts Options) (*Deployment, error) {
 			}
 			tr = router
 		}
+		transports[id] = tr
+	}
+
+	// Phase 4 (parallel): establish every peer's N-1 blinded channels.
+	// This is the O(N^2) Diffie-Hellman work; the shared key cache means
+	// each unordered pair is derived once and the parallel pool spreads
+	// the rest across cores.
+	err = parallel.ForEach(opts.N, opts.Workers, func(id int) error {
 		var sealer channel.Sealer
 		if opts.RealCrypto {
 			sealer = channel.RealSealer{}
 		} else {
 			sealer = channel.NewModelSealer()
 		}
-		peer, err := runtime.NewPeer(d.Encls[id], tr, d.Roster, runtime.Config{
+		peer, err := runtime.NewPeer(d.Encls[id], transports[id], d.Roster, runtime.Config{
 			N:      opts.N,
 			T:      opts.T,
 			Delta:  opts.Delta,
 			Sealer: sealer,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("deploy: peer %d: %w", id, err)
+			return fmt.Errorf("deploy: peer %d: %w", id, err)
 		}
 		d.Peers[id] = peer
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	if err := runtime.Setup(d.Peers); err != nil {

@@ -203,10 +203,16 @@ func (d *Deployment) joinPuzzle(binding wire.Value, difficulty int) sybil.Puzzle
 	return p
 }
 
-// enclaveOptions mirrors the option selection of New.
+// enclaveOptions mirrors the option selection of New, including the
+// deployment-wide key cache so a joiner's N link derivations reuse the
+// halves already computed by the existing members.
 func (d *Deployment) enclaveOptions() []enclave.Option {
-	if d.Opts.RealCrypto {
-		return nil
+	opts := []enclave.Option{}
+	if d.keyCache != nil {
+		opts = append(opts, enclave.WithKeyCache(d.keyCache))
 	}
-	return []enclave.Option{enclave.WithModelKEX()}
+	if !d.Opts.RealCrypto {
+		opts = append(opts, enclave.WithModelKEX())
+	}
+	return opts
 }

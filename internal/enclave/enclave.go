@@ -78,7 +78,62 @@ type Enclave struct {
 	reference   time.Duration
 	dh          *xcrypto.KeyPair
 	modelKEX    bool
+	keyCache    *KeyCache
 	halted      bool
+}
+
+// pairKey identifies one memoized session-key derivation: the unordered
+// public-key pair, the program measurement mixed into the keys, and the
+// derivation mode (a model-KEX enclave must never share entries with a
+// real-ECDH one).
+type pairKey struct {
+	pair     xcrypto.PairID
+	meas     xcrypto.Measurement
+	modelKEX bool
+}
+
+// KeyCache memoizes pairwise session keys across the enclaves of one
+// deployment. The Diffie-Hellman derivation is symmetric in the pair —
+// both the real ECDH and the model KEX order the public keys canonically —
+// so when enclave i derives the link keys toward j, enclave j's derivation
+// toward i is the identical computation. Sharing one cache across a
+// simulated deployment therefore halves the O(N^2) setup-phase key
+// agreement work, and makes repeated derivations (dynamic joins, link
+// re-establishment) free.
+//
+// The cache is safe for concurrent use: the deployment builder constructs
+// peers on a worker pool. It exists purely as a simulation-side
+// optimization — a live SGX node holds only its own private key and cannot
+// share derivations — which is why it is opt-in via WithKeyCache and never
+// enabled by the TCP runtime.
+type KeyCache struct {
+	mu sync.Mutex
+	m  map[pairKey]xcrypto.SessionKeys
+}
+
+// NewKeyCache creates an empty cache, typically one per deployment.
+func NewKeyCache() *KeyCache {
+	return &KeyCache{m: make(map[pairKey]xcrypto.SessionKeys)}
+}
+
+func (c *KeyCache) get(k pairKey) (xcrypto.SessionKeys, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	keys, ok := c.m[k]
+	return keys, ok
+}
+
+func (c *KeyCache) put(k pairKey, keys xcrypto.SessionKeys) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[k] = keys
+}
+
+// Len returns the number of memoized pair derivations.
+func (c *KeyCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
 }
 
 // Option configures Launch.
@@ -95,6 +150,13 @@ type Option func(*Enclave)
 // path) ever produce these keys. Never use outside simulations.
 func WithModelKEX() Option {
 	return func(e *Enclave) { e.modelKEX = true }
+}
+
+// WithKeyCache shares a deployment-wide session-key cache with this
+// enclave, so the symmetric (i,j)/(j,i) derivations are computed once per
+// pair instead of twice. Simulation-only; see KeyCache.
+func WithKeyCache(c *KeyCache) Option {
+	return func(e *Enclave) { e.keyCache = c }
 }
 
 // Launch creates a fresh enclave running the given protocol program. A
@@ -146,6 +208,17 @@ func (e *Enclave) SessionKeys(remote [xcrypto.PublicKeySize]byte) (xcrypto.Sessi
 	if e.halted {
 		return xcrypto.SessionKeys{}, ErrHalted
 	}
+	var ck pairKey
+	if e.keyCache != nil {
+		ck = pairKey{
+			pair:     xcrypto.MakePairID(e.DHPublic(), remote),
+			meas:     e.measurement,
+			modelKEX: e.modelKEX,
+		}
+		if keys, ok := e.keyCache.get(ck); ok {
+			return keys, nil
+		}
+	}
 	var keys xcrypto.SessionKeys
 	if e.modelKEX {
 		keys = modelSessionKeys(e.DHPublic(), remote)
@@ -158,9 +231,13 @@ func (e *Enclave) SessionKeys(remote [xcrypto.PublicKeySize]byte) (xcrypto.Sessi
 	}
 	// Mix H(pi) into both keys so that a peer running program pi' != pi
 	// derives unrelated keys and every envelope it produces fails to
-	// authenticate.
+	// authenticate. The cached value is the bound result: a cache hit is
+	// only possible for an enclave with the identical measurement.
 	keys.Enc = bindMeasurement(keys.Enc, e.measurement, "enc")
 	keys.Mac = bindMeasurement(keys.Mac, e.measurement, "mac")
+	if e.keyCache != nil {
+		e.keyCache.put(ck, keys)
+	}
 	return keys, nil
 }
 
@@ -306,14 +383,18 @@ func (s *AttestationService) VerifyKey() xcrypto.VerifyKey {
 // EREPORT/quoting-enclave/IAS flow; the simulation collapses it to one
 // signature over (id, measurement, DH public key).
 func (s *AttestationService) Attest(e *Enclave) Quote {
+	// Read the key under the lock, sign outside it: Ed25519 signing is a
+	// pure function of the (immutable) key, and holding the lock across it
+	// would serialize the deployment builder's parallel attestation phase.
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	key := s.key
+	s.mu.Unlock()
 	q := Quote{
 		NodeID:      e.ID(),
 		Measurement: e.Measurement(),
 		DHPublic:    e.DHPublic(),
 	}
-	q.Signature = s.key.Sign(quoteBody(q.NodeID, q.Measurement, q.DHPublic))
+	q.Signature = key.Sign(quoteBody(q.NodeID, q.Measurement, q.DHPublic))
 	return q
 }
 

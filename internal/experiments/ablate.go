@@ -30,31 +30,30 @@ func Ablate(cfg Config) (*Table, error) {
 	}
 	deadline := (n-1)/2 + 2
 
-	honest, err := runERB(cfg, n, 0)
+	// The three variants are independent runs; sweep them in parallel.
+	variants := []struct {
+		label        string
+		chainLen     int
+		ackThreshold int
+	}{
+		{"honest, P4 on", 0, 0},
+		{"chain, P4 on", f, 0},
+		{"chain, P4 off", f, -1},
+	}
+	rows, err := sweepRows(cfg, len(variants), func(i int) ([]string, error) {
+		v := variants[i]
+		run, err := runERBOpts(cfg, n, v.chainLen, v.ackThreshold)
+		if err != nil {
+			return nil, err
+		}
+		return []string{
+			v.label, fmt.Sprint(run.MaxRound), fmtMB(float64(run.Bytes)),
+			fmt.Sprint(run.HaltedByz), fmt.Sprint(deadline),
+		}, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	t.Rows = append(t.Rows, []string{
-		"honest, P4 on", fmt.Sprint(honest.MaxRound), fmtMB(float64(honest.Bytes)),
-		"0", fmt.Sprint(deadline),
-	})
-
-	withP4, err := runERBOpts(cfg, n, f, 0)
-	if err != nil {
-		return nil, err
-	}
-	t.Rows = append(t.Rows, []string{
-		"chain, P4 on", fmt.Sprint(withP4.MaxRound), fmtMB(float64(withP4.Bytes)),
-		fmt.Sprint(withP4.HaltedByz), fmt.Sprint(deadline),
-	})
-
-	withoutP4, err := runERBOpts(cfg, n, f, -1)
-	if err != nil {
-		return nil, err
-	}
-	t.Rows = append(t.Rows, []string{
-		"chain, P4 off", fmt.Sprint(withoutP4.MaxRound), fmtMB(float64(withoutP4.Bytes)),
-		fmt.Sprint(withoutP4.HaltedByz), fmt.Sprint(deadline),
-	})
+	t.Rows = rows
 	return t, nil
 }

@@ -37,6 +37,11 @@ type Config struct {
 	// DeterLab testbed). Zero keeps the default; use Unlimited to remove
 	// the link model.
 	Bandwidth float64
+	// Workers bounds the goroutines sweeping independent data points
+	// (0 = GOMAXPROCS, 1 = serial). Every point builds its own simulator
+	// and network from per-point seeds and rows are assembled in sweep
+	// order, so tables are bit-for-bit identical for any worker count.
+	Workers int
 }
 
 // Unlimited disables the bandwidth model when set as Config.Bandwidth.

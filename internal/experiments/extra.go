@@ -10,6 +10,7 @@ import (
 	"sgxp2p/internal/core/erb"
 	"sgxp2p/internal/core/erng"
 	"sgxp2p/internal/deploy"
+	"sgxp2p/internal/parallel"
 	"sgxp2p/internal/runtime"
 	"sgxp2p/internal/stats"
 	"sgxp2p/internal/wire"
@@ -19,6 +20,10 @@ import (
 // byzantine nodes that misbehave with probability p per ERB instance,
 // halt-on-divergence churns the byzantine population out geometrically,
 // and the mean decision round converges to the honest-case 2.
+//
+// Unlike the other sweeps, the epochs here feed one stateful deployment
+// forward (each epoch's halts persist into the next), so this experiment
+// is inherently serial and ignores Config.Workers.
 func Sanitize(cfg Config) (*Table, error) {
 	n, byz := 24, 11
 	epochs := 16
@@ -142,15 +147,21 @@ func Bias(cfg Config) (*Table, error) {
 	const n, byz = 7, 3
 
 	// Attacked SigRNG: how often does the attacker force its target?
+	// Every epoch runs on a private deployment from its own seed, so the
+	// epochs sweep in parallel.
 	target := wire.Value{0xD7, 0x01}
-	forced := 0
-	sigOutputs := make([]wire.Value, 0, epochs)
-	for e := 0; e < epochs; e++ {
+	sigOutputs, err := parallel.Map(epochs, cfg.Workers, func(e int) (wire.Value, error) {
 		out, err := runAttackedSigRNG(cfg, n, byz, cfg.Seed+int64(e)*101, target)
 		if err != nil {
-			return nil, fmt.Errorf("bias sigrng epoch %d: %w", e, err)
+			return wire.Value{}, fmt.Errorf("bias sigrng epoch %d: %w", e, err)
 		}
-		sigOutputs = append(sigOutputs, out)
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	forced := 0
+	for _, out := range sigOutputs {
 		if out == target {
 			forced++
 		}
@@ -161,13 +172,15 @@ func Bias(cfg Config) (*Table, error) {
 	}
 
 	// ERNG under byzantine delay + selective omission.
-	erngOutputs := make([]wire.Value, 0, epochs)
-	for e := 0; e < epochs; e++ {
+	erngOutputs, err := parallel.Map(epochs, cfg.Workers, func(e int) (wire.Value, error) {
 		out, err := runAttackedERNG(cfg, n, byz, cfg.Seed+int64(e)*131)
 		if err != nil {
-			return nil, fmt.Errorf("bias erng epoch %d: %w", e, err)
+			return wire.Value{}, fmt.Errorf("bias erng epoch %d: %w", e, err)
 		}
-		erngOutputs = append(erngOutputs, out)
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	erngBias, err := stats.BitBias(erngOutputs)
 	if err != nil {

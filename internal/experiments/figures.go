@@ -7,6 +7,7 @@ import (
 
 	"sgxp2p/internal/core/erng"
 	"sgxp2p/internal/deploy"
+	"sgxp2p/internal/parallel"
 )
 
 // sizesUpTo returns powers of two 2^lo..2^hi.
@@ -34,7 +35,9 @@ func Fig2a(cfg Config) (*Table, error) {
 			"paper: termination ~ 2 rounds for an honest initiator, slight rise at large N from the shared 128 MB/s link",
 		},
 	}
-	for _, n := range sizesUpTo(1, hi) {
+	sizes := sizesUpTo(1, hi)
+	rows, err := sweepRows(cfg, len(sizes), func(i int) ([]string, error) {
+		n := sizes[i]
 		run, err := runERB(cfg, n, 0)
 		if err != nil {
 			return nil, fmt.Errorf("fig2a N=%d: %w", n, err)
@@ -42,13 +45,17 @@ func Fig2a(cfg Config) (*Table, error) {
 		if !run.Accepted {
 			return nil, fmt.Errorf("fig2a N=%d: honest run did not accept", n)
 		}
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			fmt.Sprint(n),
 			fmtDuration(run.OneRound),
 			fmtDuration(run.Termination),
 			fmt.Sprint(run.MaxRound),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -174,17 +181,23 @@ func Fig2b(cfg Config) (*Table, error) {
 			"paper sweeps to 2^9; -full here sweeps to 2^8 to keep the event count tractable (same shape)",
 		},
 	}
-	for _, n := range sizesUpTo(2, hi) {
+	sizes := sizesUpTo(2, hi)
+	rows, err := sweepRows(cfg, len(sizes), func(i int) ([]string, error) {
+		n := sizes[i]
 		run, err := runBasicERNG(cfg, n)
 		if err != nil {
 			return nil, fmt.Errorf("fig2b N=%d: %w", n, err)
 		}
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			fmt.Sprint(n),
 			fmtDuration(run.OneRound),
 			fmtDuration(run.Termination),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -215,7 +228,9 @@ func Fig2c(cfg Config) (*Table, error) {
 			"paper (N=512): 4 s honest rising linearly to 389 s at 1/4; every chain node is churned out by P4",
 		},
 	}
-	for _, f := range byzFractions(n) {
+	fractions := byzFractions(n)
+	rows, err := sweepRows(cfg, len(fractions), func(i int) ([]string, error) {
+		f := fractions[i]
 		run, err := runERB(cfg, n, f)
 		if err != nil {
 			return nil, fmt.Errorf("fig2c f=%d: %w", f, err)
@@ -223,14 +238,18 @@ func Fig2c(cfg Config) (*Table, error) {
 		if !run.Accepted {
 			return nil, fmt.Errorf("fig2c f=%d: honest nodes did not accept", f)
 		}
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			fmt.Sprintf("1/%d", n/f),
 			fmt.Sprint(f),
 			fmtDuration(run.Termination),
 			fmt.Sprint(run.MaxRound),
 			fmt.Sprint(run.HaltedByz),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -250,18 +269,24 @@ func Fig3a(cfg Config) (*Table, error) {
 			"Th = 2*N^2 envelopes of ~110 B; paper reports 277 MB at N=1024",
 		},
 	}
-	for _, n := range sizesUpTo(1, hi) {
+	sizes := sizesUpTo(1, hi)
+	rows, err := sweepRows(cfg, len(sizes), func(i int) ([]string, error) {
+		n := sizes[i]
 		run, err := runERB(cfg, n, 0)
 		if err != nil {
 			return nil, fmt.Errorf("fig3a N=%d: %w", n, err)
 		}
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			fmt.Sprint(n),
 			fmtMB(float64(run.Bytes)),
 			fmtMB(erbPeakBytes(n)),
 			fmt.Sprint(run.Messages),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -289,15 +314,30 @@ func Fig3b(cfg Config) (*Table, error) {
 		},
 	}
 	env := float64(envelopeSize())
-	for _, n := range sizesUpTo(2, hi) {
-		basic, err := runBasicERNG(cfg, n)
-		if err != nil {
-			return nil, fmt.Errorf("fig3b basic N=%d: %w", n, err)
+	sizes := sizesUpTo(2, hi)
+	// The basic and optimized runs of each size are independent; sweep
+	// them as 2*len(sizes) flat jobs so the two heavyweight runs at the
+	// largest N overlap instead of serializing within one point.
+	runs, err := parallel.Map(2*len(sizes), cfg.Workers, func(j int) (erngRun, error) {
+		n := sizes[j/2]
+		if j%2 == 0 {
+			run, err := runBasicERNG(cfg, n)
+			if err != nil {
+				return erngRun{}, fmt.Errorf("fig3b basic N=%d: %w", n, err)
+			}
+			return run, nil
 		}
-		opt, err := runOptERNG(cfg, n)
+		run, err := runOptERNG(cfg, n)
 		if err != nil {
-			return nil, fmt.Errorf("fig3b optimized N=%d: %w", n, err)
+			return erngRun{}, fmt.Errorf("fig3b optimized N=%d: %w", n, err)
 		}
+		return run, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, n := range sizes {
+		basic, opt := runs[2*i], runs[2*i+1]
 		gamma := 3 * math.Log(float64(n))
 		thIdeal := (4*gamma*float64(n) + 2*math.Pow(2*gamma, 2)*math.Sqrt(gamma)) * env
 		savings := 1 - float64(opt.Bytes)/float64(basic.Bytes)
@@ -335,18 +375,24 @@ func Fig3c(cfg Config) (*Table, error) {
 			fmt.Sprintf("honest baseline: %s MB; paper (N=512): 69 MB honest vs 35 MB at 1/4", fmtMB(float64(honest.Bytes))),
 		},
 	}
-	for _, f := range byzFractions(n) {
+	fractions := byzFractions(n)
+	rows, err := sweepRows(cfg, len(fractions), func(i int) ([]string, error) {
+		f := fractions[i]
 		run, err := runERB(cfg, n, f)
 		if err != nil {
 			return nil, fmt.Errorf("fig3c f=%d: %w", f, err)
 		}
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			fmt.Sprintf("1/%d", n/f),
 			fmt.Sprint(f),
 			fmtMB(float64(run.Bytes)),
 			fmtMB(erbPeakBytes(n)),
 			fmt.Sprintf("%.0f%%", 100*float64(run.Bytes)/float64(honest.Bytes)),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	return t, nil
 }

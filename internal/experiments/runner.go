@@ -1,0 +1,31 @@
+package experiments
+
+import "sgxp2p/internal/parallel"
+
+// sweepRows evaluates n independent data points on cfg.Workers goroutines
+// and returns one table row per point, in point order. Each point must be
+// a pure function of (cfg, point parameters): it builds a private
+// simulator and network, so points never share mutable state. Rows land
+// in index-distinct slots, which makes the table bit-for-bit identical
+// for any worker count — the determinism contract pinned down by
+// TestSweepsIdenticalAcrossWorkerCounts.
+//
+// Sweeps whose points feed a stateful deployment forward (the sanitize
+// epochs) must NOT use this and stay serial.
+func sweepRows(cfg Config, n int, point func(i int) ([]string, error)) ([][]string, error) {
+	return parallel.Map(n, cfg.Workers, point)
+}
+
+// sweepMulti is sweepRows for sweeps where one point contributes several
+// adjacent rows; the per-point groups are concatenated in point order.
+func sweepMulti(cfg Config, n int, point func(i int) ([][]string, error)) ([][]string, error) {
+	groups, err := parallel.Map(n, cfg.Workers, point)
+	if err != nil {
+		return nil, err
+	}
+	var rows [][]string
+	for _, g := range groups {
+		rows = append(rows, g...)
+	}
+	return rows, nil
+}

@@ -6,6 +6,7 @@ import (
 
 	"sgxp2p/internal/adversary"
 	"sgxp2p/internal/baseline"
+	"sgxp2p/internal/parallel"
 	"sgxp2p/internal/runtime"
 	"sgxp2p/internal/stats"
 	"sgxp2p/internal/wire"
@@ -180,25 +181,42 @@ func Tab1(cfg Config) (*Table, error) {
 		{name: "Strawman (Alg. 1)", model: "byzantine (broken)", claim: "t+1 rounds, no agreement", honest: strawH, chain: strawC},
 	}
 
-	for _, p := range protos {
+	// Flatten to (len(sizes)+1) independent jobs per protocol — the honest
+	// sweep plus the chain run — so the expensive chain runs overlap with
+	// the honest sweeps of other protocols.
+	perProto := len(sizes) + 1
+	runs, err := parallel.Map(len(protos)*perProto, cfg.Workers, func(j int) (baselineRun, error) {
+		p := protos[j/perProto]
+		k := j % perProto
+		if k < len(sizes) {
+			run, err := p.honest(sizes[k])
+			if err != nil {
+				return baselineRun{}, fmt.Errorf("tab1 %s N=%d: %w", p.name, sizes[k], err)
+			}
+			return run, nil
+		}
+		run, err := p.chain(probe, probe/4)
+		if err != nil {
+			return baselineRun{}, fmt.Errorf("tab1 %s chain: %w", p.name, err)
+		}
+		return run, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pi, p := range protos {
 		var counts []uint64
 		var honestRounds uint32
 		var probeMsgs uint64
-		for _, n := range sizes {
-			run, err := p.honest(n)
-			if err != nil {
-				return nil, fmt.Errorf("tab1 %s N=%d: %w", p.name, n, err)
-			}
+		for k, n := range sizes {
+			run := runs[pi*perProto+k]
 			counts = append(counts, run.Messages)
 			if n == probe {
 				honestRounds = run.Rounds
 				probeMsgs = run.Messages
 			}
 		}
-		chainRun, err := p.chain(probe, probe/4)
-		if err != nil {
-			return nil, fmt.Errorf("tab1 %s chain: %w", p.name, err)
-		}
+		chainRun := runs[pi*perProto+len(sizes)]
 		t.Rows = append(t.Rows, []string{
 			p.name, p.model,
 			fmt.Sprint(honestRounds),
@@ -292,14 +310,23 @@ func Tab2(cfg Config) (*Table, error) {
 		{name: "Optimized ERNG (Alg. 6)", network: "3t+1", claim: "O(log N) rounds, O(N log N)", run: optRun},
 		{name: "SigRNG (RBsig-based)", network: "2t+1 + PKI", claim: "t+1 rounds, O(N^4), biasable", run: sigRun},
 	}
-	for _, r := range rngs {
+	runs, err := parallel.Map(len(rngs)*len(sizes), cfg.Workers, func(j int) (baselineRun, error) {
+		r := rngs[j/len(sizes)]
+		n := sizes[j%len(sizes)]
+		run, err := r.run(n)
+		if err != nil {
+			return baselineRun{}, fmt.Errorf("tab2 %s N=%d: %w", r.name, n, err)
+		}
+		return run, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ri, r := range rngs {
 		var counts []uint64
 		var probeRun baselineRun
-		for _, n := range sizes {
-			run, err := r.run(n)
-			if err != nil {
-				return nil, fmt.Errorf("tab2 %s N=%d: %w", r.name, n, err)
-			}
+		for k, n := range sizes {
+			run := runs[ri*len(sizes)+k]
 			counts = append(counts, run.Messages)
 			if n == probe {
 				probeRun = run

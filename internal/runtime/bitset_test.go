@@ -1,0 +1,50 @@
+package runtime
+
+import (
+	"testing"
+
+	"sgxp2p/internal/wire"
+)
+
+func TestNodeBitsetDedupAndGrowth(t *testing.T) {
+	var b nodeBitset
+	if !b.set(3) {
+		t.Fatal("first set of 3 not reported as new")
+	}
+	if b.set(3) {
+		t.Fatal("duplicate set of 3 reported as new")
+	}
+	if b.count != 1 {
+		t.Fatalf("count = %d, want 1", b.count)
+	}
+	// Ids beyond the current word capacity (joins grow membership).
+	for _, id := range []wire.NodeID{63, 64, 200} {
+		if !b.set(id) {
+			t.Fatalf("first set of %d not reported as new", id)
+		}
+		if b.set(id) {
+			t.Fatalf("duplicate set of %d reported as new", id)
+		}
+	}
+	if b.count != 4 {
+		t.Fatalf("count = %d, want 4", b.count)
+	}
+}
+
+func TestDigestEncodedMatchesDigest(t *testing.T) {
+	msg := &wire.Message{
+		Type: wire.TypeInit, Sender: 2, Initiator: 2,
+		Seq: 11, Round: 3, HasValue: true, Value: wire.Value{0x42},
+	}
+	viaMsg, err := Digest(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := msg.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaMsg != DigestEncoded(enc) {
+		t.Fatal("DigestEncoded(Encode(msg)) != Digest(msg)")
+	}
+}

@@ -109,12 +109,40 @@ type Stats struct {
 	Halts uint64
 }
 
+// nodeBitset is a dense set of NodeIDs. The ACK tracker of a multicast
+// previously used a map[wire.NodeID]bool, one allocation per multicast
+// plus hashing per ACK; node ids are dense small integers, so a bitset
+// does the same job with a single word-slice allocation.
+type nodeBitset struct {
+	words []uint64
+	count int
+}
+
+// set records id and reports whether it was newly set, so duplicate ACKs
+// (replays) are not double-counted.
+func (b *nodeBitset) set(id wire.NodeID) bool {
+	w, bit := int(id)/64, uint(id)%64
+	if w >= len(b.words) {
+		// Joins (AddPeer) can grow membership past the size the tracker
+		// was created for.
+		grown := make([]uint64, w+1)
+		copy(grown, b.words)
+		b.words = grown
+	}
+	if b.words[w]&(1<<bit) != 0 {
+		return false
+	}
+	b.words[w] |= 1 << bit
+	b.count++
+	return true
+}
+
 // ackTracker tracks acknowledgments for one multicast.
 type ackTracker struct {
 	digest    wire.Value
 	round     uint32
 	threshold int
-	acked     map[wire.NodeID]bool
+	acked     nodeBitset
 }
 
 // Peer is one node's runtime.
@@ -134,6 +162,13 @@ type Peer struct {
 	trackers    []*ackTracker
 	startOffset time.Duration
 	stats       Stats
+
+	// delivering is the message currently being handed to the protocol by
+	// receive, together with the channel plaintext it was decoded from.
+	// SendAck recognizes the pointer and hashes that plaintext directly,
+	// so acknowledging a received message costs zero extra Encodes.
+	delivering        *wire.Message
+	deliveringEncoded []byte
 }
 
 // NewPeer verifies the roster's attestation quotes (F3, property P1),
@@ -336,7 +371,7 @@ func (p *Peer) closeRound() {
 	trackers := p.trackers
 	p.trackers = nil
 	for _, tk := range trackers {
-		if len(tk.acked) < tk.threshold {
+		if tk.acked.count < tk.threshold {
 			p.HaltSelf()
 			return
 		}
@@ -361,38 +396,45 @@ func Digest(msg *wire.Message) (wire.Value, error) {
 	if err != nil {
 		return d, err
 	}
-	d = sha256.Sum256(enc)
-	return d, nil
+	return DigestEncoded(enc), nil
+}
+
+// DigestEncoded computes H(val) from an already-encoded message. The hot
+// paths (multicast, ACK of a just-received message) hold the encoding
+// already; hashing it directly avoids a second Encode of the same bytes.
+func DigestEncoded(encoded []byte) wire.Value {
+	return sha256.Sum256(encoded)
 }
 
 // Multicast seals msg for every destination and sends it. If ackThreshold
 // is positive the runtime tracks acknowledgments until the end of the
 // current round and halts the peer if fewer than ackThreshold arrive.
 // Destinations nil means "all other peers".
+//
+// The message is encoded exactly once; each link seals the shared
+// encoding (channel.SealEncoded), so a multicast to N-1 destinations
+// costs one Encode instead of N-1 (or N with an ACK digest).
 func (p *Peer) Multicast(dsts []wire.NodeID, msg *wire.Message, ackThreshold int) error {
 	if p.Halted() {
 		return ErrHalted
 	}
-	var tk *ackTracker
+	encoded, err := msg.Encode()
+	if err != nil {
+		return err
+	}
 	if ackThreshold > 0 {
-		digest, err := Digest(msg)
-		if err != nil {
-			return err
-		}
-		tk = &ackTracker{
-			digest:    digest,
+		p.trackers = append(p.trackers, &ackTracker{
+			digest:    DigestEncoded(encoded),
 			round:     p.round,
 			threshold: ackThreshold,
-			acked:     make(map[wire.NodeID]bool, p.cfg.N),
-		}
-		p.trackers = append(p.trackers, tk)
+		})
 	}
 	if dsts == nil {
 		for id := 0; id < p.cfg.N; id++ {
 			if wire.NodeID(id) == p.ID() {
 				continue
 			}
-			if err := p.Send(wire.NodeID(id), msg); err != nil {
+			if err := p.sendEncoded(wire.NodeID(id), encoded); err != nil {
 				return err
 			}
 		}
@@ -402,7 +444,7 @@ func (p *Peer) Multicast(dsts []wire.NodeID, msg *wire.Message, ackThreshold int
 		if dst == p.ID() {
 			continue
 		}
-		if err := p.Send(dst, msg); err != nil {
+		if err := p.sendEncoded(dst, encoded); err != nil {
 			return err
 		}
 	}
@@ -411,13 +453,23 @@ func (p *Peer) Multicast(dsts []wire.NodeID, msg *wire.Message, ackThreshold int
 
 // Send seals msg for one destination and hands it to the transport.
 func (p *Peer) Send(dst wire.NodeID, msg *wire.Message) error {
+	encoded, err := msg.Encode()
+	if err != nil {
+		return err
+	}
+	return p.sendEncoded(dst, encoded)
+}
+
+// sendEncoded seals an already-encoded message for one destination and
+// hands the envelope to the transport.
+func (p *Peer) sendEncoded(dst wire.NodeID, encoded []byte) error {
 	if p.Halted() {
 		return ErrHalted
 	}
 	if int(dst) >= len(p.links) || p.links[dst] == nil {
 		return ErrUnknownPeer
 	}
-	env, err := p.links[dst].Seal(msg)
+	env, err := p.links[dst].SealEncoded(encoded)
 	if err != nil {
 		return err
 	}
@@ -428,10 +480,21 @@ func (p *Peer) Send(dst wire.NodeID, msg *wire.Message) error {
 // SendAck acknowledges a valid received message: ACKs carry the digest
 // H(val) of the acknowledged message, the initiator's sequence number and
 // the current round, per Section 4's val format.
+//
+// When the acknowledged message is the one currently being delivered by
+// receive (the common case — protocols ACK from inside OnMessage), the
+// digest is taken from the plaintext the channel just opened instead of
+// re-encoding the message.
 func (p *Peer) SendAck(dst wire.NodeID, received *wire.Message) error {
-	digest, err := Digest(received)
-	if err != nil {
-		return err
+	var digest wire.Value
+	if received != nil && received == p.delivering {
+		digest = DigestEncoded(p.deliveringEncoded)
+	} else {
+		var err error
+		digest, err = Digest(received)
+		if err != nil {
+			return err
+		}
 	}
 	ack := &wire.Message{
 		Type:      wire.TypeAck,
@@ -457,7 +520,7 @@ func (p *Peer) receive(src wire.NodeID, payload []byte) {
 	if int(src) >= len(p.links) || p.links[src] == nil {
 		return
 	}
-	msg, err := p.links[src].Open(payload)
+	msg, encoded, err := p.links[src].OpenEncoded(payload)
 	if err != nil {
 		// Forged, corrupted, cross-program or mis-addressed envelopes
 		// reduce to omissions (Theorem A.2).
@@ -477,7 +540,9 @@ func (p *Peer) receive(src wire.NodeID, payload []byte) {
 		return
 	}
 	p.stats.Delivered++
+	p.delivering, p.deliveringEncoded = msg, encoded
 	p.proto.OnMessage(msg)
+	p.delivering, p.deliveringEncoded = nil, nil
 }
 
 // handleAck credits an acknowledgment to the matching tracker. ACKs are
@@ -488,7 +553,7 @@ func (p *Peer) handleAck(src wire.NodeID, ack *wire.Message) {
 	}
 	for _, tk := range p.trackers {
 		if tk.round == ack.Round && tk.digest == ack.Value {
-			tk.acked[src] = true
+			tk.acked.set(src)
 			return
 		}
 	}

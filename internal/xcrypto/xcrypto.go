@@ -129,6 +129,25 @@ func (kp *KeyPair) DeriveSessionKeys(remote [PublicKeySize]byte) (SessionKeys, e
 	return keys, nil
 }
 
+// PairID canonically identifies an unordered pair of X25519 public keys:
+// the two keys concatenated in ascending byte order. Because both the real
+// ECDH derivation and the model key exchange are symmetric in the pair,
+// PairID is the natural cache key for memoizing pairwise session keys
+// (see enclave.KeyCache): the (i,j) and (j,i) directions map to the same
+// entry.
+type PairID [2 * PublicKeySize]byte
+
+// MakePairID builds the canonical pair identifier for two public keys.
+func MakePairID(a, b [PublicKeySize]byte) PairID {
+	var out PairID
+	if lessBytes(b[:], a[:]) {
+		a, b = b, a
+	}
+	copy(out[:PublicKeySize], a[:])
+	copy(out[PublicKeySize:], b[:])
+	return out
+}
+
 // kdf derives one labeled 32-byte key from the shared secret and the two
 // canonically ordered public keys.
 func kdf(shared, lo, hi []byte, label string) [KeySize]byte {
