@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race verify bench clean
+.PHONY: build test vet race verify bench benchsmoke clean
 
 build:
 	$(GO) build ./...
@@ -14,12 +14,19 @@ vet:
 	$(GO) vet ./...
 
 # Race-check the packages with real concurrency: the parallel deployment
-# builder, the sweep engine and the peer runtime underneath both.
+# builder, the sweep engine, the peer runtime underneath both, and the
+# TCP transport with its pooled frame handoff.
 race:
-	$(GO) test -race ./internal/deploy/... ./internal/experiments/... ./internal/runtime/...
+	$(GO) test -race ./internal/deploy/... ./internal/experiments/... ./internal/runtime/... ./internal/tcpnet/...
 
-# verify is the tier-1 gate: build, vet, full test suite, race subset.
-verify: build vet test race
+# benchsmoke compiles and runs every benchmark for a single iteration so
+# a broken benchmark cannot sit undetected until the next bench run.
+benchsmoke:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# verify is the tier-1 gate: build, vet, full test suite, race subset,
+# one-iteration benchmark smoke run.
+verify: build vet test race benchsmoke
 
 # bench regenerates BENCH_setup.json: setup/broadcast microbenchmarks plus
 # the fig2a/fig2b sweeps (ns/op and allocs/op) via cmd/p2pbench.

@@ -9,21 +9,32 @@
 //	p2pbench                     # run all benchmarks, print JSON to stdout
 //	p2pbench -o BENCH_setup.json # also write the JSON to a file
 //	p2pbench -bench setup        # only benchmarks whose name contains "setup"
+//	p2pbench -baseline BENCH_setup.json
+//	                             # print ns/op and allocs/op deltas against
+//	                             # a previous snapshot (stderr, stdout stays JSON)
+//	p2pbench -cpuprofile cpu.pprof -memprofile mem.pprof
+//	                             # write pprof profiles for the benchmarked code
 package main
 
 import (
+	"crypto/rand"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"runtime/debug"
+	"runtime/pprof"
 	"strings"
 	"testing"
 	"time"
 
 	"sgxp2p"
+	"sgxp2p/internal/channel"
+	"sgxp2p/internal/deploy"
+	"sgxp2p/internal/enclave"
 	"sgxp2p/internal/experiments"
+	"sgxp2p/internal/wire"
 )
 
 // result is one benchmark measurement in the JSON snapshot.
@@ -54,12 +65,41 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("p2pbench", flag.ContinueOnError)
 	var (
-		out     = fs.String("o", "", "also write the JSON snapshot to this file")
-		match   = fs.String("bench", "", "only run benchmarks whose name contains this substring")
-		workers = fs.Int("workers", 0, "worker pool size for the sweep benchmarks (0 = all cores)")
+		out        = fs.String("o", "", "also write the JSON snapshot to this file")
+		match      = fs.String("bench", "", "only run benchmarks whose name contains this substring")
+		workers    = fs.Int("workers", 0, "worker pool size for the sweep benchmarks (0 = all cores)")
+		baseline   = fs.String("baseline", "", "previous snapshot JSON to diff the new results against")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
+		memprofile = fs.String("memprofile", "", "write a heap profile taken after the run to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// Load the baseline before running anything, so -o overwriting the
+	// same file still diffs against the pre-run contents.
+	var base *snapshot
+	if *baseline != "" {
+		data, err := os.ReadFile(*baseline)
+		if err != nil {
+			return fmt.Errorf("baseline: %w", err)
+		}
+		base = &snapshot{}
+		if err := json.Unmarshal(data, base); err != nil {
+			return fmt.Errorf("baseline %s: %w", *baseline, err)
+		}
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	// Mirror cmd/p2pexp: the sweeps allocate heavily and transiently.
@@ -83,6 +123,7 @@ func run(args []string) error {
 		name string
 		fn   func(b *testing.B)
 	}{
+		{"seal_open_hot", benchSealOpenHot},
 		{"cluster_setup_n128", func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -133,6 +174,25 @@ func run(args []string) error {
 		})
 	}
 
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return err
+		}
+		runtime.GC()
+		err = pprof.WriteHeapProfile(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+	}
+
+	if base != nil {
+		printDeltas(os.Stderr, base, &snap)
+	}
+
 	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		return err
@@ -147,4 +207,80 @@ func run(args []string) error {
 		}
 	}
 	return nil
+}
+
+// benchSealOpenHot measures the steady-state per-message cost of a live
+// RealSealer link: encode once, seal with the prepared per-link cipher
+// into a warm envelope buffer, open on the peer side into a warm scratch.
+// This is the per-hop unit of work every multicast fans out N-1 times.
+func benchSealOpenHot(b *testing.B) {
+	clock := enclave.NewWallClock()
+	ea, err := enclave.Launch(deploy.DefaultProgram, 0, rand.Reader, clock)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eb, err := enclave.Launch(deploy.DefaultProgram, 1, rand.Reader, clock)
+	if err != nil {
+		b.Fatal(err)
+	}
+	la, err := channel.NewLink(ea, 1, eb.DHPublic(), channel.RealSealer{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	lb, err := channel.NewLink(eb, 0, ea.DHPublic(), channel.RealSealer{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	msg := &wire.Message{
+		Type: wire.TypeEcho, Sender: 0, Initiator: 0,
+		Seq: 7, Round: 1, HasValue: true,
+		Value: sgxp2p.ValueFromString("hot path"),
+	}
+	var encodeBuf, env, scratch []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		encoded, err := msg.AppendEncode(encodeBuf[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		encodeBuf = encoded
+		if env, err = la.SealEncodedAppend(env[:0], encoded); err != nil {
+			b.Fatal(err)
+		}
+		if _, scratch, err = lb.OpenEncodedAppend(scratch[:0], env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// printDeltas writes a per-benchmark comparison of ns/op and allocs/op
+// against a previous snapshot, flagging results with no counterpart.
+func printDeltas(w *os.File, base, cur *snapshot) {
+	prev := make(map[string]result, len(base.Results))
+	for _, r := range base.Results {
+		prev[r.Name] = r
+	}
+	fmt.Fprintf(w, "\n%-24s %15s %15s %9s %13s %13s %9s\n",
+		"benchmark", "old ns/op", "new ns/op", "delta", "old allocs", "new allocs", "delta")
+	for _, r := range cur.Results {
+		old, ok := prev[r.Name]
+		if !ok {
+			fmt.Fprintf(w, "%-24s %15s %15d %9s %13s %13d %9s\n",
+				r.Name, "-", r.NsPerOp, "new", "-", r.AllocsPerOp, "new")
+			continue
+		}
+		fmt.Fprintf(w, "%-24s %15d %15d %9s %13d %13d %9s\n",
+			r.Name, old.NsPerOp, r.NsPerOp, pct(old.NsPerOp, r.NsPerOp),
+			old.AllocsPerOp, r.AllocsPerOp, pct(old.AllocsPerOp, r.AllocsPerOp))
+	}
+	fmt.Fprintln(w)
+}
+
+// pct formats the relative change from old to new as a signed percentage.
+func pct(old, new int64) string {
+	if old == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*float64(new-old)/float64(old))
 }

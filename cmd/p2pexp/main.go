@@ -15,7 +15,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"runtime/debug"
+	"runtime/pprof"
 	"time"
 
 	"sgxp2p/internal/experiments"
@@ -39,6 +41,8 @@ func run(args []string) error {
 		unlimited  = fs.Bool("unlimited-bandwidth", false, "disable the shared-link model")
 		workers    = fs.Int("workers", 0, "goroutines sweeping independent data points (0 = all cores, 1 = serial); tables are identical for any value")
 		list       = fs.Bool("list", false, "list experiment ids and exit")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+		memprofile = fs.String("memprofile", "", "write a heap profile taken after the sweep to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -48,6 +52,32 @@ func run(args []string) error {
 			fmt.Println(id)
 		}
 		return nil
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "p2pexp:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "p2pexp:", err)
+			}
+		}()
 	}
 
 	// Experiment sweeps allocate heavily and transiently; a lazier GC

@@ -48,6 +48,12 @@ var (
 // Sealer converts plaintext to sealed envelopes under session keys.
 // Implementations must be deterministic in size: SealedSize(n) bytes for
 // an n-byte plaintext.
+//
+// The append-style variants are the hot path: they write into a
+// caller-provided buffer so a warm caller seals and opens without
+// allocating. For any sealer state, SealAppend must append exactly the
+// bytes Seal would return, and OpenAppend must accept and reject exactly
+// the envelopes Open would (pinned by the package equivalence tests).
 type Sealer interface {
 	// Seal produces the envelope.
 	Seal(keys xcrypto.SessionKeys, plaintext []byte) ([]byte, error)
@@ -56,6 +62,12 @@ type Sealer interface {
 	Open(keys xcrypto.SessionKeys, sealed []byte) ([]byte, error)
 	// SealedSize returns the envelope size for a plaintext length.
 	SealedSize(plaintextLen int) int
+	// SealAppend appends the envelope for plaintext to dst and returns
+	// the extended slice.
+	SealAppend(keys xcrypto.SessionKeys, dst, plaintext []byte) ([]byte, error)
+	// OpenAppend appends the recovered plaintext to dst and returns the
+	// extended slice; dst is untouched when verification fails.
+	OpenAppend(keys xcrypto.SessionKeys, dst, sealed []byte) ([]byte, error)
 }
 
 // RealSealer performs genuine AES-256-CTR encryption with an HMAC-SHA256
@@ -81,6 +93,22 @@ func (RealSealer) SealedSize(plaintextLen int) int {
 	return xcrypto.SealedSize(plaintextLen)
 }
 
+// SealAppend implements Sealer. Links established with a RealSealer do
+// not call it — they hold a prepared xcrypto.LinkCipher and skip the
+// per-envelope key-schedule rebuild this one-shot form pays.
+func (RealSealer) SealAppend(keys xcrypto.SessionKeys, dst, plaintext []byte) ([]byte, error) {
+	return xcrypto.SealAppend(keys, nil, dst, plaintext)
+}
+
+// OpenAppend implements Sealer.
+func (RealSealer) OpenAppend(keys xcrypto.SessionKeys, dst, sealed []byte) ([]byte, error) {
+	out, err := xcrypto.OpenAppend(keys, dst, sealed)
+	if err != nil {
+		return nil, ErrAuth
+	}
+	return out, nil
+}
+
 // ModelSealer is the simulation-mode sealer: identical envelope geometry
 // (16-byte header, payload, 32-byte tag), with a keyed 64-bit checksum in
 // place of the HMAC and a key fingerprint binding the envelope to the
@@ -104,22 +132,35 @@ const (
 
 // Seal implements Sealer.
 func (s *ModelSealer) Seal(keys xcrypto.SessionKeys, plaintext []byte) ([]byte, error) {
+	dst := make([]byte, 0, modelHeader+len(plaintext)+modelTag)
+	return s.SealAppend(keys, dst, plaintext)
+}
+
+// SealAppend implements Sealer. The counter is shared with Seal, so mixed
+// usage stays byte-identical to an all-Seal sequence.
+func (s *ModelSealer) SealAppend(keys xcrypto.SessionKeys, dst, plaintext []byte) ([]byte, error) {
 	s.counter++
-	out := make([]byte, modelHeader+len(plaintext)+modelTag)
-	binary.LittleEndian.PutUint64(out, s.counter)
-	copy(out[modelHeader:], plaintext)
-	sum := modelChecksum(keys, out[:modelHeader+len(plaintext)])
-	tag := out[modelHeader+len(plaintext):]
+	start := len(dst)
+	dst = binary.LittleEndian.AppendUint64(dst, s.counter)
+	dst = binary.LittleEndian.AppendUint64(dst, 0) // header padding
+	dst = append(dst, plaintext...)
+	sum := modelChecksum(keys, dst[start:])
 	// Fill the whole 32-byte tag region so flips anywhere in it are
 	// detected, as they would be against a real HMAC.
 	for i := 0; i < modelTag; i += 8 {
-		binary.LittleEndian.PutUint64(tag[i:], sum)
+		dst = binary.LittleEndian.AppendUint64(dst, sum)
 	}
-	return out, nil
+	return dst, nil
 }
 
 // Open implements Sealer.
 func (s *ModelSealer) Open(keys xcrypto.SessionKeys, sealed []byte) ([]byte, error) {
+	// Return a copy: envelopes may be aliased by replaying adversaries.
+	return s.OpenAppend(keys, nil, sealed)
+}
+
+// OpenAppend implements Sealer.
+func (s *ModelSealer) OpenAppend(keys xcrypto.SessionKeys, dst, sealed []byte) ([]byte, error) {
 	if len(sealed) < modelHeader+modelTag {
 		return nil, ErrAuth
 	}
@@ -131,8 +172,7 @@ func (s *ModelSealer) Open(keys xcrypto.SessionKeys, sealed []byte) ([]byte, err
 			return nil, ErrAuth
 		}
 	}
-	// Return a copy: envelopes may be aliased by replaying adversaries.
-	return append([]byte(nil), body[modelHeader:]...), nil
+	return append(dst, body[modelHeader:]...), nil
 }
 
 // SealedSize implements Sealer.
@@ -155,11 +195,19 @@ type Link struct {
 	remote wire.NodeID
 	keys   xcrypto.SessionKeys
 	sealer Sealer
+	// cipher is the prepared per-link cipher state built at link
+	// establishment for RealSealer links: the AES key schedule and the
+	// HMAC pads are derived once here instead of on every envelope.
+	// Stateful (scratch blocks, HMAC state), hence per-link and never
+	// shared through the enclave key cache.
+	cipher *xcrypto.LinkCipher
 }
 
 // NewLink derives the session keys with the remote enclave's public key
 // and returns the established link. It fails if the local enclave has
-// halted.
+// halted. For the real AES+HMAC sealer the per-link cipher state is
+// prepared here, once, so every later seal and open skips the key
+// schedule and HMAC pad derivation.
 func NewLink(local *enclave.Enclave, remote wire.NodeID, remotePub [xcrypto.PublicKeySize]byte, sealer Sealer) (*Link, error) {
 	if sealer == nil {
 		return nil, errors.New("channel: nil sealer")
@@ -168,7 +216,34 @@ func NewLink(local *enclave.Enclave, remote wire.NodeID, remotePub [xcrypto.Publ
 	if err != nil {
 		return nil, fmt.Errorf("channel: link to %d: %w", remote, err)
 	}
-	return &Link{local: local.ID(), remote: remote, keys: keys, sealer: sealer}, nil
+	l := &Link{local: local.ID(), remote: remote, keys: keys, sealer: sealer}
+	if _, ok := sealer.(RealSealer); ok {
+		if l.cipher, err = xcrypto.NewLinkCipher(keys); err != nil {
+			return nil, fmt.Errorf("channel: link to %d: %w", remote, err)
+		}
+	}
+	return l, nil
+}
+
+// sealAppend appends the envelope for plaintext to dst via the prepared
+// cipher when the link has one, the sealer otherwise.
+func (l *Link) sealAppend(dst, plaintext []byte) ([]byte, error) {
+	if l.cipher != nil {
+		return l.cipher.SealAppend(dst, nil, plaintext)
+	}
+	return l.sealer.SealAppend(l.keys, dst, plaintext)
+}
+
+// openAppend appends the verified plaintext of sealed to dst.
+func (l *Link) openAppend(dst, sealed []byte) ([]byte, error) {
+	if l.cipher != nil {
+		out, err := l.cipher.OpenAppend(dst, sealed)
+		if err != nil {
+			return nil, ErrAuth
+		}
+		return out, nil
+	}
+	return l.sealer.OpenAppend(l.keys, dst, sealed)
 }
 
 // Remote returns the peer on the far side of the link.
@@ -192,6 +267,23 @@ func (l *Link) SealEncoded(encoded []byte) ([]byte, error) {
 	return l.sealer.Seal(l.keys, encoded)
 }
 
+// SealEncodedAppend is SealEncoded appending the envelope to dst. It
+// pre-grows dst to the exact envelope size, so sealing into a nil dst
+// costs one exactly-sized allocation and sealing into a warm buffer
+// costs none; the envelope bytes are identical to SealEncoded for the
+// same sealer state. Envelopes handed to a transport escape the caller
+// (the adversarial OS may hold or replay them), so the runtime seals
+// each into a fresh dst and reuses buffers only where the envelope
+// provably does not outlive the call.
+func (l *Link) SealEncodedAppend(dst, encoded []byte) ([]byte, error) {
+	if need := l.sealer.SealedSize(len(encoded)); cap(dst)-len(dst) < need {
+		grown := make([]byte, len(dst), len(dst)+need)
+		copy(grown, dst)
+		dst = grown
+	}
+	return l.sealAppend(dst, encoded)
+}
+
 // Open verifies, decrypts and decodes an envelope received from the remote
 // peer. Any failure means the envelope must be treated as an omission
 // (Theorem A.2, step 1).
@@ -205,11 +297,22 @@ func (l *Link) Open(sealed []byte) (*wire.Message, error) {
 // ACK digest H(val) directly, instead of re-encoding the message it just
 // decoded.
 func (l *Link) OpenEncoded(sealed []byte) (*wire.Message, []byte, error) {
-	plaintext, err := l.sealer.Open(l.keys, sealed)
+	return l.OpenEncodedAppend(nil, sealed)
+}
+
+// OpenEncodedAppend is OpenEncoded decrypting into dst: the returned
+// plaintext is dst extended by the envelope's payload bytes. The receive
+// hot path passes a per-peer scratch buffer (sliced to length 0), so a
+// warm receive verifies, decrypts and digests without allocating the
+// plaintext. The returned plaintext aliases dst's backing array and is
+// only valid until the buffer's next use; the decoded message owns no
+// part of it.
+func (l *Link) OpenEncodedAppend(dst, sealed []byte) (*wire.Message, []byte, error) {
+	plaintext, err := l.openAppend(dst, sealed)
 	if err != nil {
 		return nil, nil, err
 	}
-	msg, err := wire.Decode(plaintext)
+	msg, err := wire.Decode(plaintext[len(dst):])
 	if err != nil {
 		return nil, nil, fmt.Errorf("channel: decode: %w", err)
 	}

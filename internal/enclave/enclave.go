@@ -204,6 +204,14 @@ func (e *Enclave) DHPublic() [xcrypto.PublicKeySize]byte { return e.dh.Public() 
 // binding the program measurement into the derivation: two enclaves agree
 // on keys only if they run the same program, which is how property P1/P2
 // rejects messages from modified programs (Theorem A.2, step 2).
+//
+// The returned keys are raw material, not prepared cipher state: the
+// channel layer hands them to channel.NewLink, which (for the real
+// sealer) expands them once into a per-link xcrypto.LinkCipher — AES key
+// schedule plus HMAC pad states. That prepared state lives in the Link,
+// never in the enclave KeyCache; the cache stores only the 64 key bytes,
+// so cache eviction or a fresh derivation can never invalidate a live
+// link's cipher.
 func (e *Enclave) SessionKeys(remote [xcrypto.PublicKeySize]byte) (xcrypto.SessionKeys, error) {
 	if e.halted {
 		return xcrypto.SessionKeys{}, ErrHalted

@@ -90,6 +90,9 @@ var (
 	ErrHalted = errors.New("runtime: peer halted")
 	// ErrUnknownPeer indicates a destination outside the roster.
 	ErrUnknownPeer = errors.New("runtime: unknown peer")
+	// ErrNilMessage indicates an attempt to acknowledge or digest a nil
+	// message.
+	ErrNilMessage = errors.New("runtime: nil message")
 )
 
 // Stats counts runtime-level events, used by tests and experiments.
@@ -169,6 +172,18 @@ type Peer struct {
 	// so acknowledging a received message costs zero extra Encodes.
 	delivering        *wire.Message
 	deliveringEncoded []byte
+
+	// encodeBuf and openBuf are per-peer scratch buffers for the two
+	// halves of the envelope hot path: Multicast/Send encode messages
+	// into encodeBuf (wire.AppendEncode) and receive decrypts envelopes
+	// into openBuf (channel.OpenEncodedAppend). Both are safe to reuse
+	// because the peer's sends and deliveries are serialized on one
+	// event loop and neither encoding outlives its call: envelopes are
+	// sealed into fresh buffers (they escape to the transport, where the
+	// adversary may hold or replay them) and decoded messages share no
+	// bytes with the plaintext they were parsed from.
+	encodeBuf []byte
+	openBuf   []byte
 }
 
 // NewPeer verifies the roster's attestation quotes (F3, property P1),
@@ -389,9 +404,13 @@ func (p *Peer) HaltSelf() {
 	p.tr.Detach()
 }
 
-// Digest computes H(val), the message digest ACKs carry.
+// Digest computes H(val), the message digest ACKs carry. A nil message
+// is reported as ErrNilMessage rather than a panic.
 func Digest(msg *wire.Message) (wire.Value, error) {
 	var d wire.Value
+	if msg == nil {
+		return d, ErrNilMessage
+	}
 	enc, err := msg.Encode()
 	if err != nil {
 		return d, err
@@ -411,17 +430,20 @@ func DigestEncoded(encoded []byte) wire.Value {
 // current round and halts the peer if fewer than ackThreshold arrive.
 // Destinations nil means "all other peers".
 //
-// The message is encoded exactly once; each link seals the shared
-// encoding (channel.SealEncoded), so a multicast to N-1 destinations
-// costs one Encode instead of N-1 (or N with an ACK digest).
+// The message is encoded exactly once, into the peer's reused encode
+// scratch; each link seals the shared encoding into a fresh envelope
+// (channel.SealEncodedAppend), so a multicast to N-1 destinations costs
+// zero steady-state encode allocations and exactly one exactly-sized
+// allocation per envelope.
 func (p *Peer) Multicast(dsts []wire.NodeID, msg *wire.Message, ackThreshold int) error {
 	if p.Halted() {
 		return ErrHalted
 	}
-	encoded, err := msg.Encode()
+	encoded, err := msg.AppendEncode(p.encodeBuf[:0])
 	if err != nil {
 		return err
 	}
+	p.encodeBuf = encoded
 	if ackThreshold > 0 {
 		p.trackers = append(p.trackers, &ackTracker{
 			digest:    DigestEncoded(encoded),
@@ -453,15 +475,19 @@ func (p *Peer) Multicast(dsts []wire.NodeID, msg *wire.Message, ackThreshold int
 
 // Send seals msg for one destination and hands it to the transport.
 func (p *Peer) Send(dst wire.NodeID, msg *wire.Message) error {
-	encoded, err := msg.Encode()
+	encoded, err := msg.AppendEncode(p.encodeBuf[:0])
 	if err != nil {
 		return err
 	}
+	p.encodeBuf = encoded
 	return p.sendEncoded(dst, encoded)
 }
 
 // sendEncoded seals an already-encoded message for one destination and
-// hands the envelope to the transport.
+// hands the envelope to the transport. The envelope is sealed into a
+// fresh exactly-sized buffer: ownership passes to the transport, where
+// the adversarial OS may hold or replay it indefinitely, so envelope
+// buffers are never reused by the runtime.
 func (p *Peer) sendEncoded(dst wire.NodeID, encoded []byte) error {
 	if p.Halted() {
 		return ErrHalted
@@ -469,7 +495,7 @@ func (p *Peer) sendEncoded(dst wire.NodeID, encoded []byte) error {
 	if int(dst) >= len(p.links) || p.links[dst] == nil {
 		return ErrUnknownPeer
 	}
-	env, err := p.links[dst].SealEncoded(encoded)
+	env, err := p.links[dst].SealEncodedAppend(nil, encoded)
 	if err != nil {
 		return err
 	}
@@ -485,9 +511,15 @@ func (p *Peer) sendEncoded(dst wire.NodeID, encoded []byte) error {
 // receive (the common case — protocols ACK from inside OnMessage), the
 // digest is taken from the plaintext the channel just opened instead of
 // re-encoding the message.
+//
+// A nil received message is rejected with ErrNilMessage instead of
+// panicking inside the digest computation.
 func (p *Peer) SendAck(dst wire.NodeID, received *wire.Message) error {
+	if received == nil {
+		return ErrNilMessage
+	}
 	var digest wire.Value
-	if received != nil && received == p.delivering {
+	if received == p.delivering {
 		digest = DigestEncoded(p.deliveringEncoded)
 	} else {
 		var err error
@@ -520,13 +552,18 @@ func (p *Peer) receive(src wire.NodeID, payload []byte) {
 	if int(src) >= len(p.links) || p.links[src] == nil {
 		return
 	}
-	msg, encoded, err := p.links[src].OpenEncoded(payload)
+	// Envelopes are decrypted into the peer's reused open scratch: the
+	// plaintext is only alive while this delivery runs (the decoded
+	// message shares no bytes with it), so a warm receive pays no
+	// plaintext allocation.
+	msg, encoded, err := p.links[src].OpenEncodedAppend(p.openBuf[:0], payload)
 	if err != nil {
 		// Forged, corrupted, cross-program or mis-addressed envelopes
 		// reduce to omissions (Theorem A.2).
 		p.stats.AuthFailures++
 		return
 	}
+	p.openBuf = encoded
 	if msg.Type == wire.TypeAck {
 		p.stats.AcksReceived++
 		p.handleAck(src, msg)

@@ -117,9 +117,10 @@ func (n *Network) Config() Config { return n.cfg }
 func (n *Network) Now() time.Duration { return n.sim.Now() }
 
 // After schedules fn after the given virtual delay. It exists so protocol
-// runtimes can depend on a narrow scheduling interface.
+// runtimes can depend on a narrow scheduling interface. The event is
+// fire-and-forget (Schedule), so no cancellation handle is allocated.
 func (n *Network) After(d time.Duration, fn func()) {
-	n.sim.After(d, fn)
+	n.sim.ScheduleAfter(d, fn)
 }
 
 // SetHandler registers the delivery callback for a node.
@@ -187,7 +188,7 @@ func (n *Network) Send(src, dst wire.NodeID, payload []byte) {
 	if arrival-now > n.cfg.Delta {
 		n.traffic.Late++
 	}
-	n.sim.At(arrival, func() {
+	n.sim.Schedule(arrival, func() {
 		// Only the destination is re-checked at delivery time: envelopes
 		// already in flight when their sender halts still arrive, as they
 		// would on a real network.

@@ -54,7 +54,33 @@ var _ runtime.Transport = (*Port)(nil)
 // outConn is an outbound connection with an async writer.
 type outConn struct {
 	conn net.Conn
-	ch   chan []byte
+	ch   chan *frame
+}
+
+// frame is one pooled outbound wire frame (header + payload). Send
+// builds frames from framePool and the writer goroutine returns them
+// after the socket write, so the steady-state TCP send path recycles
+// its buffers instead of allocating one per envelope. The pool entry is
+// a pointer-to-struct so Put never re-boxes the slice header.
+type frame struct {
+	buf []byte
+}
+
+var framePool = sync.Pool{New: func() any { return new(frame) }}
+
+// newFrame builds a pooled frame carrying one payload from src.
+func newFrame(src wire.NodeID, payload []byte) *frame {
+	f := framePool.Get().(*frame)
+	need := 8 + len(payload)
+	if cap(f.buf) < need {
+		f.buf = make([]byte, need)
+	} else {
+		f.buf = f.buf[:need]
+	}
+	binary.LittleEndian.PutUint32(f.buf, uint32(src))
+	binary.LittleEndian.PutUint32(f.buf[4:], uint32(len(payload)))
+	copy(f.buf[8:], payload)
+	return f
 }
 
 // Listen opens a listening socket for a node. Use Addr to learn the bound
@@ -145,21 +171,23 @@ func (p *Port) runLoop() {
 	}
 }
 
-// Send implements runtime.Transport.
+// Send implements runtime.Transport. The payload is copied into a pooled
+// frame, so the caller's envelope buffer is released as soon as Send
+// returns, and frames cycle between Send and the writer goroutines
+// through framePool instead of allocating per envelope.
 func (p *Port) Send(dst wire.NodeID, payload []byte) {
 	oc, err := p.outbound(dst)
 	if err != nil {
 		return // unreachable peer: equivalent to an omission
 	}
-	frame := make([]byte, 8+len(payload))
-	binary.LittleEndian.PutUint32(frame, uint32(p.self))
-	binary.LittleEndian.PutUint32(frame[4:], uint32(len(payload)))
-	copy(frame[8:], payload)
+	f := newFrame(p.self, payload)
 	select {
-	case oc.ch <- frame:
+	case oc.ch <- f:
 	case <-p.done:
+		framePool.Put(f)
 	default:
 		// Writer queue full: drop (bounded memory; omission-equivalent).
+		framePool.Put(f)
 	}
 }
 
@@ -183,7 +211,7 @@ func (p *Port) outbound(dst wire.NodeID) (*outConn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("tcpnet: dial %d@%s: %w", dst, addr, err)
 	}
-	oc := &outConn{conn: conn, ch: make(chan []byte, 1024)}
+	oc := &outConn{conn: conn, ch: make(chan *frame, 1024)}
 	p.mu.Lock()
 	if existing, ok := p.conns[dst]; ok {
 		p.mu.Unlock()
@@ -197,7 +225,8 @@ func (p *Port) outbound(dst wire.NodeID) (*outConn, error) {
 	return oc, nil
 }
 
-// writeLoop drains an outbound queue onto its connection.
+// writeLoop drains an outbound queue onto its connection, returning each
+// frame to the pool once the socket write completes.
 func (p *Port) writeLoop(oc *outConn) {
 	defer p.wg.Done()
 	defer oc.conn.Close()
@@ -205,8 +234,10 @@ func (p *Port) writeLoop(oc *outConn) {
 		select {
 		case <-p.done:
 			return
-		case frame := <-oc.ch:
-			if _, err := oc.conn.Write(frame); err != nil {
+		case f := <-oc.ch:
+			_, err := oc.conn.Write(f.buf)
+			framePool.Put(f)
+			if err != nil {
 				return
 			}
 		}

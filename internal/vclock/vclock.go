@@ -9,11 +9,17 @@
 // events: heap entries carry their ordering key inline (no pointer chase
 // in comparisons) and cancellation is lazy (cancelled events are skipped
 // at pop time instead of being removed), so heap operations never write
-// back through event pointers.
+// back through event pointers. The heap is hand-rolled rather than
+// container/heap because the interface-based API boxes every pushed and
+// popped entry (two allocations per event); and fire-and-forget
+// callers use Schedule, which skips the *Event handle allocation too —
+// scheduling a delivery then costs no allocations beyond amortized
+// queue growth. Pop order is the total order (time, sequence), so the
+// hand-rolled heap fires events in exactly the order container/heap
+// did and simulation determinism is unaffected.
 package vclock
 
 import (
-	"container/heap"
 	"errors"
 	"time"
 )
@@ -71,7 +77,7 @@ func (s *Sim) At(t time.Duration, fn func()) *Event {
 		t = s.now
 	}
 	e := &Event{at: t, fn: fn}
-	heap.Push(&s.queue, entry{at: t, seq: s.nextSeq, e: e})
+	s.queue.push(entry{at: t, seq: s.nextSeq, e: e})
 	s.nextSeq++
 	return e
 }
@@ -79,6 +85,26 @@ func (s *Sim) At(t time.Duration, fn func()) *Event {
 // After schedules fn to run after the given delay relative to now.
 func (s *Sim) After(d time.Duration, fn func()) *Event {
 	return s.At(s.now+d, fn)
+}
+
+// Schedule is the fire-and-forget form of At: no *Event handle is
+// allocated, so the event cannot be cancelled. It is the right call for
+// high-volume events that always fire, like message deliveries; it
+// interleaves with At events in the same (time, sequence) order.
+func (s *Sim) Schedule(t time.Duration, fn func()) {
+	if fn == nil {
+		panic("vclock: nil event callback")
+	}
+	if t < s.now {
+		t = s.now
+	}
+	s.queue.push(entry{at: t, seq: s.nextSeq, fn: fn})
+	s.nextSeq++
+}
+
+// ScheduleAfter is Schedule with a delay relative to now.
+func (s *Sim) ScheduleAfter(d time.Duration, fn func()) {
+	s.Schedule(s.now+d, fn)
 }
 
 // Cancel marks a pending event so it will not fire; the entry is dropped
@@ -102,15 +128,18 @@ func (s *Sim) Pending() int { return s.queue.Len() - s.cancelled }
 // whether an event was fired.
 func (s *Sim) Step() bool {
 	for s.queue.Len() > 0 {
-		en := heap.Pop(&s.queue).(entry)
-		if en.e.fn == nil {
-			s.cancelled--
-			continue
+		en := s.queue.pop()
+		fn := en.fn
+		if en.e != nil {
+			if en.e.fn == nil {
+				s.cancelled--
+				continue
+			}
+			fn = en.e.fn
+			en.e.fn = nil
+			en.e.fired = true
 		}
 		s.now = en.at
-		fn := en.e.fn
-		en.e.fn = nil
-		en.e.fired = true
 		fn()
 		return true
 	}
@@ -118,10 +147,11 @@ func (s *Sim) Step() bool {
 }
 
 // skipCancelledHead drops cancelled entries off the queue head so the
-// head's time is that of a live event.
+// head's time is that of a live event. Schedule entries (no handle)
+// cannot be cancelled and never match.
 func (s *Sim) skipCancelledHead() {
-	for s.queue.Len() > 0 && s.queue[0].e.fn == nil {
-		heap.Pop(&s.queue)
+	for s.queue.Len() > 0 && s.queue[0].e != nil && s.queue[0].e.fn == nil {
+		s.queue.pop()
 		s.cancelled--
 	}
 }
@@ -165,38 +195,67 @@ func (s *Sim) RunUntil(t time.Duration) {
 
 // entry is a heap element with the ordering key stored inline, so heap
 // comparisons and swaps never dereference the *Event — on multi-million-
-// event simulations the pointer chase was the dominant cost.
+// event simulations the pointer chase was the dominant cost. Exactly one
+// of fn (a Schedule entry) and e (an At entry, cancellable through the
+// handle) is set.
 type entry struct {
 	at  time.Duration
 	seq uint64
+	fn  func()
 	e   *Event
 }
 
-// eventQueue implements heap.Interface ordered by (at, seq).
+// eventQueue is a binary min-heap of entries ordered by (at, seq). The
+// push/pop pair is hand-rolled instead of container/heap so entries
+// never round-trip through `any` (which heap-allocates a box per call).
 type eventQueue []entry
 
 func (q eventQueue) Len() int { return len(q) }
 
-func (q eventQueue) Less(i, j int) bool {
+func (q eventQueue) less(i, j int) bool {
 	if q[i].at != q[j].at {
 		return q[i].at < q[j].at
 	}
 	return q[i].seq < q[j].seq
 }
 
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
+func (q *eventQueue) push(en entry) {
+	*q = append(*q, en)
+	h := *q
+	// Sift up.
+	for j := len(h) - 1; j > 0; {
+		i := (j - 1) / 2
+		if !h.less(j, i) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
 }
 
-func (q *eventQueue) Push(x any) {
-	*q = append(*q, x.(entry))
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	en := old[n-1]
-	old[n-1] = entry{}
-	*q = old[:n-1]
+func (q *eventQueue) pop() entry {
+	h := *q
+	n := len(h) - 1
+	h[0], h[n] = h[n], h[0]
+	en := h[n]
+	h[n] = entry{}
+	h = h[:n]
+	*q = h
+	// Sift down from the root.
+	for i := 0; ; {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		j := l
+		if r := l + 1; r < n && h.less(r, l) {
+			j = r
+		}
+		if !h.less(j, i) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
 	return en
 }

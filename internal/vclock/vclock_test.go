@@ -285,3 +285,67 @@ func BenchmarkScheduleAndRun(b *testing.B) {
 		}
 	}
 }
+
+// TestScheduleInterleavesWithAt pins that fire-and-forget Schedule
+// events share the (time, sequence) order with At events: scheduling
+// order breaks time ties regardless of which API queued the event.
+func TestScheduleInterleavesWithAt(t *testing.T) {
+	s := New()
+	var got []int
+	s.At(time.Second, func() { got = append(got, 0) })
+	s.Schedule(time.Second, func() { got = append(got, 1) })
+	s.At(time.Second, func() { got = append(got, 2) })
+	s.Schedule(500*time.Millisecond, func() { got = append(got, 3) })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{3, 0, 1, 2}
+	if len(got) != len(want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired %v, want %v", got, want)
+		}
+	}
+}
+
+// TestSchedulePastClamped mirrors At's clamping for the handle-free form.
+func TestSchedulePastClamped(t *testing.T) {
+	s := New()
+	fired := false
+	s.Schedule(10*time.Second, func() {
+		s.Schedule(time.Second, func() { fired = true }) // in the past
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !fired || s.Now() != 10*time.Second {
+		t.Fatalf("fired=%v now=%v", fired, s.Now())
+	}
+}
+
+// TestScheduleSteadyStateAllocs pins the hot-path property the simnet
+// delivery path depends on: once the queue has grown to its working
+// capacity, Schedule+Step cycles do not allocate (the closure passed in
+// is the caller's business; here it is hoisted out of the loop).
+func TestScheduleSteadyStateAllocs(t *testing.T) {
+	s := New()
+	fn := func() {}
+	// Warm the queue's backing array.
+	for i := 0; i < 64; i++ {
+		s.Schedule(time.Duration(i), fn)
+	}
+	for s.Step() {
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 32; i++ {
+			s.Schedule(s.Now()+time.Duration(i), fn)
+		}
+		for s.Step() {
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm Schedule+Step allocated %.1f times per run, want 0", allocs)
+	}
+}

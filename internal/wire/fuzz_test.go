@@ -1,0 +1,83 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestAppendEncodeMatchesEncode pins the scratch-buffer encode contract:
+// AppendEncode emits exactly Encode's bytes, preserves any dst prefix,
+// and reuses capacity across messages.
+func TestAppendEncodeMatchesEncode(t *testing.T) {
+	msgs := []*Message{
+		sampleMessage(),
+		{Type: TypeAck, Sender: 9, Initiator: 3, Seq: 42, Round: 1, HasValue: true, Value: Value{0xFF}},
+		{Type: TypeFinal, Sender: 2, Initiator: 2, Round: 10,
+			Set: []SetEntry{{Initiator: 1, Value: Value{0xA}}, {Initiator: 5, Value: Value{0xB}}}},
+		{Type: TypeSigRelay, Sender: 1, Initiator: 0, Round: 3,
+			Sigs: []SigEntry{{Signer: 0, Signature: []byte{1, 2, 3}}, {Signer: 1, Signature: []byte{4}}}},
+	}
+	var scratch []byte
+	for i, msg := range msgs {
+		want, err := msg.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := msg.AppendEncode(scratch[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		scratch = got
+		if !bytes.Equal(want, got) {
+			t.Fatalf("msg %d: AppendEncode differs from Encode", i)
+		}
+	}
+	prefix := []byte("prefix")
+	out, err := sampleMessage().AppendEncode(append([]byte(nil), prefix...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := sampleMessage().Encode()
+	if !bytes.HasPrefix(out, prefix) || !bytes.Equal(out[len(prefix):], want) {
+		t.Fatal("AppendEncode clobbered the dst prefix")
+	}
+}
+
+// FuzzDecode feeds arbitrary bytes to Decode: it must never panic, and
+// any accepted message must re-encode to exactly the input (the encoding
+// is canonical: no two byte strings decode to the same message).
+func FuzzDecode(f *testing.F) {
+	for _, msg := range []*Message{
+		sampleMessage(),
+		{Type: TypeAck, Sender: 1, Initiator: 2, Seq: 3, Round: 4, HasValue: true},
+		{Type: TypeFinal, Sender: 2, Initiator: 2, Round: 1,
+			Set: []SetEntry{{Initiator: 0, Value: Value{1}}}},
+		{Type: TypeSigRelay, Sender: 0, Initiator: 0, Round: 2,
+			Sigs: []SigEntry{{Signer: 3, Signature: []byte{9, 9}}}},
+	} {
+		enc, err := msg.Encode()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(enc)
+		f.Add(enc[:len(enc)-1])                       // truncated
+		f.Add(append(append([]byte(nil), enc...), 0)) // trailing byte
+	}
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, err := Decode(data)
+		if err != nil {
+			return
+		}
+		re, err := msg.AppendEncode(nil)
+		if err != nil {
+			t.Fatalf("decoded message failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatalf("decode/encode not canonical:\n in  %x\n out %x", data, re)
+		}
+		if msg.EncodedSize() != len(data) {
+			t.Fatalf("EncodedSize %d, input %d", msg.EncodedSize(), len(data))
+		}
+	})
+}

@@ -193,13 +193,26 @@ func (m *Message) EncodedSize() int {
 // Encode serializes the message. It never fails for messages within the
 // section limits; oversized sections are reported as errors.
 func (m *Message) Encode() ([]byte, error) {
+	return m.AppendEncode(nil)
+}
+
+// AppendEncode serializes the message appending to buf and returns the
+// extended slice, byte-identical to Encode. The multicast hot path
+// encodes into a reused per-peer scratch buffer, so steady-state sends
+// pay no encode allocation. buf is pre-grown to the exact encoded size
+// when its capacity is short.
+func (m *Message) AppendEncode(buf []byte) ([]byte, error) {
 	if len(m.Set) >= maxSetEntries {
 		return nil, ErrTooManySets
 	}
 	if len(m.Sigs) >= maxSigEntries {
 		return nil, ErrTooManySigs
 	}
-	buf := make([]byte, 0, m.EncodedSize())
+	if need := m.EncodedSize(); cap(buf)-len(buf) < need {
+		grown := make([]byte, len(buf), len(buf)+need)
+		copy(grown, buf)
+		buf = grown
+	}
 	buf = append(buf, byte(m.Type))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.Sender))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.Initiator))
