@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race verify bench benchsmoke clean
+.PHONY: build test vet race chaos verify bench benchsmoke clean
 
 build:
 	$(GO) build ./...
@@ -19,14 +19,21 @@ vet:
 race:
 	$(GO) test -race ./internal/deploy/... ./internal/experiments/... ./internal/runtime/... ./internal/tcpnet/...
 
+# chaos runs the deterministic fault-injection suite under the race
+# detector: fixed-seed schedules (crash-restart, partitions, flips)
+# against ERB/ERNG invariants plus the beacon bias battery. Failures
+# print the seed to replay with `p2pexp -experiment chaos -chaos-seed`.
+chaos:
+	$(GO) test -race -count=1 ./internal/chaos/...
+
 # benchsmoke compiles and runs every benchmark for a single iteration so
 # a broken benchmark cannot sit undetected until the next bench run.
 benchsmoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
 # verify is the tier-1 gate: build, vet, full test suite, race subset,
-# one-iteration benchmark smoke run.
-verify: build vet test race benchsmoke
+# chaos fault-injection suite, one-iteration benchmark smoke run.
+verify: build vet test race chaos benchsmoke
 
 # bench regenerates BENCH_setup.json: setup/broadcast microbenchmarks plus
 # the fig2a/fig2b sweeps (ns/op and allocs/op) via cmd/p2pbench.

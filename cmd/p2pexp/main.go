@@ -8,7 +8,7 @@
 //	p2pexp -experiment tab1 -csv      # machine-readable output
 //
 // Experiment ids: fig2a fig2b fig2c fig3a fig3b fig3c tab1 tab2 sanitize
-// bias ablate (see DESIGN.md for the per-experiment index).
+// bias ablate chaos (see DESIGN.md for the per-experiment index).
 package main
 
 import (
@@ -40,6 +40,7 @@ func run(args []string) error {
 		delta      = fs.Duration("delta", time.Second, "base one-way delivery bound (a round is 2*delta)")
 		unlimited  = fs.Bool("unlimited-bandwidth", false, "disable the shared-link model")
 		workers    = fs.Int("workers", 0, "goroutines sweeping independent data points (0 = all cores, 1 = serial); tables are identical for any value")
+		chaosSeed  = fs.Int64("chaos-seed", 0, "replay a single chaos fault schedule by seed (chaos experiment only)")
 		list       = fs.Bool("list", false, "list experiment ids and exit")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 		memprofile = fs.String("memprofile", "", "write a heap profile taken after the sweep to this file")
@@ -85,10 +86,11 @@ func run(args []string) error {
 	debug.SetGCPercent(400)
 
 	cfg := experiments.Config{
-		Full:    *full,
-		Seed:    *seed,
-		Delta:   *delta,
-		Workers: *workers,
+		Full:      *full,
+		Seed:      *seed,
+		Delta:     *delta,
+		Workers:   *workers,
+		ChaosSeed: *chaosSeed,
 	}
 	if *unlimited {
 		cfg.Bandwidth = experiments.Unlimited

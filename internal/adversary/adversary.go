@@ -171,6 +171,29 @@ func (o *OS) Release() {
 // HeldCount returns how many envelopes are currently held.
 func (o *OS) HeldCount() int { return len(o.held) }
 
+// Drain disposes of every held envelope at teardown: each one is released
+// or discarded by a coin from the OS's own seeded rng. Before Drain
+// existed, deployment shutdown simply dropped the hold queue, so the fate
+// of delayed envelopes depended on whether the test bothered to Release —
+// now teardown under the same seed produces the same release/discard
+// sequence and delayed-delivery runs are replayable bit-for-bit. Released
+// envelopes carry stale round stamps, so receivers discard them (P5).
+func (o *OS) Drain() (released, discarded int) {
+	held := o.held
+	o.held = nil
+	for _, h := range held {
+		if o.rng.Intn(2) == 0 {
+			o.stats.Delivered++
+			o.inner.Send(h.dst, h.payload)
+			released++
+		} else {
+			o.stats.Dropped++
+			discarded++
+		}
+	}
+	return released, discarded
+}
+
 // ReplayTape re-sends every recorded envelope to its original destination
 // (attack A5). Returns the number replayed.
 func (o *OS) ReplayTape() int {
@@ -267,6 +290,39 @@ func Chain(chain []wire.NodeID, self int, release wire.NodeID) Behavior {
 		}
 		return Drop
 	})
+}
+
+// Switchable is a Behavior whose underlying behavior can be swapped while
+// the network runs — the primitive behind the chaos engine's FlipBehavior
+// (an adversary that changes strategy at a round boundary). A nil current
+// behavior is honest passthrough. It is not goroutine-safe; flips happen
+// on the simulation event loop, like every other behavior decision.
+type Switchable struct {
+	current Behavior
+}
+
+// NewSwitchable builds a switchable behavior starting as b (nil = honest).
+func NewSwitchable(b Behavior) *Switchable { return &Switchable{current: b} }
+
+// Set swaps the underlying behavior (nil = honest passthrough).
+func (s *Switchable) Set(b Behavior) { s.current = b }
+
+// Current returns the underlying behavior.
+func (s *Switchable) Current() Behavior { return s.current }
+
+// Outbound implements Behavior.
+func (s *Switchable) Outbound(dst wire.NodeID, size int) Action {
+	if s.current == nil {
+		return Deliver
+	}
+	return s.current.Outbound(dst, size)
+}
+
+// NewEpoch implements Epochal, forwarding to the current behavior.
+func (s *Switchable) NewEpoch(epoch uint32) {
+	if e, ok := s.current.(Epochal); ok {
+		e.NewEpoch(epoch)
+	}
 }
 
 // probabilisticEpoch is the Appendix-D misbehaviour model: at every epoch

@@ -1,0 +1,121 @@
+package adversary_test
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"sgxp2p/internal/adversary"
+	"sgxp2p/internal/wire"
+)
+
+// sink is a minimal runtime.Transport that records sends, for exercising
+// the OS without a deployment.
+type sink struct {
+	sent []wire.NodeID
+}
+
+func (s *sink) Send(dst wire.NodeID, payload []byte)             { s.sent = append(s.sent, dst) }
+func (s *sink) SetHandler(func(src wire.NodeID, payload []byte)) {}
+func (s *sink) Detach()                                          {}
+func (s *sink) After(d time.Duration, fn func())                 { fn() }
+func (s *sink) Now() time.Duration                               { return 0 }
+
+// TestDrainDeterministic: the teardown fate of held envelopes is a pure
+// function of the OS seed — two OSes fed the same hold queue drain into
+// the identical release/discard split and release order.
+func TestDrainDeterministic(t *testing.T) {
+	run := func() (int, int, []wire.NodeID, adversary.Stats) {
+		tr := &sink{}
+		os := adversary.Wrap(7, tr, adversary.DelayAll(), 4242)
+		for i := 0; i < 16; i++ {
+			os.Send(wire.NodeID(i%5), []byte{byte(i)})
+		}
+		if got := os.HeldCount(); got != 16 {
+			t.Fatalf("held %d, want 16", got)
+		}
+		rel, dis := os.Drain()
+		return rel, dis, tr.sent, os.Stats()
+	}
+	rel1, dis1, sent1, st1 := run()
+	rel2, dis2, sent2, st2 := run()
+	if rel1+dis1 != 16 {
+		t.Fatalf("drain lost envelopes: released=%d discarded=%d", rel1, dis1)
+	}
+	if rel1 == 0 || dis1 == 0 {
+		t.Fatalf("degenerate coin sequence (released=%d discarded=%d): pick a different seed", rel1, dis1)
+	}
+	if rel1 != rel2 || dis1 != dis2 || !reflect.DeepEqual(sent1, sent2) {
+		t.Fatalf("same seed drained differently: %d/%d %v vs %d/%d %v",
+			rel1, dis1, sent1, rel2, dis2, sent2)
+	}
+	if st1 != st2 {
+		t.Fatalf("stats diverged: %+v vs %+v", st1, st2)
+	}
+	if os2 := adversary.Wrap(7, &sink{}, nil, 4242); func() int { r, d := os2.Drain(); return r + d }() != 0 {
+		t.Fatal("drain of an empty hold queue moved envelopes")
+	}
+	if st1.Held != 16 || st1.Delivered != uint64(rel1) || st1.Dropped != uint64(dis1) {
+		t.Fatalf("stats inconsistent with drain: %+v (released=%d discarded=%d)", st1, rel1, dis1)
+	}
+}
+
+// TestDrainThenReleaseEmpty: Drain empties the hold queue, so a later
+// Release is a no-op — teardown cannot double-deliver.
+func TestDrainThenReleaseEmpty(t *testing.T) {
+	tr := &sink{}
+	os := adversary.Wrap(1, tr, adversary.DelayAll(), 9)
+	os.Send(2, []byte{0xAA})
+	os.Drain()
+	before := len(tr.sent)
+	os.Release()
+	if os.HeldCount() != 0 || len(tr.sent) != before {
+		t.Fatal("Release after Drain moved envelopes")
+	}
+}
+
+// TestSwitchableMidStream: the chaos engine flips a node's behavior at a
+// round boundary by swapping the Switchable's inner behavior; the OS
+// wrapper itself never changes.
+func TestSwitchableMidStream(t *testing.T) {
+	tr := &sink{}
+	sw := adversary.NewSwitchable(nil)
+	os := adversary.Wrap(3, tr, sw, 1)
+
+	os.Send(0, []byte{1}) // honest: delivered
+	sw.Set(adversary.OmitAll())
+	os.Send(0, []byte{2}) // omitted
+	sw.Set(nil)
+	os.Send(0, []byte{3}) // honest again
+
+	if got := len(tr.sent); got != 2 {
+		t.Fatalf("delivered %d envelopes, want 2 (flip to omit-all dropped the middle one)", got)
+	}
+	if st := os.Stats(); st.Dropped != 1 || st.Delivered != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if sw.Current() != nil {
+		t.Fatal("Current() != nil after flipping back to honest")
+	}
+}
+
+// TestSwitchableForwardsEpochs: NewEpoch reaches the inner behavior
+// through the switch, so epochal behaviors re-roll across instances even
+// when installed mid-run.
+func TestSwitchableForwardsEpochs(t *testing.T) {
+	var epochs []uint32
+	sw := adversary.NewSwitchable(nil)
+	sw.NewEpoch(1) // inner nil: must not panic
+	sw.Set(epochalFunc(func(e uint32) { epochs = append(epochs, e) }))
+	sw.NewEpoch(2)
+	sw.NewEpoch(3)
+	if !reflect.DeepEqual(epochs, []uint32{2, 3}) {
+		t.Fatalf("inner behavior saw epochs %v, want [2 3]", epochs)
+	}
+}
+
+// epochalFunc is a Behavior that only cares about epoch boundaries.
+type epochalFunc func(epoch uint32)
+
+func (f epochalFunc) Outbound(wire.NodeID, int) adversary.Action { return adversary.Deliver }
+func (f epochalFunc) NewEpoch(epoch uint32)                      { f(epoch) }

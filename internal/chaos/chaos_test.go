@@ -1,0 +1,234 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+
+	"sgxp2p/internal/adversary"
+	"sgxp2p/internal/wire"
+)
+
+// TestSameSeedSameTrace is the determinism contract: two runs of the same
+// seed produce the identical schedule, the identical simulator
+// interleaving (TraceHash and event count) and identical per-node
+// outcomes, bit for bit.
+func TestSameSeedSameTrace(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42, 1337} {
+		a, err := RunERB(seed, 9, 3)
+		if err != nil {
+			t.Fatalf("seed %d: run A: %v", seed, err)
+		}
+		b, err := RunERB(seed, 9, 3)
+		if err != nil {
+			t.Fatalf("seed %d: run B: %v", seed, err)
+		}
+		if a.Schedule != b.Schedule {
+			t.Fatalf("seed %d: schedules differ:\n  %s\n  %s", seed, a.Schedule, b.Schedule)
+		}
+		if a.TraceHash != b.TraceHash || a.Fired != b.Fired {
+			t.Fatalf("seed %d: traces differ: %#x/%d events vs %#x/%d events",
+				seed, a.TraceHash, a.Fired, b.TraceHash, b.Fired)
+		}
+		if !reflect.DeepEqual(a.Nodes, b.Nodes) {
+			t.Fatalf("seed %d: node outcomes differ:\n%+v\n%+v", seed, a.Nodes, b.Nodes)
+		}
+		if a.Stats != b.Stats {
+			t.Fatalf("seed %d: engine stats differ: %+v vs %+v", seed, a.Stats, b.Stats)
+		}
+	}
+}
+
+// TestDifferentSeedsDiverge sanity-checks that the fingerprint actually
+// discriminates: across a handful of seeds at least two traces differ.
+func TestDifferentSeedsDiverge(t *testing.T) {
+	hashes := map[uint64]bool{}
+	for seed := int64(1); seed <= 6; seed++ {
+		o, err := RunERB(seed, 9, 3)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		hashes[o.TraceHash] = true
+	}
+	if len(hashes) < 2 {
+		t.Fatalf("6 different seeds produced %d distinct traces", len(hashes))
+	}
+}
+
+// TestCrashStopsParticipation crashes a non-initiator at round 2: the
+// node observes no round past 1, is stopped at the end, and the honest
+// rest still accepts the broadcast.
+func TestCrashStopsParticipation(t *testing.T) {
+	sched := NewSchedule().CrashAt(1, 2)
+	o, err := RunERBSchedule(99, 5, 2, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckERB(o); err != nil {
+		t.Fatal(err)
+	}
+	crashed := o.Nodes[1]
+	if !crashed.Stopped {
+		t.Fatalf("node 1 not stopped at end of run: %+v", crashed)
+	}
+	if crashed.LastRound != 1 {
+		t.Fatalf("crashed node observed round %d, want 1 (crash fires before its round-2 tick)", crashed.LastRound)
+	}
+	for _, no := range o.Nodes {
+		if no.Honest && !no.Accepted {
+			t.Fatalf("honest node %d did not accept despite single crash: %+v", no.Node, no)
+		}
+	}
+	if o.Stats.Crashes != 1 {
+		t.Fatalf("engine stats: %+v, want 1 crash", o.Stats)
+	}
+}
+
+// TestCrashRestart crashes a node and reboots it two rounds later: the
+// restart must succeed (same keys, see deploy's lifecycle tests) and the
+// node ends the run attached, though it sat the instance out.
+func TestCrashRestart(t *testing.T) {
+	sched := NewSchedule().CrashAt(3, 2)
+	sched.RestartAfter(3, 2)
+	o, err := RunERBSchedule(7, 9, 3, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckERB(o); err != nil {
+		t.Fatal(err)
+	}
+	if o.Stats.Crashes != 1 || o.Stats.Restarts != 1 || o.Stats.RestartFailures != 0 {
+		t.Fatalf("engine stats: %+v, want 1 crash + 1 restart", o.Stats)
+	}
+	if o.Nodes[3].Stopped {
+		t.Fatalf("node 3 still stopped after scheduled restart: %+v", o.Nodes[3])
+	}
+	if o.Nodes[3].Decided && o.Nodes[3].Accepted {
+		t.Fatalf("restarted node decided mid-flight instance it sat out: %+v", o.Nodes[3])
+	}
+}
+
+// TestPartitionCutsTraffic cuts two nodes off for the whole run: the
+// majority still agrees (the minority is charged to the fault budget)
+// and the cut actually dropped envelopes in both directions.
+func TestPartitionCutsTraffic(t *testing.T) {
+	minority := []wire.NodeID{3, 4}
+	majority := []wire.NodeID{0, 1, 2, 5, 6, 7, 8}
+	sched := NewSchedule().Partition([][]wire.NodeID{majority, minority}, 1, 6)
+	o, err := RunERBSchedule(11, 9, 4, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckERB(o); err != nil {
+		t.Fatal(err)
+	}
+	if o.F != 2 {
+		t.Fatalf("faulty set %v, want the 2-node minority", o.Faulty)
+	}
+	if o.Stats.CutDrops == 0 {
+		t.Fatal("partition active for the whole run but no envelope crossed the cut")
+	}
+	for _, no := range o.Nodes {
+		if no.Honest && !no.Accepted {
+			t.Fatalf("majority node %d did not accept: %+v", no.Node, no)
+		}
+	}
+}
+
+// TestFlipBehavior flips a node to full omission at round 1 and back to
+// honest at round 3; the rest of the network is unaffected.
+func TestFlipBehavior(t *testing.T) {
+	sched := NewSchedule().
+		FlipBehavior(2, 1, "omit-all", adversary.OmitAll()).
+		FlipBehavior(2, 3, "honest", nil)
+	o, err := RunERBSchedule(5, 5, 2, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckERB(o); err != nil {
+		t.Fatal(err)
+	}
+	if o.Stats.Flips != 2 {
+		t.Fatalf("engine stats: %+v, want 2 flips", o.Stats)
+	}
+}
+
+// TestDelayDrainDeterministic runs a delay-heavy schedule twice: the
+// post-run Drain's release/discard coin flips are part of the seeded
+// trace, so both runs dispose of the held envelopes identically.
+func TestDelayDrainDeterministic(t *testing.T) {
+	mk := func() (*Outcome, error) {
+		sched := NewSchedule().FlipBehavior(1, 1, "delay-all", adversary.DelayAll())
+		return RunERBSchedule(23, 5, 2, sched)
+	}
+	a, err := mk()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := mk()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats.DrainReleased+a.Stats.DrainDiscarded == 0 {
+		t.Fatal("delay-all schedule held no envelopes to drain")
+	}
+	if a.Stats != b.Stats || a.TraceHash != b.TraceHash {
+		t.Fatalf("drain not deterministic: %+v/%#x vs %+v/%#x",
+			a.Stats, a.TraceHash, b.Stats, b.TraceHash)
+	}
+	if err := CheckERB(a); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScheduleString checks the canonical rendering used as the
+// reproduction witness.
+func TestScheduleString(t *testing.T) {
+	s := NewSchedule().CrashAt(3, 2)
+	s.RestartAfter(3, 1)
+	s.FlipBehavior(1, 1, "omit-all", adversary.OmitAll())
+	s.Partition([][]wire.NodeID{{0, 2, 4}, {1, 3}}, 2, 4)
+	got := s.String()
+	want := "flip(1,omit-all)@r1 crash(3)@r2 part([0 2 4|1 3])@r2 restart(3)@r3 heal@r4"
+	if got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+	if NewSchedule().String() != "fault-free" {
+		t.Fatalf("empty schedule renders %q", NewSchedule().String())
+	}
+}
+
+// TestScheduleValidate exercises the static checks.
+func TestScheduleValidate(t *testing.T) {
+	if err := NewSchedule().CrashAt(9, 1).Validate(5, 2); err == nil {
+		t.Fatal("out-of-range node not rejected")
+	}
+	if err := NewSchedule().Partition([][]wire.NodeID{{0, 1}, {1, 2}}, 1, 2).Validate(5, 2); err == nil {
+		t.Fatal("overlapping partition groups not rejected")
+	}
+	if err := NewSchedule().CrashAt(0, 1).CrashAt(1, 1).CrashAt(2, 1).Validate(9, 2); err == nil {
+		t.Fatal("fault budget overflow not rejected")
+	}
+	if err := NewSchedule().CrashAt(0, 1).Validate(5, 2); err != nil {
+		t.Fatalf("valid schedule rejected: %v", err)
+	}
+}
+
+// TestGenerate checks the generator is deterministic and always within
+// the fault budget.
+func TestGenerate(t *testing.T) {
+	distinct := map[string]bool{}
+	for seed := int64(0); seed < 50; seed++ {
+		a := Generate(seed, 9, 4, 6)
+		b := Generate(seed, 9, 4, 6)
+		if a.String() != b.String() {
+			t.Fatalf("seed %d: generator not deterministic:\n  %s\n  %s", seed, a, b)
+		}
+		if err := a.Validate(9, 4); err != nil {
+			t.Fatalf("seed %d: generated schedule invalid: %v", seed, err)
+		}
+		distinct[a.String()] = true
+	}
+	if len(distinct) < 10 {
+		t.Fatalf("50 seeds produced only %d distinct schedules", len(distinct))
+	}
+}

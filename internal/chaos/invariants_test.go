@@ -1,0 +1,80 @@
+package chaos
+
+import "testing"
+
+// The property-based invariant suite: randomized fault schedules must
+// never violate the paper's guarantees while the faulty set stays within
+// the bound. Every failure message embeds the seed — one integer
+// reproduces the identical schedule, interleaving and failure via
+// RunERB(seed, n, t) or `p2pexp -experiment chaos -chaos-seed <seed>`.
+
+// erbCases are the network shapes of the ERB sweep: N ∈ {5, 9, 17} at
+// the maximal bound t < N/2.
+var erbCases = []struct{ n, t int }{
+	{5, 2},
+	{9, 4},
+	{17, 8},
+}
+
+// TestERBInvariants sweeps randomized schedules against a single ERB
+// broadcast and asserts agreement, validity, integrity and termination
+// within min{f+2, t+2} rounds on every honest node.
+func TestERBInvariants(t *testing.T) {
+	seeds := 40
+	if testing.Short() {
+		seeds = 10
+	}
+	for _, c := range erbCases {
+		for s := 1; s <= seeds; s++ {
+			seed := int64(c.n)*10_000 + int64(s)
+			o, err := RunERB(seed, c.n, c.t)
+			if err != nil {
+				t.Fatalf("seed %d N=%d t=%d: run failed: %v", seed, c.n, c.t, err)
+			}
+			if err := CheckERB(o); err != nil {
+				t.Errorf("seed %d N=%d t=%d: %v", seed, c.n, c.t, err)
+			}
+		}
+	}
+}
+
+// TestERNGBasicInvariants sweeps randomized schedules against the
+// unoptimized beacon: every honest node must terminate with the identical
+// output.
+func TestERNGBasicInvariants(t *testing.T) {
+	seeds := 25
+	if testing.Short() {
+		seeds = 8
+	}
+	for _, c := range []struct{ n, t int }{{5, 2}, {9, 4}} {
+		for s := 1; s <= seeds; s++ {
+			seed := int64(c.n)*20_000 + int64(s)
+			o, err := RunERNG(seed, c.n, c.t, false)
+			if err != nil {
+				t.Fatalf("seed %d N=%d t=%d: run failed: %v", seed, c.n, c.t, err)
+			}
+			if err := CheckERNG(o); err != nil {
+				t.Errorf("seed %d N=%d t=%d (basic): %v", seed, c.n, c.t, err)
+			}
+		}
+	}
+}
+
+// TestERNGOptimizedInvariants sweeps randomized schedules against the
+// cluster-sampled beacon (t ≤ N/3).
+func TestERNGOptimizedInvariants(t *testing.T) {
+	seeds := 25
+	if testing.Short() {
+		seeds = 8
+	}
+	for s := 1; s <= seeds; s++ {
+		seed := int64(30_000 + s)
+		o, err := RunERNG(seed, 9, 3, true)
+		if err != nil {
+			t.Fatalf("seed %d N=9 t=3: run failed: %v", seed, err)
+		}
+		if err := CheckERNG(o); err != nil {
+			t.Errorf("seed %d N=9 t=3 (optimized): %v", seed, err)
+		}
+	}
+}

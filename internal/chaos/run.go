@@ -1,0 +1,333 @@
+package chaos
+
+import (
+	"fmt"
+
+	"sgxp2p/internal/core/erb"
+	"sgxp2p/internal/core/erng"
+	"sgxp2p/internal/deploy"
+	"sgxp2p/internal/wire"
+)
+
+// NodeOutcome is one node's view at the end of a chaos run.
+type NodeOutcome struct {
+	Node wire.NodeID
+	// Honest is false for nodes in the schedule's faulty set.
+	Honest bool
+	// Stopped and Halted report the node's terminal liveness: crashed
+	// (and not restarted) vs churned out by halt-on-divergence (P4).
+	Stopped, Halted bool
+	// Decided is true once the node decided; Accepted distinguishes a
+	// real value from bottom (for ERNG it mirrors Result.OK).
+	Decided, Accepted bool
+	// Value is the decided value (ERB: the broadcast m; ERNG: the common
+	// random number). Round is the decision round.
+	Value wire.Value
+	Round uint32
+	// LastRound is the highest lockstep round the node's protocol
+	// observed (via the round hooks) — a crashed node's stops short.
+	LastRound uint32
+}
+
+// Outcome is the full, comparable result of one chaos run. Two runs of
+// the same (seed, n, t) are bit-for-bit identical: equal TraceHash,
+// equal Fired, equal Nodes.
+type Outcome struct {
+	Seed    int64
+	N, T, F int
+	Faulty  []wire.NodeID
+	// Schedule is the canonical rendering of the fault program.
+	Schedule string
+	// Initiator and InitValue describe the (single) ERB broadcast under
+	// test; unused for ERNG runs.
+	Initiator wire.NodeID
+	InitValue wire.Value
+	// TraceHash fingerprints the simulator's event interleaving; Fired
+	// counts its events.
+	TraceHash uint64
+	Fired     uint64
+	Nodes     []NodeOutcome
+	Stats     EngineStats
+}
+
+// Repro returns the one-line reproduction hint printed by failing
+// invariant checks.
+func (o *Outcome) Repro() string {
+	return fmt.Sprintf("reproduce with: p2pexp -experiment chaos -chaos-seed %d (N=%d t=%d schedule %s)",
+		o.Seed, o.N, o.T, o.Schedule)
+}
+
+// RunERB runs one seeded chaos schedule against a single ERB broadcast
+// (initiator node 0) on a fresh simulated deployment of n nodes
+// tolerating t faults. The schedule is Generate(seed, n, t, t+2).
+func RunERB(seed int64, n, t int) (*Outcome, error) {
+	return RunERBSchedule(seed, n, t, Generate(seed, n, t, t+2))
+}
+
+// RunERBSchedule is RunERB with an explicit schedule.
+func RunERBSchedule(seed int64, n, t int, sched *Schedule) (*Outcome, error) {
+	if err := sched.Validate(n, t); err != nil {
+		return nil, err
+	}
+	eng := NewEngine(sched, seed)
+	d, err := deploy.New(deploy.Options{N: n, T: t, Seed: seed, Wrap: eng.Wrap})
+	if err != nil {
+		return nil, err
+	}
+	eng.Arm(d)
+
+	lastRound := make([]uint32, n)
+	engines := make([]*erb.Engine, n)
+	for i, p := range d.Peers {
+		e, err := erb.NewEngine(p, erb.Config{
+			T:                  t,
+			ExpectedInitiators: []wire.NodeID{0},
+		})
+		if err != nil {
+			return nil, err
+		}
+		i := i
+		e.SetRoundHook(func(rnd uint32) { lastRound[i] = rnd })
+		engines[i] = e
+	}
+	v, err := d.Encls[0].RandomValue()
+	if err != nil {
+		return nil, err
+	}
+	engines[0].SetInput(v)
+	for i, p := range d.Peers {
+		p.Start(engines[i], engines[i].Rounds())
+	}
+	if err := settle(d, eng); err != nil {
+		return nil, err
+	}
+
+	o := newOutcome(seed, n, t, sched, d, eng)
+	o.InitValue = v
+	for i := range o.Nodes {
+		no := &o.Nodes[i]
+		res, ok := engines[i].Result(0)
+		no.Decided = ok
+		no.Accepted = res.Accepted
+		no.Value = res.Value
+		no.Round = res.Round
+		no.LastRound = lastRound[i]
+	}
+	return o, nil
+}
+
+// RunERNG runs one seeded chaos schedule against an ERNG epoch (basic or
+// optimized beacon) on a fresh deployment. The schedule is generated for
+// the protocol's own round count.
+func RunERNG(seed int64, n, t int, optimized bool) (*Outcome, error) {
+	rounds, err := erngRounds(n, t, optimized)
+	if err != nil {
+		return nil, err
+	}
+	return RunERNGSchedule(seed, n, t, optimized, Generate(seed, n, t, rounds))
+}
+
+// RunERNGSchedule is RunERNG with an explicit schedule (the bias tests
+// build targeted omission schedules directly).
+func RunERNGSchedule(seed int64, n, t int, optimized bool, sched *Schedule) (*Outcome, error) {
+	if err := sched.Validate(n, t); err != nil {
+		return nil, err
+	}
+	eng := NewEngine(sched, seed)
+	d, err := deploy.New(deploy.Options{N: n, T: t, Seed: seed, Wrap: eng.Wrap})
+	if err != nil {
+		return nil, err
+	}
+	eng.Arm(d)
+
+	lastRound := make([]uint32, n)
+	protos := make([]erngProto, n)
+	rounds := 0
+	for i, p := range d.Peers {
+		var proto erngProto
+		if optimized {
+			proto, err = erng.NewOptimized(p, t, 0, 0)
+		} else {
+			proto, err = erng.NewBasic(p, t)
+		}
+		if err != nil {
+			return nil, err
+		}
+		i := i
+		proto.SetRoundHook(func(rnd uint32) { lastRound[i] = rnd })
+		protos[i] = proto
+		rounds = proto.Rounds()
+	}
+	for i, p := range d.Peers {
+		p.Start(protos[i], rounds)
+	}
+	if err := settle(d, eng); err != nil {
+		return nil, err
+	}
+
+	o := newOutcome(seed, n, t, sched, d, eng)
+	for i := range o.Nodes {
+		no := &o.Nodes[i]
+		res, ok := protos[i].Result()
+		no.Decided = ok
+		no.Accepted = res.OK
+		no.Value = res.Value
+		no.Round = res.Round
+		no.LastRound = lastRound[i]
+	}
+	return o, nil
+}
+
+// erngProto is the common surface of the two beacon variants.
+type erngProto interface {
+	OnRound(rnd uint32)
+	OnMessage(msg *wire.Message)
+	OnFinish()
+	Rounds() int
+	Result() (erng.Result, bool)
+	SetRoundHook(fn func(rnd uint32))
+}
+
+// erngRounds resolves the lockstep round count of a beacon variant.
+func erngRounds(n, t int, optimized bool) (int, error) {
+	if !optimized {
+		return t + 2, nil
+	}
+	params, err := erng.ResolveParams(n, t, 0, 0)
+	if err != nil {
+		return 0, err
+	}
+	return params.Rounds(), nil
+}
+
+// settle drains the run to completion: the main protocol window, then the
+// deterministic disposal of envelopes still held by delay behaviors, then
+// the stale deliveries that disposal produced. All three are part of the
+// fingerprinted trace.
+func settle(d *deploy.Deployment, eng *Engine) error {
+	if err := d.Run(); err != nil {
+		return err
+	}
+	eng.Drain()
+	return d.Run()
+}
+
+// newOutcome fills the run-level fields common to ERB and ERNG runs.
+func newOutcome(seed int64, n, t int, sched *Schedule, d *deploy.Deployment, eng *Engine) *Outcome {
+	faulty := sched.Faulty(n)
+	isFaulty := make([]bool, n)
+	for _, id := range faulty {
+		isFaulty[id] = true
+	}
+	o := &Outcome{
+		Seed:      seed,
+		N:         n,
+		T:         t,
+		F:         len(faulty),
+		Faulty:    faulty,
+		Schedule:  sched.String(),
+		TraceHash: d.Sim.TraceHash(),
+		Fired:     d.Sim.FiredCount(),
+		Nodes:     make([]NodeOutcome, n),
+		Stats:     eng.Stats(),
+	}
+	for i := range o.Nodes {
+		o.Nodes[i] = NodeOutcome{
+			Node:    wire.NodeID(i),
+			Honest:  !isFaulty[i],
+			Stopped: d.Stopped(wire.NodeID(i)),
+			Halted:  d.Peers[i].Halted(),
+		}
+	}
+	return o
+}
+
+// CheckERB asserts the paper's ERB properties over the honest nodes of a
+// chaos outcome: agreement, validity (honest initiator), integrity, and
+// termination within min{f+2, t+2} rounds (bottom by t+3). A nil return
+// means every invariant held; the error message embeds the schedule and
+// the reproduction hint.
+func CheckERB(o *Outcome) error {
+	initiatorHonest := true
+	for _, id := range o.Faulty {
+		if id == o.Initiator {
+			initiatorHonest = false
+		}
+	}
+	bound := o.F + 2
+	if o.T+2 < bound {
+		bound = o.T + 2
+	}
+	var ref *NodeOutcome
+	for i := range o.Nodes {
+		no := &o.Nodes[i]
+		if !no.Honest {
+			continue
+		}
+		if no.Halted {
+			return o.violation("liveness", "honest node %d executed halt-on-divergence", no.Node)
+		}
+		if no.Stopped {
+			return o.violation("liveness", "honest node %d is stopped", no.Node)
+		}
+		if !no.Decided {
+			return o.violation("termination", "honest node %d never decided", no.Node)
+		}
+		if ref == nil {
+			ref = no
+		} else if no.Accepted != ref.Accepted || no.Value != ref.Value {
+			return o.violation("agreement", "honest nodes %d and %d decided differently (accepted=%v/%v)",
+				ref.Node, no.Node, ref.Accepted, no.Accepted)
+		}
+		if no.Accepted {
+			if no.Value != o.InitValue {
+				return o.violation("integrity", "honest node %d accepted a value the initiator never sent", no.Node)
+			}
+			if int(no.Round) > bound {
+				return o.violation("termination", "honest node %d accepted at round %d > min{f+2,t+2}=%d",
+					no.Node, no.Round, bound)
+			}
+		} else {
+			if int(no.Round) > o.T+3 {
+				return o.violation("termination", "honest node %d output bottom at round %d > t+3=%d",
+					no.Node, no.Round, o.T+3)
+			}
+			if initiatorHonest {
+				return o.violation("validity", "honest initiator %d broadcast, honest node %d output bottom",
+					o.Initiator, no.Node)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckERNG asserts agreement and termination of a beacon epoch over the
+// honest nodes: every honest node decides, and all honest decisions are
+// identical (same OK flag, same random number).
+func CheckERNG(o *Outcome) error {
+	var ref *NodeOutcome
+	for i := range o.Nodes {
+		no := &o.Nodes[i]
+		if !no.Honest {
+			continue
+		}
+		if no.Halted {
+			return o.violation("liveness", "honest node %d executed halt-on-divergence", no.Node)
+		}
+		if !no.Decided {
+			return o.violation("termination", "honest node %d never decided", no.Node)
+		}
+		if ref == nil {
+			ref = no
+		} else if no.Accepted != ref.Accepted || no.Value != ref.Value {
+			return o.violation("agreement", "honest nodes %d and %d decided different beacon outputs (ok=%v/%v)",
+				ref.Node, no.Node, ref.Accepted, no.Accepted)
+		}
+	}
+	return nil
+}
+
+// violation formats an invariant failure with the schedule and repro hint.
+func (o *Outcome) violation(property, format string, args ...any) error {
+	return fmt.Errorf("chaos: %s violated: %s — %s", property, fmt.Sprintf(format, args...), o.Repro())
+}

@@ -93,6 +93,7 @@ type Engine struct {
 	instances map[wire.NodeID]*instance
 	pending   []*instance // instances with an ECHO queued for next round
 	accepted  int         // instances decided with a value (not bottom)
+	roundHook func(rnd uint32)
 }
 
 var _ runtime.Protocol = (*Engine)(nil)
@@ -158,6 +159,15 @@ func (e *Engine) Rounds() int {
 // Must be called before the start round fires.
 func (e *Engine) SetInput(v wire.Value) {
 	e.input = &v
+}
+
+// SetRoundHook installs fn, invoked at the top of every OnRound with the
+// lockstep round number, before any protocol action of that round. Chaos
+// schedules and invariant tests use it to observe per-node round
+// progression — "round r of broadcast b" is well-defined because the
+// engine's rounds are the peer's lockstep rounds offset by StartRound.
+func (e *Engine) SetRoundHook(fn func(rnd uint32)) {
+	e.roundHook = fn
 }
 
 // Result returns this node's decision for the given initiator's broadcast.
@@ -241,6 +251,9 @@ func (e *Engine) getInstance(initiator wire.NodeID) *instance {
 // OnRound implements runtime.Protocol: flush queued ECHOs, then (at the
 // start round) launch our own broadcast if we are an initiator.
 func (e *Engine) OnRound(rnd uint32) {
+	if e.roundHook != nil {
+		e.roundHook(rnd)
+	}
 	if !e.members[e.peer.ID()] {
 		return
 	}

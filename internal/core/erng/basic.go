@@ -30,11 +30,12 @@ type Result struct {
 // instance per node, XOR of the accepted set. It implements
 // runtime.Protocol.
 type Basic struct {
-	peer    *runtime.Peer
-	t       int
-	eng     *erb.Engine
-	decided bool
-	result  Result
+	peer      *runtime.Peer
+	t         int
+	eng       *erb.Engine
+	decided   bool
+	result    Result
+	roundHook func(rnd uint32)
 }
 
 var _ runtime.Protocol = (*Basic)(nil)
@@ -68,8 +69,18 @@ func (b *Basic) Result() (Result, bool) {
 	return b.result, b.decided
 }
 
+// SetRoundHook installs fn, invoked at the top of every OnRound with the
+// lockstep round number (chaos-schedule observability; the embedded ERB's
+// own hook stays free for finer-grained instrumentation).
+func (b *Basic) SetRoundHook(fn func(rnd uint32)) {
+	b.roundHook = fn
+}
+
 // OnRound implements runtime.Protocol.
 func (b *Basic) OnRound(rnd uint32) {
+	if b.roundHook != nil {
+		b.roundHook(rnd)
+	}
 	if rnd == 1 {
 		v, err := b.peer.Enclave().RandomValue()
 		if err != nil {

@@ -25,12 +25,13 @@ type Optimized struct {
 	peer   *runtime.Peer
 	params Params
 
-	chosen   bool
-	schosen  map[wire.NodeID]bool
-	eng      *erb.Engine // nil for non-cluster nodes
-	finalSet map[[32]byte]*finalTally
-	decided  bool
-	result   Result
+	chosen    bool
+	schosen   map[wire.NodeID]bool
+	eng       *erb.Engine // nil for non-cluster nodes
+	finalSet  map[[32]byte]*finalTally
+	decided   bool
+	result    Result
+	roundHook func(rnd uint32)
 }
 
 // finalTally counts identical FINAL sets by content hash.
@@ -78,8 +79,17 @@ func (o *Optimized) ClusterView() []wire.NodeID {
 // Chosen reports whether this node joined the cluster.
 func (o *Optimized) Chosen() bool { return o.chosen }
 
+// SetRoundHook installs fn, invoked at the top of every OnRound with the
+// lockstep round number (chaos-schedule observability).
+func (o *Optimized) SetRoundHook(fn func(rnd uint32)) {
+	o.roundHook = fn
+}
+
 // OnRound implements runtime.Protocol.
 func (o *Optimized) OnRound(rnd uint32) {
+	if o.roundHook != nil {
+		o.roundHook(rnd)
+	}
 	switch {
 	case rnd == 1:
 		o.selectionPhase(rnd)

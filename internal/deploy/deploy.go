@@ -11,9 +11,7 @@ import (
 	"math/rand"
 	"time"
 
-	"sgxp2p/internal/channel"
 	"sgxp2p/internal/enclave"
-	"sgxp2p/internal/overlay"
 	"sgxp2p/internal/parallel"
 	"sgxp2p/internal/runtime"
 	"sgxp2p/internal/simnet"
@@ -86,6 +84,10 @@ type Deployment struct {
 	Peers   []*runtime.Peer
 	Opts    Options
 
+	// stopped marks nodes taken down by Stop (crashed machines), as
+	// opposed to halted enclaves (P4 churn). See lifecycle.go.
+	stopped []bool
+
 	// keyCache memoizes pairwise session keys across all enclaves of the
 	// deployment: the (i,j) and (j,i) link derivations are symmetric, so
 	// sharing one cache halves the O(N^2) key-agreement work. Joining
@@ -144,6 +146,7 @@ func New(opts Options) (*Deployment, error) {
 		Encls:   make([]*enclave.Enclave, opts.N),
 		Peers:   make([]*runtime.Peer, opts.N),
 		Opts:    opts,
+		stopped: make([]bool, opts.N),
 	}
 	d.Roster = runtime.Roster{
 		Quotes:      make([]enclave.Quote, opts.N),
@@ -193,16 +196,9 @@ func New(opts Options) (*Deployment, error) {
 	// stays on one goroutine.
 	transports := make([]runtime.Transport, opts.N)
 	for id := 0; id < opts.N; id++ {
-		var tr runtime.Transport = net.Port(wire.NodeID(id))
-		if opts.Wrap != nil {
-			tr = opts.Wrap(wire.NodeID(id), tr)
-		}
-		if opts.Neighbors != nil {
-			router, err := overlay.NewRouter(wire.NodeID(id), opts.Neighbors(wire.NodeID(id), opts.N), tr, 0)
-			if err != nil {
-				return nil, fmt.Errorf("deploy: overlay router %d: %w", id, err)
-			}
-			tr = router
+		tr, err := d.buildTransport(wire.NodeID(id))
+		if err != nil {
+			return nil, err
 		}
 		transports[id] = tr
 	}
@@ -212,17 +208,11 @@ func New(opts Options) (*Deployment, error) {
 	// each unordered pair is derived once and the parallel pool spreads
 	// the rest across cores.
 	err = parallel.ForEach(opts.N, opts.Workers, func(id int) error {
-		var sealer channel.Sealer
-		if opts.RealCrypto {
-			sealer = channel.RealSealer{}
-		} else {
-			sealer = channel.NewModelSealer()
-		}
 		peer, err := runtime.NewPeer(d.Encls[id], transports[id], d.Roster, runtime.Config{
 			N:      opts.N,
 			T:      opts.T,
 			Delta:  opts.Delta,
-			Sealer: sealer,
+			Sealer: d.newSealer(),
 		})
 		if err != nil {
 			return fmt.Errorf("deploy: peer %d: %w", id, err)

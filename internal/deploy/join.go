@@ -7,7 +7,6 @@ import (
 	"fmt"
 	"math/rand"
 
-	"sgxp2p/internal/channel"
 	"sgxp2p/internal/core/erb"
 	"sgxp2p/internal/enclave"
 	"sgxp2p/internal/runtime"
@@ -154,17 +153,11 @@ func (d *Deployment) Join(opts JoinOptions) (wire.NodeID, error) {
 	if opts.Wrap != nil {
 		tr = opts.Wrap(newID, tr)
 	}
-	var sealer channel.Sealer
-	if d.Opts.RealCrypto {
-		sealer = channel.RealSealer{}
-	} else {
-		sealer = channel.NewModelSealer()
-	}
 	peer, err := runtime.NewPeer(encl, tr, newRoster, runtime.Config{
 		N:      len(newRoster.Quotes),
 		T:      d.Opts.T,
 		Delta:  d.Opts.Delta,
-		Sealer: sealer,
+		Sealer: d.newSealer(),
 	})
 	if err != nil {
 		return wire.NoNode, fmt.Errorf("deploy: joiner peer: %w", err)
@@ -182,6 +175,7 @@ func (d *Deployment) Join(opts JoinOptions) (wire.NodeID, error) {
 	d.Roster = newRoster
 	d.Encls = append(d.Encls, encl)
 	d.Peers = append(d.Peers, peer)
+	d.stopped = append(d.stopped, false)
 	d.Opts.N++
 	return newID, nil
 }

@@ -1,0 +1,169 @@
+package deploy_test
+
+import (
+	"reflect"
+	"testing"
+
+	"sgxp2p/internal/core/erb"
+	"sgxp2p/internal/deploy"
+	"sgxp2p/internal/wire"
+)
+
+// TestCrashRestartRederivesSessionKeys is the crash–restart regression:
+// a node stopped mid-epoch and rebooted re-attests with the identical
+// quote and re-derives the identical pairwise session keys through the
+// deployment key cache, so the surviving nodes' already-established
+// links keep working without renegotiation — and the in-flight broadcast
+// settles among the survivors while the node is down.
+func TestCrashRestartRederivesSessionKeys(t *testing.T) {
+	d := newDeployment(t, 5, 1, 424)
+
+	keysBefore, err := d.Encls[3].SessionKeys(d.Encls[0].DHPublic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	quoteBefore := d.Roster.Quotes[3]
+	cacheBefore := d.KeyCacheLen()
+	if cacheBefore == 0 {
+		t.Fatal("key cache empty after deployment setup")
+	}
+
+	// Epoch 1: broadcast from node 0; node 3's machine dies mid-round-2.
+	v1 := wire.Value{0xC4}
+	engines := make([]*erb.Engine, len(d.Peers))
+	for i, p := range d.Peers {
+		eng, err := erb.NewEngine(p, erb.Config{T: d.Opts.T, ExpectedInitiators: []wire.NodeID{0}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		engines[i] = eng
+	}
+	engines[0].SetInput(v1)
+	d.Sim.Schedule(d.Sim.Now()+3*d.Opts.Delta, func() {
+		if err := d.Stop(3); err != nil {
+			t.Errorf("mid-epoch stop: %v", err)
+		}
+	})
+	for i, p := range d.Peers {
+		p.Start(engines[i], engines[i].Rounds())
+	}
+	if err := d.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Stopped(3) {
+		t.Fatal("node 3 not stopped after scheduled crash")
+	}
+	for i, eng := range engines {
+		if i == 3 {
+			continue
+		}
+		res, ok := eng.Result(0)
+		if !ok || !res.Accepted || res.Value != v1 {
+			t.Fatalf("survivor %d: in-flight broadcast did not settle: ok=%v res=%+v", i, ok, res)
+		}
+	}
+
+	// Reboot. Same deployment seed ⇒ same enclave rng stream ⇒ same DH
+	// keypair ⇒ identical quote and, via the key cache, identical session
+	// keys — no cache growth, no renegotiation.
+	if err := d.Restart(3); err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	if d.Stopped(3) {
+		t.Fatal("node 3 still marked stopped after restart")
+	}
+	if !reflect.DeepEqual(d.Roster.Quotes[3], quoteBefore) {
+		t.Fatal("restarted node re-attested with a different quote")
+	}
+	if got := d.KeyCacheLen(); got != cacheBefore {
+		t.Fatalf("key cache grew across restart: %d -> %d (keys were re-derived, not re-used)", cacheBefore, got)
+	}
+	keysAfter, err := d.Encls[3].SessionKeys(d.Encls[0].DHPublic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if keysAfter != keysBefore {
+		t.Fatal("restarted enclave derived different session keys")
+	}
+
+	// Epoch 2: the restarted node participates fully — its fresh links
+	// must interoperate with the survivors' original cipher state in both
+	// directions, and its copied sequence table must pass freshness.
+	for _, p := range d.Peers {
+		p.BumpSeqs()
+	}
+	v2 := wire.Value{0xAF}
+	results := broadcast(t, d, 3, v2)
+	for i := 0; i < len(d.Peers); i++ {
+		res, ok := results[wire.NodeID(i)]
+		if !ok || !res.Accepted || res.Value != v2 {
+			t.Fatalf("node %d after restart: ok=%v res=%+v", i, ok, res)
+		}
+	}
+}
+
+// TestRestartValidation covers the lifecycle error paths.
+func TestRestartValidation(t *testing.T) {
+	d := newDeployment(t, 4, 1, 7)
+	if err := d.Restart(2); err != deploy.ErrNotStopped {
+		t.Fatalf("restart of running node: %v, want ErrNotStopped", err)
+	}
+	if err := d.Stop(9); err == nil {
+		t.Fatal("stop of out-of-range node succeeded")
+	}
+	if err := d.Stop(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Stop(2); err != nil {
+		t.Fatalf("double stop must be a no-op: %v", err)
+	}
+	if !d.Stopped(2) || d.Stopped(0) {
+		t.Fatal("Stopped() bookkeeping wrong")
+	}
+}
+
+// TestRestartNeedsLivePeer: with every other node stopped there is nobody
+// to copy the sequence table from.
+func TestRestartNeedsLivePeer(t *testing.T) {
+	d := newDeployment(t, 4, 1, 11)
+	for id := 0; id < 4; id++ {
+		if err := d.Stop(wire.NodeID(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Restart(0); err != deploy.ErrNoLivePeer {
+		t.Fatalf("restart with no live peers: %v, want ErrNoLivePeer", err)
+	}
+}
+
+// TestRealCryptoRestart repeats the key-identity assertion with the real
+// AES+HMAC sealer and real key exchange.
+func TestRealCryptoRestart(t *testing.T) {
+	d, err := deploy.New(deploy.Options{N: 4, T: 1, Seed: 99, RealCrypto: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keysBefore, err := d.Encls[1].SessionKeys(d.Encls[2].DHPublic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Stop(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Restart(1); err != nil {
+		t.Fatal(err)
+	}
+	keysAfter, err := d.Encls[1].SessionKeys(d.Encls[2].DHPublic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if keysAfter != keysBefore {
+		t.Fatal("real-crypto restart derived different session keys")
+	}
+	res := broadcast(t, d, 1, wire.Value{0x42})
+	for i := 0; i < 4; i++ {
+		if r, ok := res[wire.NodeID(i)]; !ok || !r.Accepted {
+			t.Fatalf("node %d: broadcast after real-crypto restart failed: %+v", i, r)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestChaosSweepShape: the default sweep covers every protocol/size
+// combination per seed, no row reports a violated invariant, and the
+// verdict/trace columns are well-formed.
+func TestChaosSweepShape(t *testing.T) {
+	tbl, err := Chaos(cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 seeds x (3 ERB sizes + 2 basic-beacon sizes).
+	if got := len(tbl.Rows); got != 8*5 {
+		t.Fatalf("rows = %d, want 40", got)
+	}
+	for i, row := range tbl.Rows {
+		if row[6] != "ok" {
+			t.Errorf("row %d (%v): verdict %q", i, row, row[6])
+		}
+		if len(row[8]) != 16 {
+			t.Errorf("row %d: trace fingerprint %q not 16 hex digits", i, row[8])
+		}
+	}
+}
+
+// TestChaosSingleSeedMode: -chaos-seed replays one schedule across the
+// full size matrix, and the table is identical on a rerun (the whole
+// point of the engine).
+func TestChaosSingleSeedMode(t *testing.T) {
+	c := cfg()
+	c.ChaosSeed = 11
+	tbl1, err := Chaos(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tbl1.Rows); got != 5 {
+		t.Fatalf("rows = %d, want 5", got)
+	}
+	for i, row := range tbl1.Rows {
+		if seed, err := strconv.ParseInt(row[1], 10, 64); err != nil || seed != 11 {
+			t.Fatalf("row %d seed = %q, want 11", i, row[1])
+		}
+	}
+	tbl2, err := Chaos(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tbl1.Rows {
+		for j := range tbl1.Rows[i] {
+			if tbl1.Rows[i][j] != tbl2.Rows[i][j] {
+				t.Fatalf("rerun diverged at row %d col %d: %q vs %q",
+					i, j, tbl1.Rows[i][j], tbl2.Rows[i][j])
+			}
+		}
+	}
+}

@@ -42,6 +42,10 @@ type Config struct {
 	// and network from per-point seeds and rows are assembled in sweep
 	// order, so tables are bit-for-bit identical for any worker count.
 	Workers int
+	// ChaosSeed, when non-zero, restricts the chaos experiment to the
+	// single fault schedule derived from that seed — the reproduction
+	// mode printed by failing chaos invariants.
+	ChaosSeed int64
 }
 
 // Unlimited disables the bandwidth model when set as Config.Bandwidth.

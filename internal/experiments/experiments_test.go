@@ -264,7 +264,7 @@ func TestAblateP4(t *testing.T) {
 }
 
 func TestRegistryAndRendering(t *testing.T) {
-	if len(IDs()) != 11 {
+	if len(IDs()) != 12 {
 		t.Fatalf("IDs() = %v", IDs())
 	}
 	if _, err := Get("fig2a"); err != nil {

@@ -22,6 +22,7 @@ var registry = map[string]Runner{
 	"sanitize": Sanitize,
 	"ablate":   Ablate,
 	"bias":     Bias,
+	"chaos":    Chaos,
 }
 
 // order fixes the presentation order for All.
@@ -29,7 +30,7 @@ var order = []string{
 	"fig2a", "fig2b", "fig2c",
 	"fig3a", "fig3b", "fig3c",
 	"tab1", "tab2",
-	"sanitize", "bias", "ablate",
+	"sanitize", "bias", "ablate", "chaos",
 }
 
 // IDs returns the known experiment ids in presentation order.

@@ -110,6 +110,11 @@ type Stats struct {
 	AcksReceived uint64
 	// Halts is 1 once the peer executed halt-on-divergence.
 	Halts uint64
+	// SendFailures counts multicast destinations that could not be sealed
+	// or addressed (e.g. a peer that vanished mid-round). They degrade to
+	// omissions — the rest of the multicast proceeds — so a crashed peer
+	// cannot wedge a broadcast.
+	SendFailures uint64
 }
 
 // nodeBitset is a dense set of NodeIDs. The ACK tracker of a multicast
@@ -393,6 +398,19 @@ func (p *Peer) closeRound() {
 	}
 }
 
+// Stop withdraws the peer from its protocol instance without executing
+// halt-on-divergence: pending round ticks become no-ops, inbound
+// deliveries are dropped, and ACK trackers are discarded. It models a
+// machine crash (the chaos engine's CrashAt), where the node simply
+// vanishes instead of deliberately churning out; the enclave is NOT
+// halted — its state is lost with the machine, and the node can only
+// come back as a freshly launched enclave (deploy.Restart).
+func (p *Peer) Stop() {
+	p.started = false
+	p.proto = nil
+	p.trackers = nil
+}
+
 // HaltSelf executes halt-on-divergence: the enclave state becomes bottom
 // and the node churns out of the network.
 func (p *Peer) HaltSelf() {
@@ -428,7 +446,9 @@ func DigestEncoded(encoded []byte) wire.Value {
 // Multicast seals msg for every destination and sends it. If ackThreshold
 // is positive the runtime tracks acknowledgments until the end of the
 // current round and halts the peer if fewer than ackThreshold arrive.
-// Destinations nil means "all other peers".
+// Destinations nil means "all other peers". Per-destination failures
+// degrade to omissions (see multicastOne); the error return is reserved
+// for encode failures and a halted sender.
 //
 // The message is encoded exactly once, into the peer's reused encode
 // scratch; each link seals the shared encoding into a fresh envelope
@@ -456,7 +476,7 @@ func (p *Peer) Multicast(dsts []wire.NodeID, msg *wire.Message, ackThreshold int
 			if wire.NodeID(id) == p.ID() {
 				continue
 			}
-			if err := p.sendEncoded(wire.NodeID(id), encoded); err != nil {
+			if err := p.multicastOne(wire.NodeID(id), encoded); err != nil {
 				return err
 			}
 		}
@@ -466,10 +486,26 @@ func (p *Peer) Multicast(dsts []wire.NodeID, msg *wire.Message, ackThreshold int
 		if dst == p.ID() {
 			continue
 		}
-		if err := p.sendEncoded(dst, encoded); err != nil {
+		if err := p.multicastOne(dst, encoded); err != nil {
 			return err
 		}
 	}
+	return nil
+}
+
+// multicastOne seals and sends one multicast leg. A per-destination
+// failure — an unknown or vanished peer, a seal error on its link — is
+// recorded and swallowed: under the omission model a dead destination is
+// indistinguishable from an omitting network, and aborting the loop
+// would silently starve every destination after the failed one (the
+// multicast wedge the chaos crash schedules exposed). Only ErrHalted
+// aborts: a halted sender must not keep transmitting.
+func (p *Peer) multicastOne(dst wire.NodeID, encoded []byte) error {
+	err := p.sendEncoded(dst, encoded)
+	if err == nil || errors.Is(err, ErrHalted) {
+		return err
+	}
+	p.stats.SendFailures++
 	return nil
 }
 

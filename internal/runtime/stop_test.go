@@ -1,0 +1,123 @@
+package runtime_test
+
+import (
+	"testing"
+
+	"sgxp2p/internal/runtime"
+	"sgxp2p/internal/wire"
+)
+
+// TestStopFreezesPeer pins the crash semantics behind the chaos engine's
+// CrashAt: after Stop the peer's pending round ticks are no-ops, inbound
+// deliveries are dropped, OnFinish never fires — and, unlike HaltSelf,
+// the enclave is not burned.
+func TestStopFreezesPeer(t *testing.T) {
+	d := newDeployment(t, 4, 1)
+	probes := startAll(d, 3)
+	d.Sim.Schedule(d.Sim.Now()+3*d.Opts.Delta, func() { d.Peers[2].Stop() })
+	if err := d.Run(); err != nil {
+		t.Fatal(err)
+	}
+	stopped := probes[2]
+	if got := len(stopped.rounds); got != 2 {
+		t.Fatalf("stopped peer observed %d rounds (%v), want 2 (crash mid-round-2)", got, stopped.rounds)
+	}
+	if stopped.finished {
+		t.Fatal("stopped peer ran OnFinish")
+	}
+	if d.Peers[2].Halted() {
+		t.Fatal("Stop must not halt the enclave (machine crash, not P4 churn)")
+	}
+	if st := d.Peers[2].Stats(); st.Halts != 0 {
+		t.Fatalf("stats: %+v, want no halts", st)
+	}
+	for i, pr := range probes {
+		if i == 2 {
+			continue
+		}
+		if !pr.finished || len(pr.rounds) != 3 {
+			t.Fatalf("peer %d disturbed by a crash elsewhere: finished=%v rounds=%v", i, pr.finished, pr.rounds)
+		}
+	}
+}
+
+// TestStoppedPeerDropsDeliveries: envelopes arriving after Stop are
+// discarded without reaching a protocol (whose pointer is gone).
+func TestStoppedPeerDropsDeliveries(t *testing.T) {
+	d := newDeployment(t, 3, 1)
+	probes := startAll(d, 2)
+	probes[0].onRound = func(rnd uint32) {
+		if rnd != 2 {
+			return
+		}
+		msg := &wire.Message{
+			Type: wire.TypeChosen, Sender: 0, Initiator: 0,
+			Seq: probes[0].peer.SeqOf(0), Round: 2,
+		}
+		if err := probes[0].peer.Multicast(nil, msg, 0); err != nil {
+			t.Errorf("Multicast: %v", err)
+		}
+	}
+	// Stop node 1 just before round 2's multicast is sent.
+	d.Sim.Schedule(d.Sim.Now()+2*d.Opts.Delta, func() { d.Peers[1].Stop() })
+	if err := d.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(probes[1].msgs) != 0 {
+		t.Fatalf("stopped peer received %d messages", len(probes[1].msgs))
+	}
+	if len(probes[2].msgs) != 1 {
+		t.Fatalf("live peer received %d messages, want 1", len(probes[2].msgs))
+	}
+}
+
+// TestMulticastDegradesFailuresToOmissions pins the crash-tolerance fix:
+// a destination that cannot be addressed no longer aborts the multicast
+// loop — the remaining destinations are still served and the failure is
+// counted, exactly like an omitting network.
+func TestMulticastDegradesFailuresToOmissions(t *testing.T) {
+	d := newDeployment(t, 4, 1)
+	probes := startAll(d, 1)
+	sender := probes[0]
+	sender.onRound = func(rnd uint32) {
+		msg := &wire.Message{
+			Type: wire.TypeChosen, Sender: 0, Initiator: 0,
+			Seq: sender.peer.SeqOf(0), Round: 1,
+		}
+		// 9 is outside the roster; 1 and 3 come after it in the loop and
+		// must still be reached.
+		if err := sender.peer.Multicast([]wire.NodeID{9, 1, 3}, msg, 0); err != nil {
+			t.Errorf("Multicast with vanished destination: %v", err)
+		}
+	}
+	if err := d.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if st := sender.peer.Stats(); st.SendFailures != 1 {
+		t.Fatalf("stats: %+v, want 1 send failure", st)
+	}
+	for _, i := range []int{1, 3} {
+		if len(probes[i].msgs) != 1 {
+			t.Fatalf("peer %d got %d messages, want 1 (multicast wedged)", i, len(probes[i].msgs))
+		}
+	}
+	if len(probes[2].msgs) != 0 {
+		t.Fatalf("peer 2 got %d messages, want 0", len(probes[2].msgs))
+	}
+}
+
+// TestMulticastHaltedStillAborts: ErrHalted is the one per-destination
+// error that must NOT degrade to an omission — a halted sender stops.
+func TestMulticastHaltedStillAborts(t *testing.T) {
+	d := newDeployment(t, 3, 1)
+	startAll(d, 1)
+	p := d.Peers[0]
+	p.HaltSelf()
+	msg := &wire.Message{Type: wire.TypeInit, Sender: 0, Initiator: 0, Round: 1}
+	if err := p.Multicast([]wire.NodeID{1, 2}, msg, 0); err != runtime.ErrHalted {
+		t.Fatalf("Multicast after halt: %v, want ErrHalted", err)
+	}
+	if st := p.Stats(); st.SendFailures != 0 {
+		t.Fatalf("halted sender counted send failures: %+v", st)
+	}
+}

@@ -75,6 +75,11 @@ type Network struct {
 	rng      *rand.Rand
 	handlers []Handler
 	detached []bool
+	// epoch counts a node's detachments. Deliveries capture the
+	// destination epoch at send time and drop if it changed: frames in
+	// flight when a machine crashes are lost even if it reboots before
+	// their arrival time.
+	epoch    []int
 	linkFree time.Duration
 	traffic  Traffic
 	perNode  []Traffic
@@ -103,6 +108,7 @@ func New(sim *vclock.Sim, cfg Config) (*Network, error) {
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
 		handlers: make([]Handler, cfg.N),
 		detached: make([]bool, cfg.N),
+		epoch:    make([]int, cfg.N),
 		perNode:  make([]Traffic, cfg.N),
 	}, nil
 }
@@ -134,20 +140,40 @@ func (n *Network) AddNode() wire.NodeID {
 	id := wire.NodeID(len(n.handlers))
 	n.handlers = append(n.handlers, nil)
 	n.detached = append(n.detached, false)
+	n.epoch = append(n.epoch, 0)
 	n.perNode = append(n.perNode, Traffic{})
 	n.cfg.N++
 	return id
 }
 
 // Detach removes a node from the network: subsequent sends from or to it
-// are dropped. This is the transport-level effect of halt-on-divergence.
+// are dropped, and frames already in flight toward it are lost (its
+// epoch advances, see Send). This is the transport-level effect of
+// halt-on-divergence and of a machine crash. Out-of-range ids and
+// already-detached nodes are no-ops.
 func (n *Network) Detach(id wire.NodeID) {
+	if int(id) >= len(n.detached) || n.detached[int(id)] {
+		return
+	}
 	n.detached[int(id)] = true
+	n.epoch[int(id)]++
 }
 
 // Detached reports whether a node has been detached.
 func (n *Network) Detached(id wire.NodeID) bool {
-	return n.detached[int(id)]
+	return int(id) < len(n.detached) && n.detached[int(id)]
+}
+
+// Reattach restores a detached node — the transport-level half of a
+// crash–restart (deploy.Restart): subsequent sends from and to the node
+// flow again. Messages in flight at detach time stay dropped even if the
+// reboot beats their arrival, exactly like frames lost while a real
+// machine was down. Out-of-range ids are no-ops.
+func (n *Network) Reattach(id wire.NodeID) {
+	if int(id) >= len(n.detached) {
+		return
+	}
+	n.detached[int(id)] = false
 }
 
 // Send transmits payload from src to dst. Ownership of payload passes to
@@ -188,11 +214,13 @@ func (n *Network) Send(src, dst wire.NodeID, payload []byte) {
 	if arrival-now > n.cfg.Delta {
 		n.traffic.Late++
 	}
+	ep := n.epoch[int(dst)]
 	n.sim.Schedule(arrival, func() {
 		// Only the destination is re-checked at delivery time: envelopes
 		// already in flight when their sender halts still arrive, as they
-		// would on a real network.
-		if n.detached[int(dst)] {
+		// would on a real network. An epoch change means the destination
+		// crashed after the send — the frame is lost even if it rebooted.
+		if n.detached[int(dst)] || n.epoch[int(dst)] != ep {
 			n.traffic.Dropped++
 			return
 		}

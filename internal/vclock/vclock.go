@@ -53,11 +53,20 @@ type Sim struct {
 	cancelled int
 	stopped   bool
 	limit     time.Duration // 0 means no limit
+	fired     uint64
+	trace     uint64
 }
+
+// fnv64Offset and fnv64Prime are the FNV-1a parameters used by the
+// event-trace fingerprint.
+const (
+	fnv64Offset = 14695981039346656037
+	fnv64Prime  = 1099511628211
+)
 
 // New creates an empty simulator at virtual time zero.
 func New() *Sim {
-	return &Sim{}
+	return &Sim{trace: fnv64Offset}
 }
 
 // Now returns the current virtual time.
@@ -124,6 +133,31 @@ func (s *Sim) Stop() { s.stopped = true }
 // Pending returns the number of live (non-cancelled) events still queued.
 func (s *Sim) Pending() int { return s.queue.Len() - s.cancelled }
 
+// FiredCount returns the number of events fired so far.
+func (s *Sim) FiredCount() uint64 { return s.fired }
+
+// TraceHash returns an FNV-1a fingerprint over the (time, sequence) pair of
+// every event fired so far. Two simulations with equal hashes executed the
+// same event interleaving bit-for-bit; the chaos engine's seed→schedule
+// determinism contract (internal/chaos) is asserted against this value.
+func (s *Sim) TraceHash() uint64 { return s.trace }
+
+// traceFire folds one fired event into the interleaving fingerprint.
+func (s *Sim) traceFire(at time.Duration, seq uint64) {
+	s.fired++
+	h := s.trace
+	x := uint64(at)
+	for i := 0; i < 8; i++ {
+		h = (h ^ (x & 0xff)) * fnv64Prime
+		x >>= 8
+	}
+	for i := 0; i < 8; i++ {
+		h = (h ^ (seq & 0xff)) * fnv64Prime
+		seq >>= 8
+	}
+	s.trace = h
+}
+
 // Step fires the next live event, advancing the clock, and reports
 // whether an event was fired.
 func (s *Sim) Step() bool {
@@ -140,6 +174,7 @@ func (s *Sim) Step() bool {
 			en.e.fired = true
 		}
 		s.now = en.at
+		s.traceFire(en.at, en.seq)
 		fn()
 		return true
 	}

@@ -171,6 +171,7 @@ const (
 var (
 	ErrTruncated   = errors.New("wire: truncated message")
 	ErrBadType     = errors.New("wire: unknown message type")
+	ErrBadFlags    = errors.New("wire: reserved flag bits set")
 	ErrTooManySets = errors.New("wire: set section too large")
 	ErrTooManySigs = errors.New("wire: signature section too large")
 	ErrTrailing    = errors.New("wire: trailing bytes after message")
@@ -264,6 +265,12 @@ func Decode(data []byte) (*Message, error) {
 	off += 8
 	m.Round = binary.LittleEndian.Uint32(data[off:])
 	off += 4
+	// Reserved flag bits must be zero, or the encoding would not be
+	// canonical: two distinct byte strings would decode to one message
+	// (found by FuzzDecode, corpus testdata/fuzz/FuzzDecode).
+	if data[off]&^1 != 0 {
+		return nil, ErrBadFlags
+	}
 	m.HasValue = data[off]&1 != 0
 	off++
 	copy(m.Value[:], data[off:off+ValueSize])
