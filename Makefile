@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race chaos verify bench benchsmoke clean
+.PHONY: build test vet race chaos lint verify bench benchsmoke clean
 
 build:
 	$(GO) build ./...
@@ -31,9 +31,19 @@ chaos:
 benchsmoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
+# lint runs the project analyzers (cmd/p2plint: determinism, map-order,
+# enclave-boundary error handling, lockstep, shadow, nilness — see
+# DESIGN.md §9) over the whole module and fails on gofmt drift.
+# Suppressions require `//lint:allow <analyzer> <reason>`.
+lint:
+	$(GO) run ./cmd/p2plint ./...
+	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
+		echo "gofmt drift in:"; echo "$$fmt_out"; exit 1; fi
+
 # verify is the tier-1 gate: build, vet, full test suite, race subset,
-# chaos fault-injection suite, one-iteration benchmark smoke run.
-verify: build vet test race chaos benchsmoke
+# chaos fault-injection suite, one-iteration benchmark smoke run, and
+# the project lint battery.
+verify: build vet test race chaos benchsmoke lint
 
 # bench regenerates BENCH_setup.json: setup/broadcast microbenchmarks plus
 # the fig2a/fig2b sweeps (ns/op and allocs/op) via cmd/p2pbench.

@@ -1,0 +1,96 @@
+// Command p2plint is the project's static-analysis gate: a multichecker
+// over the custom analyzers in internal/lint that mechanically enforce the
+// reproduction's determinism (P1/F2), enclave-boundary error handling and
+// lockstep scheduling (P5) invariants, plus locally reimplemented shadow
+// and nilness passes. It is wired into `make lint` and the tier-1 `make
+// verify` gate; see DESIGN.md §9.
+//
+// Usage:
+//
+//	p2plint [-only name,name] [packages...]
+//
+// Packages default to ./... resolved from the enclosing module root. The
+// exit status is 1 when any finding survives suppression; suppress
+// deliberate violations in-source with `//lint:allow <analyzer> <reason>`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sgxp2p/internal/lint"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = usage
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		analyzers = selectAnalyzers(analyzers, strings.Split(*only, ","))
+	}
+
+	root, err := lint.ModuleRoot(".")
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := lint.Load(root, flag.Args()...)
+	if err != nil {
+		fatal(err)
+	}
+	findings := 0
+	for _, pkg := range pkgs {
+		diags, err := lint.RunAnalyzers(pkg, analyzers)
+		if err != nil {
+			fatal(err)
+		}
+		for _, d := range diags {
+			fmt.Println(d)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "p2plint: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}
+
+func selectAnalyzers(all []*lint.Analyzer, names []string) []*lint.Analyzer {
+	byName := make(map[string]*lint.Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*lint.Analyzer
+	for _, n := range names {
+		n = strings.TrimSpace(n)
+		a, ok := byName[n]
+		if !ok {
+			fatal(fmt.Errorf("unknown analyzer %q (use -list)", n))
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: p2plint [-only name,name] [packages...]\n\nAnalyzers:\n")
+	for _, a := range lint.Analyzers() {
+		fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, a.Doc)
+	}
+	fmt.Fprintf(os.Stderr, "\nSuppress with `//lint:allow <analyzer> <reason>` on or above the offending line.\n")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "p2plint:", err)
+	os.Exit(1)
+}

@@ -110,17 +110,17 @@ func run(args []string) error {
 	seqs := make([]uint64, *n)
 	for i := 0; i < *n; i++ {
 		peerRng := mrand.New(mrand.NewSource(*demoSecret ^ int64(i+1)*0x9E3779B9))
-		e, err := enclave.Launch(program, wire.NodeID(i), peerRng, clock)
-		if err != nil {
-			return err
+		e, lerr := enclave.Launch(program, wire.NodeID(i), peerRng, clock)
+		if lerr != nil {
+			return lerr
 		}
 		if wire.NodeID(i) == self {
 			encl = e
 		}
 		roster.Quotes[i] = service.Attest(e)
-		s, err := e.RandomSeq()
-		if err != nil {
-			return err
+		s, serr := e.RandomSeq()
+		if serr != nil {
+			return serr
 		}
 		seqs[i] = s
 	}

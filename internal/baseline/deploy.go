@@ -68,9 +68,9 @@ func NewDeployment(opts DeployOptions) (*Deployment, error) {
 		roster.Keys = make([]xcrypto.VerifyKey, opts.N)
 		err := parallel.ForEach(opts.N, opts.Workers, func(i int) error {
 			rng := rand.New(rand.NewSource(opts.Seed ^ int64(i+1)*0x51ED))
-			key, err := xcrypto.GenerateSigningKey(rng)
-			if err != nil {
-				return fmt.Errorf("baseline: key %d: %w", i, err)
+			key, kerr := xcrypto.GenerateSigningKey(rng)
+			if kerr != nil {
+				return fmt.Errorf("baseline: key %d: %w", i, kerr)
 			}
 			d.Keys[i] = key
 			roster.Keys[i] = key.VerifyKey()

@@ -113,7 +113,6 @@ func (e *Engine) Arm(d *deploy.Deployment) {
 	t0 := d.Sim.Now()
 	rd := d.RoundDuration()
 	for _, ev := range e.sched.Events() {
-		ev := ev
 		d.Sim.Schedule(t0+time.Duration(ev.Round-1)*rd, func() { e.apply(ev) })
 	}
 }

@@ -79,14 +79,13 @@ func RunERBSchedule(seed int64, n, t int, sched *Schedule) (*Outcome, error) {
 	lastRound := make([]uint32, n)
 	engines := make([]*erb.Engine, n)
 	for i, p := range d.Peers {
-		e, err := erb.NewEngine(p, erb.Config{
+		e, eerr := erb.NewEngine(p, erb.Config{
 			T:                  t,
 			ExpectedInitiators: []wire.NodeID{0},
 		})
-		if err != nil {
-			return nil, err
+		if eerr != nil {
+			return nil, eerr
 		}
-		i := i
 		e.SetRoundHook(func(rnd uint32) { lastRound[i] = rnd })
 		engines[i] = e
 	}
@@ -153,7 +152,6 @@ func RunERNGSchedule(seed int64, n, t int, optimized bool, sched *Schedule) (*Ou
 		if err != nil {
 			return nil, err
 		}
-		i := i
 		proto.SetRoundHook(func(rnd uint32) { lastRound[i] = rnd })
 		protos[i] = proto
 		rounds = proto.Rounds()

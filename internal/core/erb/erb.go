@@ -321,7 +321,7 @@ func (e *Engine) multicastEcho(inst *instance, rnd uint32) {
 		HasValue:  true,
 		Value:     inst.value,
 	}
-	_ = e.peer.Multicast(e.cfg.Members, msg, e.cfg.AckThreshold)
+	_ = e.peer.Multicast(e.cfg.Members, msg, e.cfg.AckThreshold) //lint:allow sealerr a halted or partitioned receiver is recorded by the runtime; the sender has nothing further to do this round
 }
 
 // OnMessage implements runtime.Protocol. The runtime already enforced

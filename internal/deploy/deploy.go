@@ -165,9 +165,9 @@ func New(opts Options) (*Deployment, error) {
 	// so the result is independent of the worker count.
 	err = parallel.ForEach(opts.N, opts.Workers, func(id int) error {
 		rng := rand.New(rand.NewSource(opts.Seed ^ int64(id+1)*0x9E3779B9))
-		encl, err := enclave.Launch(opts.Program, wire.NodeID(id), rng, clock, enclOpts...)
-		if err != nil {
-			return fmt.Errorf("deploy: enclave %d: %w", id, err)
+		encl, lerr := enclave.Launch(opts.Program, wire.NodeID(id), rng, clock, enclOpts...)
+		if lerr != nil {
+			return fmt.Errorf("deploy: enclave %d: %w", id, lerr)
 		}
 		d.Encls[id] = encl
 		d.Roster.Quotes[id] = service.Attest(encl)
@@ -180,8 +180,8 @@ func New(opts Options) (*Deployment, error) {
 	// once per peer — the simulated deployment shares one process, so N^2
 	// re-verifications of identical quotes would only burn CPU.
 	err = parallel.ForEach(opts.N, opts.Workers, func(id int) error {
-		if err := enclave.VerifyQuote(d.Roster.ServiceKey, d.Roster.Measurement, d.Roster.Quotes[id]); err != nil {
-			return fmt.Errorf("deploy: attestation of node %d: %w", id, err)
+		if verr := enclave.VerifyQuote(d.Roster.ServiceKey, d.Roster.Measurement, d.Roster.Quotes[id]); verr != nil {
+			return fmt.Errorf("deploy: attestation of node %d: %w", id, verr)
 		}
 		return nil
 	})
@@ -196,9 +196,9 @@ func New(opts Options) (*Deployment, error) {
 	// stays on one goroutine.
 	transports := make([]runtime.Transport, opts.N)
 	for id := 0; id < opts.N; id++ {
-		tr, err := d.buildTransport(wire.NodeID(id))
-		if err != nil {
-			return nil, err
+		tr, terr := d.buildTransport(wire.NodeID(id))
+		if terr != nil {
+			return nil, terr
 		}
 		transports[id] = tr
 	}
@@ -208,14 +208,14 @@ func New(opts Options) (*Deployment, error) {
 	// each unordered pair is derived once and the parallel pool spreads
 	// the rest across cores.
 	err = parallel.ForEach(opts.N, opts.Workers, func(id int) error {
-		peer, err := runtime.NewPeer(d.Encls[id], transports[id], d.Roster, runtime.Config{
+		peer, perr := runtime.NewPeer(d.Encls[id], transports[id], d.Roster, runtime.Config{
 			N:      opts.N,
 			T:      opts.T,
 			Delta:  opts.Delta,
 			Sealer: d.newSealer(),
 		})
-		if err != nil {
-			return fmt.Errorf("deploy: peer %d: %w", id, err)
+		if perr != nil {
+			return fmt.Errorf("deploy: peer %d: %w", id, perr)
 		}
 		d.Peers[id] = peer
 		return nil

@@ -88,9 +88,9 @@ func (d *Deployment) Join(opts JoinOptions) (wire.NodeID, error) {
 	// bound to its attested identity.
 	if opts.PuzzleDifficulty > 0 {
 		puzzle := d.joinPuzzle(digest, opts.PuzzleDifficulty)
-		nonce, err := puzzle.Solve(0)
-		if err != nil {
-			return wire.NoNode, fmt.Errorf("deploy: joiner could not solve puzzle: %w", err)
+		nonce, perr := puzzle.Solve(0)
+		if perr != nil {
+			return wire.NoNode, fmt.Errorf("deploy: joiner could not solve puzzle: %w", perr)
 		}
 		// Every admitting node re-verifies (here once: the deployment is
 		// the honest verifier the paper's peers each implement).
@@ -107,12 +107,12 @@ func (d *Deployment) Join(opts JoinOptions) (wire.NodeID, error) {
 		if p.Halted() {
 			continue
 		}
-		eng, err := erb.NewEngine(p, erb.Config{
+		eng, eerr := erb.NewEngine(p, erb.Config{
 			T:                  d.Opts.T,
 			ExpectedInitiators: []wire.NodeID{opts.Sponsor},
 		})
-		if err != nil {
-			return wire.NoNode, err
+		if eerr != nil {
+			return wire.NoNode, eerr
 		}
 		engines[i] = eng
 		live = append(live, i)
@@ -121,8 +121,8 @@ func (d *Deployment) Join(opts JoinOptions) (wire.NodeID, error) {
 	for _, i := range live {
 		d.Peers[i].Start(engines[i], engines[i].Rounds())
 	}
-	if err := d.Sim.Run(); err != nil {
-		return wire.NoNode, err
+	if rerr := d.Sim.Run(); rerr != nil {
+		return wire.NoNode, rerr
 	}
 
 	// Admission: nodes whose broadcast decision matched the digest verify
@@ -133,8 +133,8 @@ func (d *Deployment) Join(opts JoinOptions) (wire.NodeID, error) {
 		if !ok || !res.Accepted || res.Value != digest {
 			continue
 		}
-		if err := d.Peers[i].AddPeer(d.Roster, quote, seq); err != nil {
-			return wire.NoNode, fmt.Errorf("deploy: node %d admit: %w", i, err)
+		if aerr := d.Peers[i].AddPeer(d.Roster, quote, seq); aerr != nil {
+			return wire.NoNode, fmt.Errorf("deploy: node %d admit: %w", i, aerr)
 		}
 		admitted++
 	}

@@ -120,8 +120,8 @@ func (d *Deployment) Restart(id wire.NodeID) error {
 		return fmt.Errorf("deploy: restart enclave %d: %w", id, err)
 	}
 	quote := d.Service.Attest(encl)
-	if err := enclave.VerifyQuote(d.Roster.ServiceKey, d.Roster.Measurement, quote); err != nil {
-		return fmt.Errorf("deploy: restart attestation %d: %w", id, err)
+	if verr := enclave.VerifyQuote(d.Roster.ServiceKey, d.Roster.Measurement, quote); verr != nil {
+		return fmt.Errorf("deploy: restart attestation %d: %w", id, verr)
 	}
 	d.Roster.Quotes[id] = quote
 

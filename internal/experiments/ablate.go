@@ -42,9 +42,9 @@ func Ablate(cfg Config) (*Table, error) {
 	}
 	rows, err := sweepRows(cfg, len(variants), func(i int) ([]string, error) {
 		v := variants[i]
-		run, err := runERBOpts(cfg, n, v.chainLen, v.ackThreshold)
-		if err != nil {
-			return nil, err
+		run, rerr := runERBOpts(cfg, n, v.chainLen, v.ackThreshold)
+		if rerr != nil {
+			return nil, rerr
 		}
 		return []string{
 			v.label, fmt.Sprint(run.MaxRound), fmtMB(float64(run.Bytes)),

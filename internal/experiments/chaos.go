@@ -56,20 +56,20 @@ func Chaos(cfg Config) (*Table, error) {
 	results, err := parallel.Map(len(jobs), cfg.Workers, func(i int) (result, error) {
 		j := jobs[i]
 		var o *chaos.Outcome
-		var err, check error
+		var runErr, check error
 		if j.proto == "erb" {
-			o, err = chaos.RunERB(j.seed, j.n, j.t)
-			if err == nil {
+			o, runErr = chaos.RunERB(j.seed, j.n, j.t)
+			if runErr == nil {
 				check = chaos.CheckERB(o)
 			}
 		} else {
-			o, err = chaos.RunERNG(j.seed, j.n, j.t, false)
-			if err == nil {
+			o, runErr = chaos.RunERNG(j.seed, j.n, j.t, false)
+			if runErr == nil {
 				check = chaos.CheckERNG(o)
 			}
 		}
-		if err != nil {
-			return result{}, fmt.Errorf("chaos %s N=%d seed=%d: %w", j.proto, j.n, j.seed, err)
+		if runErr != nil {
+			return result{}, fmt.Errorf("chaos %s N=%d seed=%d: %w", j.proto, j.n, j.seed, runErr)
 		}
 		r := result{o: o, verdict: "ok"}
 		if check != nil {

@@ -151,9 +151,9 @@ func Bias(cfg Config) (*Table, error) {
 	// epochs sweep in parallel.
 	target := wire.Value{0xD7, 0x01}
 	sigOutputs, err := parallel.Map(epochs, cfg.Workers, func(e int) (wire.Value, error) {
-		out, err := runAttackedSigRNG(cfg, n, byz, cfg.Seed+int64(e)*101, target)
-		if err != nil {
-			return wire.Value{}, fmt.Errorf("bias sigrng epoch %d: %w", e, err)
+		out, rerr := runAttackedSigRNG(cfg, n, byz, cfg.Seed+int64(e)*101, target)
+		if rerr != nil {
+			return wire.Value{}, fmt.Errorf("bias sigrng epoch %d: %w", e, rerr)
 		}
 		return out, nil
 	})
@@ -173,9 +173,9 @@ func Bias(cfg Config) (*Table, error) {
 
 	// ERNG under byzantine delay + selective omission.
 	erngOutputs, err := parallel.Map(epochs, cfg.Workers, func(e int) (wire.Value, error) {
-		out, err := runAttackedERNG(cfg, n, byz, cfg.Seed+int64(e)*131)
-		if err != nil {
-			return wire.Value{}, fmt.Errorf("bias erng epoch %d: %w", e, err)
+		out, rerr := runAttackedERNG(cfg, n, byz, cfg.Seed+int64(e)*131)
+		if rerr != nil {
+			return wire.Value{}, fmt.Errorf("bias erng epoch %d: %w", e, rerr)
 		}
 		return out, nil
 	})

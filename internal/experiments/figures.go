@@ -38,9 +38,9 @@ func Fig2a(cfg Config) (*Table, error) {
 	sizes := sizesUpTo(1, hi)
 	rows, err := sweepRows(cfg, len(sizes), func(i int) ([]string, error) {
 		n := sizes[i]
-		run, err := runERB(cfg, n, 0)
-		if err != nil {
-			return nil, fmt.Errorf("fig2a N=%d: %w", n, err)
+		run, rerr := runERB(cfg, n, 0)
+		if rerr != nil {
+			return nil, fmt.Errorf("fig2a N=%d: %w", n, rerr)
 		}
 		if !run.Accepted {
 			return nil, fmt.Errorf("fig2a N=%d: honest run did not accept", n)
@@ -184,9 +184,9 @@ func Fig2b(cfg Config) (*Table, error) {
 	sizes := sizesUpTo(2, hi)
 	rows, err := sweepRows(cfg, len(sizes), func(i int) ([]string, error) {
 		n := sizes[i]
-		run, err := runBasicERNG(cfg, n)
-		if err != nil {
-			return nil, fmt.Errorf("fig2b N=%d: %w", n, err)
+		run, rerr := runBasicERNG(cfg, n)
+		if rerr != nil {
+			return nil, fmt.Errorf("fig2b N=%d: %w", n, rerr)
 		}
 		return []string{
 			fmt.Sprint(n),
@@ -231,9 +231,9 @@ func Fig2c(cfg Config) (*Table, error) {
 	fractions := byzFractions(n)
 	rows, err := sweepRows(cfg, len(fractions), func(i int) ([]string, error) {
 		f := fractions[i]
-		run, err := runERB(cfg, n, f)
-		if err != nil {
-			return nil, fmt.Errorf("fig2c f=%d: %w", f, err)
+		run, rerr := runERB(cfg, n, f)
+		if rerr != nil {
+			return nil, fmt.Errorf("fig2c f=%d: %w", f, rerr)
 		}
 		if !run.Accepted {
 			return nil, fmt.Errorf("fig2c f=%d: honest nodes did not accept", f)
@@ -272,9 +272,9 @@ func Fig3a(cfg Config) (*Table, error) {
 	sizes := sizesUpTo(1, hi)
 	rows, err := sweepRows(cfg, len(sizes), func(i int) ([]string, error) {
 		n := sizes[i]
-		run, err := runERB(cfg, n, 0)
-		if err != nil {
-			return nil, fmt.Errorf("fig3a N=%d: %w", n, err)
+		run, rerr := runERB(cfg, n, 0)
+		if rerr != nil {
+			return nil, fmt.Errorf("fig3a N=%d: %w", n, rerr)
 		}
 		return []string{
 			fmt.Sprint(n),
@@ -321,15 +321,15 @@ func Fig3b(cfg Config) (*Table, error) {
 	runs, err := parallel.Map(2*len(sizes), cfg.Workers, func(j int) (erngRun, error) {
 		n := sizes[j/2]
 		if j%2 == 0 {
-			run, err := runBasicERNG(cfg, n)
-			if err != nil {
-				return erngRun{}, fmt.Errorf("fig3b basic N=%d: %w", n, err)
+			run, rerr := runBasicERNG(cfg, n)
+			if rerr != nil {
+				return erngRun{}, fmt.Errorf("fig3b basic N=%d: %w", n, rerr)
 			}
 			return run, nil
 		}
-		run, err := runOptERNG(cfg, n)
-		if err != nil {
-			return erngRun{}, fmt.Errorf("fig3b optimized N=%d: %w", n, err)
+		run, rerr := runOptERNG(cfg, n)
+		if rerr != nil {
+			return erngRun{}, fmt.Errorf("fig3b optimized N=%d: %w", n, rerr)
 		}
 		return run, nil
 	})
@@ -378,9 +378,9 @@ func Fig3c(cfg Config) (*Table, error) {
 	fractions := byzFractions(n)
 	rows, err := sweepRows(cfg, len(fractions), func(i int) ([]string, error) {
 		f := fractions[i]
-		run, err := runERB(cfg, n, f)
-		if err != nil {
-			return nil, fmt.Errorf("fig3c f=%d: %w", f, err)
+		run, rerr := runERB(cfg, n, f)
+		if rerr != nil {
+			return nil, fmt.Errorf("fig3c f=%d: %w", f, rerr)
 		}
 		return []string{
 			fmt.Sprintf("1/%d", n/f),

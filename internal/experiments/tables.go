@@ -189,15 +189,15 @@ func Tab1(cfg Config) (*Table, error) {
 		p := protos[j/perProto]
 		k := j % perProto
 		if k < len(sizes) {
-			run, err := p.honest(sizes[k])
-			if err != nil {
-				return baselineRun{}, fmt.Errorf("tab1 %s N=%d: %w", p.name, sizes[k], err)
+			run, rerr := p.honest(sizes[k])
+			if rerr != nil {
+				return baselineRun{}, fmt.Errorf("tab1 %s N=%d: %w", p.name, sizes[k], rerr)
 			}
 			return run, nil
 		}
-		run, err := p.chain(probe, probe/4)
-		if err != nil {
-			return baselineRun{}, fmt.Errorf("tab1 %s chain: %w", p.name, err)
+		run, rerr := p.chain(probe, probe/4)
+		if rerr != nil {
+			return baselineRun{}, fmt.Errorf("tab1 %s chain: %w", p.name, rerr)
 		}
 		return run, nil
 	})
@@ -313,9 +313,9 @@ func Tab2(cfg Config) (*Table, error) {
 	runs, err := parallel.Map(len(rngs)*len(sizes), cfg.Workers, func(j int) (baselineRun, error) {
 		r := rngs[j/len(sizes)]
 		n := sizes[j%len(sizes)]
-		run, err := r.run(n)
-		if err != nil {
-			return baselineRun{}, fmt.Errorf("tab2 %s N=%d: %w", r.name, n, err)
+		run, rerr := r.run(n)
+		if rerr != nil {
+			return baselineRun{}, fmt.Errorf("tab2 %s N=%d: %w", r.name, n, rerr)
 		}
 		return run, nil
 	})

@@ -1,0 +1,141 @@
+// Package lint is p2plint's analysis engine: a small, dependency-free
+// reimplementation of the golang.org/x/tools/go/analysis surface (Analyzer,
+// Pass, Diagnostic) plus the project-specific analyzers that mechanically
+// enforce the reproduction's coding invariants — determinism (paper property
+// P1/F2), lockstep scheduling (P5) and enclave-boundary error handling.
+//
+// The framework mirrors x/tools deliberately: each check is an *Analyzer
+// with a Run(*Pass) function reporting Diagnostics, and golden tests use an
+// analysistest-style `// want "regexp"` harness (see testutil.go). We do not
+// vendor x/tools itself — the build must stay self-contained on the Go
+// standard library — so the two x/tools passes we adopt (shadow, nilness)
+// are local reimplementations of the same diagnostics.
+//
+// Suppressions use the directive
+//
+//	//lint:allow <analyzer> <reason>
+//
+// placed on the offending line or on the line directly above it. The reason
+// is mandatory; a directive without one is itself a finding (see
+// suppress.go). See DESIGN.md §9 for the analyzer-by-analyzer rationale.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check, mirroring analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in //lint:allow
+	// directives. Lowercase, no spaces.
+	Name string
+	// Doc is the one-paragraph description printed by `p2plint -help`.
+	Doc string
+	// Packages restricts the analyzer to packages whose import path equals
+	// one of these prefixes or lives below it (prefix + "/"). Nil means the
+	// analyzer applies module-wide.
+	Packages []string
+	// Run performs the analysis on one package and reports findings via
+	// pass.Reportf.
+	Run func(*Pass) error
+}
+
+// AppliesTo reports whether the analyzer's package scope covers path.
+func (a *Analyzer) AppliesTo(path string) bool {
+	if len(a.Packages) == 0 {
+		return true
+	}
+	for _, p := range a.Packages {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// Pass carries one analyzer's view of one type-checked package, mirroring
+// analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	Path      string // import path (Pkg.Path() may be vendor-mangled)
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      pos,
+		Position: p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Pos
+	Position token.Position
+	Message  string
+}
+
+// String renders the diagnostic in the canonical file:line:col form consumed
+// by editors and CI logs.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Position, d.Analyzer, d.Message)
+}
+
+// RunAnalyzers applies every analyzer whose scope covers pkg and returns the
+// surviving diagnostics: suppression directives have been applied and
+// malformed directives reported, so the result is exactly what the driver
+// should print. Diagnostics come back sorted by position.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		if !a.AppliesTo(pkg.Path) {
+			continue
+		}
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			Path:      pkg.Path,
+			TypesInfo: pkg.Info,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+		}
+		diags = append(diags, pass.diags...)
+	}
+	dirs, dirDiags := collectDirectives(pkg.Fset, pkg.Files)
+	diags = append(filterSuppressed(diags, dirs), dirDiags...)
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+func sortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Position, diags[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+}

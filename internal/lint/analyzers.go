@@ -1,0 +1,31 @@
+package lint
+
+// DeterministicPackages are the import paths (and subtrees) whose non-test
+// code must be bit-for-bit replayable: the protocol cores the chaos engine
+// replays under fixed seeds, the virtual clock and simulated network that
+// define the replayed timeline, the adversary whose choices are part of the
+// schedule, and the TCP transport whose deliberate wall-clock anchoring is
+// the one sanctioned exception (suppressed in-source with reasons).
+var DeterministicPackages = []string{
+	"sgxp2p/internal/core",
+	"sgxp2p/internal/chaos",
+	"sgxp2p/internal/vclock",
+	"sgxp2p/internal/simnet",
+	"sgxp2p/internal/adversary",
+	"sgxp2p/internal/runtime",
+	"sgxp2p/internal/tcpnet",
+}
+
+// Analyzers returns the full p2plint battery in the order findings are
+// attributed: the four project invariants, then the two general passes
+// adopted from x/tools (reimplemented locally — see shadow.go/nilness.go).
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		DetrandAnalyzer,
+		MaporderAnalyzer,
+		SealerrAnalyzer,
+		LockstepAnalyzer,
+		ShadowAnalyzer,
+		NilnessAnalyzer,
+	}
+}

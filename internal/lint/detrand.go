@@ -1,0 +1,96 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DetrandAnalyzer forbids nondeterministic time and randomness sources in
+// the deterministic packages: the seeded chaos engine replays schedules and
+// compares trace fingerprints byte-for-byte (DESIGN.md §8), and the paper's
+// F2 (unbiased enclave randomness) and P1 (execution integrity) arguments
+// assume protocol code draws entropy only from the enclave. A single
+// time.Now or global math/rand call silently breaks both: replays diverge
+// and the adversary model gains an OS-controlled entropy source.
+//
+// Flagged in scoped packages (non-test code):
+//   - time.Now, time.Since — wall clock; use the virtual clock
+//     (vclock.Clock.Now / runtime transport Now) instead.
+//   - every package-level math/rand and math/rand/v2 function (Int, Intn,
+//     Float64, Perm, Shuffle, Seed, Read, ...) — process-global, unseeded
+//     state; construct a seeded *rand.Rand or use enclave randomness
+//     (enclave.ReadRand / RandomValue) instead.
+//   - rand.New(rand.NewSource(...)) stays legal: that is the seeded form
+//     every deterministic component uses.
+var DetrandAnalyzer = &Analyzer{
+	Name: "detrand",
+	Doc: "forbids wall-clock time and global/unseeded math/rand in deterministic packages " +
+		"(use seeded *rand.Rand, the virtual clock, or enclave randomness)",
+	Packages: DeterministicPackages,
+	Run:      runDetrand,
+}
+
+// wallClockFuncs are the time package functions that read the wall clock.
+var wallClockFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+func runDetrand(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[sel.Sel]
+			if obj == nil {
+				return true
+			}
+			switch pkgPathOf(obj) {
+			case "time":
+				if wallClockFuncs[obj.Name()] && isFunc(obj) {
+					pass.Reportf(sel.Pos(), "time.%s reads the wall clock in a deterministic package; use the virtual clock (vclock/transport Now)", obj.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if !isFunc(obj) {
+					return true
+				}
+				switch obj.Name() {
+				case "New", "NewSource", "NewZipf", "NewChaCha8", "NewPCG":
+					// Seeded constructors are the sanctioned form.
+				default:
+					pass.Reportf(sel.Pos(), "global rand.%s uses process-wide unseeded state; use a seeded *rand.Rand or enclave randomness", obj.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// pkgPathOf returns the import path of the package an object belongs to, or
+// "" for builtins and package names themselves.
+func pkgPathOf(obj types.Object) string {
+	if pn, ok := obj.(*types.PkgName); ok {
+		_ = pn
+		return ""
+	}
+	if obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path()
+}
+
+// isFunc reports whether obj is a package-level function — methods (e.g.
+// (*rand.Rand).Intn on a seeded generator) are exactly the sanctioned form
+// and must not match.
+func isFunc(obj types.Object) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}

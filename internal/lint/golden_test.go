@@ -1,0 +1,21 @@
+package lint
+
+import "testing"
+
+// The golden tests run every analyzer over its testdata package through the
+// same RunAnalyzers path the p2plint driver uses, so suppression directives
+// and malformed-directive reporting are exercised end to end. Each testdata
+// file deliberately seeds violations next to the legal idioms; see
+// testutil_test.go for the // want comment syntax.
+
+func TestDetrandGolden(t *testing.T)  { runGolden(t, DetrandAnalyzer, "detrand") }
+func TestMaporderGolden(t *testing.T) { runGolden(t, MaporderAnalyzer, "maporder") }
+func TestSealerrGolden(t *testing.T)  { runGolden(t, SealerrAnalyzer, "sealerr") }
+func TestLockstepGolden(t *testing.T) { runGolden(t, LockstepAnalyzer, "lockstep") }
+func TestShadowGolden(t *testing.T)   { runGolden(t, ShadowAnalyzer, "shadow") }
+func TestNilnessGolden(t *testing.T)  { runGolden(t, NilnessAnalyzer, "nilness") }
+
+// TestDirectiveGolden exercises the suppression machinery itself: reasoned
+// directives silence findings, reasonless or unknown-analyzer directives are
+// findings of their own and suppress nothing.
+func TestDirectiveGolden(t *testing.T) { runGolden(t, DetrandAnalyzer, "directive") }

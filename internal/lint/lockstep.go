@@ -1,0 +1,53 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// LockstepAnalyzer forbids OS-timer scheduling in round-driven code. The
+// paper's P5 (lockstep execution) requires every protocol action to happen
+// at a round boundary decided by the shared round clock; our reproduction
+// realizes that with virtual-time scheduling (vclock.Clock.At/After, the
+// runtime transport's After). A time.Sleep or raw time.Timer in that code
+// ties protocol progress to host wall time: under the simulated network the
+// action never fires (virtual time does not advance while sleeping), and
+// under the real network it desynchronizes rounds across nodes — precisely
+// the attack surface P5 closes.
+var LockstepAnalyzer = &Analyzer{
+	Name: "lockstep",
+	Doc: "forbids time.Sleep and raw time.Timer/Ticker scheduling in round-driven packages " +
+		"(schedule on the virtual clock: vclock.Clock.At/After or the transport's After)",
+	Packages: DeterministicPackages,
+	Run:      runLockstep,
+}
+
+// timerFuncs are the time package entry points that schedule against the OS
+// timer wheel.
+var timerFuncs = map[string]bool{
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+func runLockstep(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[sel.Sel]
+			if obj == nil || pkgPathOf(obj) != "time" {
+				return true
+			}
+			if timerFuncs[obj.Name()] && isFunc(obj) {
+				pass.Reportf(sel.Pos(), "time.%s schedules on the OS timer in round-driven code; use vclock scheduling (Clock.At/After or the transport's After)", obj.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}

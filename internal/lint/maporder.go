@@ -1,0 +1,270 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MaporderAnalyzer flags map iterations whose per-element results escape the
+// loop in an order-sensitive way without a deterministic sort. Go randomizes
+// map iteration order per run, so a map range that appends to a slice,
+// concatenates into a string, writes to a stream/encoder or accumulates into
+// a value produces run-dependent output. In this codebase that is the exact
+// bug class that silently breaks deterministic replay: the chaos engine
+// (DESIGN.md §8) re-runs a seeded schedule and compares trace fingerprints,
+// and any map-ordered bytes reaching the wire, a digest or a trace diverge
+// between runs while every test still passes.
+//
+// An escaping append is accepted when the same function later sorts the
+// destination (a sort.* or slices.* call taking it as an argument) — the
+// canonical collect-then-sort idiom stays legal. Stream writes and
+// accumulators have no after-the-fact fix, so they are always flagged;
+// deliberately order-free accumulation (e.g. a pure XOR fold) carries
+// //lint:allow maporder <reason>.
+var MaporderAnalyzer = &Analyzer{
+	Name: "maporder",
+	Doc: "flags map iterations whose results escape the loop (append, string concat, stream " +
+		"write, accumulator) without a deterministic sort — map order would reach wire/digest/trace paths",
+	Run: runMaporder,
+}
+
+// orderSinkMethods are method names that serialize their argument into an
+// order-sensitive destination (stream, digest, encoder).
+var orderSinkMethods = map[string]bool{
+	"Write":       true,
+	"WriteString": true,
+	"WriteByte":   true,
+	"WriteRune":   true,
+	"Encode":      true,
+	"Fprint":      true,
+	"Fprintf":     true,
+	"Fprintln":    true,
+}
+
+func runMaporder(pass *Pass) error {
+	for _, f := range pass.Files {
+		// Walk function bodies so each map range can be checked for a
+		// redeeming sort later in the same function.
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				pass.checkMapRanges(body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkMapRanges finds every map range directly inside fnBody (at any
+// depth) and checks its escapes. fnBody is also the redemption search space
+// for later sorts.
+func (p *Pass) checkMapRanges(fnBody *ast.BlockStmt) {
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok && fl.Body != fnBody {
+			return false // nested functions get their own walk
+		}
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := p.TypesInfo.Types[rng.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		p.checkEscapes(rng, fnBody)
+		return true
+	})
+}
+
+func (p *Pass) checkEscapes(rng *ast.RangeStmt, fnBody *ast.BlockStmt) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			p.checkAssignEscape(st, rng, fnBody)
+		case *ast.CallExpr:
+			p.checkCallEscape(st, rng)
+		case *ast.SendStmt:
+			if ch := p.outerObject(st.Chan, rng); ch != nil {
+				p.Reportf(st.Pos(), "send on %s inside map range leaks iteration order to the receiver; iterate sorted keys", ch.Name())
+			}
+		}
+		return true
+	})
+}
+
+// checkAssignEscape handles `dst = append(dst, ...)`, `dst += s` (strings)
+// and `dst ^= v` / `dst |= v` style accumulation into outer variables.
+func (p *Pass) checkAssignEscape(st *ast.AssignStmt, rng *ast.RangeStmt, fnBody *ast.BlockStmt) {
+	switch st.Tok {
+	case token.ASSIGN, token.DEFINE:
+		for i, rhs := range st.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok || !isBuiltinAppend(p, call) || i >= len(st.Lhs) {
+				continue
+			}
+			dst := p.outerObject(st.Lhs[i], rng)
+			if dst == nil {
+				continue
+			}
+			if p.sortedAfter(dst, rng, fnBody) {
+				continue
+			}
+			p.Reportf(st.Pos(), "append to %s inside map range escapes iteration order; sort %s afterwards or iterate sorted keys", dst.Name(), dst.Name())
+		}
+	case token.XOR_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.SHL_ASSIGN, token.SHR_ASSIGN, token.SUB_ASSIGN, token.QUO_ASSIGN, token.REM_ASSIGN:
+		if dst := p.outerObject(st.Lhs[0], rng); dst != nil {
+			p.Reportf(st.Pos(), "accumulation into %s inside map range depends on iteration order; iterate sorted keys (or //lint:allow maporder with the commutativity argument)", dst.Name())
+		}
+	case token.ADD_ASSIGN:
+		dst := p.outerObject(st.Lhs[0], rng)
+		if dst == nil {
+			return
+		}
+		if b, ok := dst.Type().Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+			p.Reportf(st.Pos(), "string concatenation into %s inside map range escapes iteration order; iterate sorted keys", dst.Name())
+		}
+	}
+}
+
+// checkCallEscape flags order-sensitive sink calls (Write/Encode/Fprintf...)
+// whose receiver or writer argument lives outside the loop.
+func (p *Pass) checkCallEscape(call *ast.CallExpr, rng *ast.RangeStmt) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !orderSinkMethods[sel.Sel.Name] {
+		return
+	}
+	obj := p.TypesInfo.Uses[sel.Sel]
+	if obj == nil {
+		return
+	}
+	if pkgPathOf(obj) == "fmt" { // fmt.Fprint*(w, ...): the writer is arg 0
+		if len(call.Args) == 0 {
+			return
+		}
+		if w := p.outerObject(call.Args[0], rng); w != nil {
+			p.Reportf(call.Pos(), "fmt.%s to %s inside map range writes in iteration order; iterate sorted keys", sel.Sel.Name, w.Name())
+		}
+		return
+	}
+	if _, isMethod := obj.(*types.Func); !isMethod {
+		return
+	}
+	if recv := p.outerObject(sel.X, rng); recv != nil {
+		p.Reportf(call.Pos(), "%s.%s inside map range writes in iteration order; iterate sorted keys", recv.Name(), sel.Sel.Name)
+	}
+}
+
+// outerObject resolves expr to the variable it names (unwrapping selectors
+// and derefs to their base identifier) and returns it when that variable is
+// declared outside the range statement — i.e. when writes through it outlive
+// the loop. Returns nil for loop-local variables and non-identifiers.
+func (p *Pass) outerObject(expr ast.Expr, rng *ast.RangeStmt) types.Object {
+	for {
+		switch e := expr.(type) {
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.UnaryExpr:
+			expr = e.X // &buf passed to a sink still names the outer buffer
+		case *ast.SelectorExpr:
+			// For x.f or pkg.V use the base: escaping through a field of an
+			// outer struct is still escaping.
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		default:
+			id, ok := expr.(*ast.Ident)
+			if !ok {
+				return nil
+			}
+			obj := p.TypesInfo.Uses[id]
+			if obj == nil {
+				obj = p.TypesInfo.Defs[id]
+			}
+			if obj == nil {
+				return nil
+			}
+			if _, isVar := obj.(*types.Var); !isVar {
+				return nil
+			}
+			if obj.Pos() >= rng.Pos() && obj.Pos() <= rng.End() {
+				return nil // declared inside the loop (incl. the range vars)
+			}
+			return obj
+		}
+	}
+}
+
+// sortedAfter reports whether fnBody contains, after the range statement, a
+// sort.*/slices.* call that takes dst as an argument — the collect-then-sort
+// idiom that restores determinism.
+func (p *Pass) sortedAfter(dst types.Object, rng *ast.RangeStmt, fnBody *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn := p.TypesInfo.Uses[sel.Sel]
+		if fn == nil {
+			return true
+		}
+		switch pkgPathOf(fn) {
+		case "sort", "slices":
+		default:
+			return true
+		}
+		for _, arg := range call.Args {
+			if p.refersTo(arg, dst) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// refersTo reports whether expr mentions obj.
+func (p *Pass) refersTo(expr ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && p.TypesInfo.Uses[id] == obj {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+// isBuiltinAppend reports whether call invokes the append builtin.
+func isBuiltinAppend(p *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, isBuiltin := p.TypesInfo.Uses[id].(*types.Builtin)
+	return isBuiltin
+}

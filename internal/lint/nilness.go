@@ -1,0 +1,162 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NilnessAnalyzer is a local, flow-light reimplementation of the x/tools
+// `nilness` pass (x/tools cannot be vendored into this offline build, and
+// its SSA-based engine is far more than the invariant needs). It reports
+// the highest-signal subset: inside the body of `if x == nil { ... }`, any
+// use of x that is guaranteed to panic — a pointer dereference or field
+// access, an interface method call, a slice index, a map write, a function
+// call — before x is reassigned. Every such report is a certain runtime
+// panic on the guarded path.
+var NilnessAnalyzer = &Analyzer{
+	Name: "nilness",
+	Doc: "reports guaranteed nil dereferences inside `if x == nil` branches " +
+		"(local reimplementation of the x/tools nilness pass's core diagnostic)",
+	Run: runNilness,
+}
+
+func runNilness(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ifst, ok := n.(*ast.IfStmt)
+			if !ok {
+				return true
+			}
+			obj := pass.nilGuardedVar(ifst.Cond)
+			if obj == nil {
+				return true
+			}
+			pass.checkNilUses(ifst.Body, obj)
+			return true
+		})
+	}
+	return nil
+}
+
+// nilGuardedVar returns the variable v when cond has the form `v == nil`
+// (or `nil == v`) for a nilable-typed identifier, else nil.
+func (p *Pass) nilGuardedVar(cond ast.Expr) types.Object {
+	bin, ok := cond.(*ast.BinaryExpr)
+	if !ok || bin.Op != token.EQL {
+		return nil
+	}
+	x, y := bin.X, bin.Y
+	if isNilIdent(p, y) {
+		// v == nil
+	} else if isNilIdent(p, x) {
+		x = y // nil == v
+	} else {
+		return nil
+	}
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj, ok := p.TypesInfo.Uses[id].(*types.Var)
+	if !ok {
+		return nil
+	}
+	switch obj.Type().Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Signature, *types.Interface, *types.Chan:
+		return obj
+	}
+	return nil
+}
+
+func isNilIdent(p *Pass, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := p.TypesInfo.Uses[id].(*types.Nil)
+	return isNil
+}
+
+// checkNilUses flags panicking uses of obj inside body, up to the first
+// statement that reassigns it.
+func (p *Pass) checkNilUses(body *ast.BlockStmt, obj types.Object) {
+	reassigned := token.Pos(-1)
+	ast.Inspect(body, func(n ast.Node) bool {
+		st, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range st.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok && p.objectOf(id) == obj {
+				if reassigned == token.Pos(-1) || st.Pos() < reassigned {
+					reassigned = st.Pos()
+				}
+			}
+		}
+		return true
+	})
+	flag := func(pos token.Pos, what string) {
+		if reassigned != token.Pos(-1) && pos > reassigned {
+			return
+		}
+		p.Reportf(pos, "%s %s, which is nil on this branch; this will panic", what, obj.Name())
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.StarExpr:
+			if p.isObj(e.X, obj) {
+				flag(e.Pos(), "dereference of")
+			}
+		case *ast.SelectorExpr:
+			if !p.isObj(e.X, obj) {
+				return true
+			}
+			switch obj.Type().Underlying().(type) {
+			case *types.Pointer:
+				// Field access through a nil pointer panics; a method call
+				// may have a nil-tolerant pointer receiver, so only flag
+				// field selections.
+				if sel, ok := p.TypesInfo.Selections[e]; ok && sel.Kind() == types.FieldVal {
+					flag(e.Pos(), "field access through")
+				}
+			case *types.Interface:
+				if sel, ok := p.TypesInfo.Selections[e]; ok && sel.Kind() == types.MethodVal {
+					flag(e.Pos(), "method call on")
+				}
+			}
+		case *ast.IndexExpr:
+			if !p.isObj(e.X, obj) {
+				return true
+			}
+			if _, isSlice := obj.Type().Underlying().(*types.Slice); isSlice {
+				flag(e.Pos(), "index of")
+			}
+		case *ast.CallExpr:
+			if p.isObj(e.Fun, obj) {
+				flag(e.Pos(), "call of")
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range e.Lhs {
+				if idx, ok := lhs.(*ast.IndexExpr); ok && p.isObj(idx.X, obj) {
+					if _, isMap := obj.Type().Underlying().(*types.Map); isMap {
+						flag(idx.Pos(), "write into")
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (p *Pass) isObj(e ast.Expr, obj types.Object) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && p.objectOf(id) == obj
+}
+
+func (p *Pass) objectOf(id *ast.Ident) types.Object {
+	if o := p.TypesInfo.Uses[id]; o != nil {
+		return o
+	}
+	return p.TypesInfo.Defs[id]
+}

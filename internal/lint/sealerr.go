@@ -1,0 +1,139 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// SealerrAnalyzer flags dropped errors from the enclave-boundary and wire
+// APIs. A Seal/Open failure is the blinded channel refusing to cross the
+// enclave boundary (tampered ciphertext, a halted enclave, a replay) and an
+// Encode/Decode failure is a malformed frame; ignoring either silently
+// converts a detected attack into an omission the protocol never accounts
+// for, voiding the P1/P2 integrity argument. Send/Multicast errors carry the
+// halt-on-divergence signal (P4): a sender that ignores them keeps acting
+// after it should have churned itself out.
+//
+// Flagged forms, in non-test code module-wide:
+//
+//	link.Seal(msg)                   // ExprStmt: all results dropped
+//	v, _ := wire.Decode(b)           // error position assigned to _
+//	go enc.Encode(x) / defer f.Open() // results unobservable
+//
+// Deliberate drops carry //lint:allow sealerr <reason>.
+var SealerrAnalyzer = &Analyzer{
+	Name: "sealerr",
+	Doc: "flags dropped or _-discarded errors from Seal*/Open*/Encode*/Decode* and " +
+		"channel/wire send APIs (they signal tampering, replay or required self-halt)",
+	Run: runSealerr,
+}
+
+// sealerrPrefixes are the guarded API name prefixes. The list is name-based
+// on purpose: it catches the project's Sealer/Link/Message APIs as well as
+// stdlib encoders feeding the wire, without needing a registry of types.
+var sealerrPrefixes = []string{
+	"Seal", "Open", "Encode", "Decode", "AppendEncode",
+	"Send", "Multicast", "Unicast",
+}
+
+func guardedName(name string) bool {
+	for _, p := range sealerrPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+func runSealerr(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := st.X.(*ast.CallExpr); ok {
+					pass.checkDroppedCall(call, "result dropped")
+				}
+			case *ast.GoStmt:
+				pass.checkDroppedCall(st.Call, "error unobservable in go statement")
+			case *ast.DeferStmt:
+				pass.checkDroppedCall(st.Call, "error unobservable in deferred call")
+			case *ast.AssignStmt:
+				pass.checkBlankAssign(st)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// errorPositions returns the indices of call's results whose type is error,
+// but only when the callee is one of the guarded APIs.
+func (p *Pass) guardedErrorPositions(call *ast.CallExpr) []int {
+	name := calleeName(call)
+	if name == "" || !guardedName(name) {
+		return nil
+	}
+	tv, ok := p.TypesInfo.Types[call.Fun]
+	if !ok {
+		return nil
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok {
+		return nil // conversion or builtin
+	}
+	var idx []int
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if isErrorType(res.At(i).Type()) {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+func (p *Pass) checkDroppedCall(call *ast.CallExpr, how string) {
+	if len(p.guardedErrorPositions(call)) > 0 {
+		p.Reportf(call.Pos(), "error from %s: %s (tampering/replay/halt signals must be handled)", calleeName(call), how)
+	}
+}
+
+// checkBlankAssign flags `v, _ := Decode(...)`-style assignments where the
+// error result of a guarded call lands in the blank identifier.
+func (p *Pass) checkBlankAssign(st *ast.AssignStmt) {
+	if len(st.Rhs) != 1 {
+		return
+	}
+	call, ok := st.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	idx := p.guardedErrorPositions(call)
+	if len(idx) == 0 {
+		return
+	}
+	for _, i := range idx {
+		if i >= len(st.Lhs) {
+			continue
+		}
+		if id, ok := st.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+			p.Reportf(st.Pos(), "error from %s discarded into _ (tampering/replay/halt signals must be handled)", calleeName(call))
+		}
+	}
+}
+
+// calleeName extracts the called function or method name, or "" when the
+// callee is not a simple name (function values, conversions).
+func calleeName(call *ast.CallExpr) string {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	}
+	return ""
+}
+
+func isErrorType(t types.Type) bool {
+	return t.String() == "error" && types.IsInterface(t)
+}

@@ -1,0 +1,79 @@
+package lint
+
+import (
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// ShadowAnalyzer is a local reimplementation of the x/tools `shadow` pass
+// (the module builds offline from the standard library only, so x/tools
+// cannot be vendored). It reports an inner declaration that shadows an
+// outer variable of the identical type when the outer variable is still
+// used after the inner declaration — the situation where a write meant for
+// the outer variable silently lands on the inner one. In lockstep protocol
+// code that is a determinism hazard too: a shadowed round counter or seed
+// keeps its stale outer value after the block exits.
+var ShadowAnalyzer = &Analyzer{
+	Name: "shadow",
+	Doc: "reports declarations that shadow an outer variable of identical type while the " +
+		"outer one is still used afterwards (local reimplementation of x/tools' shadow)",
+	Run: runShadow,
+}
+
+func runShadow(pass *Pass) error {
+	// usesAfter[obj] = sorted positions where obj is read or written.
+	usesAfter := make(map[types.Object][]token.Pos)
+	for id, obj := range pass.TypesInfo.Uses {
+		if _, ok := obj.(*types.Var); ok {
+			usesAfter[obj] = append(usesAfter[obj], id.Pos()) //lint:allow maporder each per-object position list is sorted immediately below before use
+		}
+	}
+	for _, poss := range usesAfter {
+		sort.Slice(poss, func(i, j int) bool { return poss[i] < poss[j] })
+	}
+	for id, obj := range pass.TypesInfo.Defs {
+		v, ok := obj.(*types.Var)
+		if !ok || id.Name == "_" || v.IsField() {
+			continue
+		}
+		scope := v.Parent()
+		if scope == nil || scope == pass.Pkg.Scope() {
+			continue // package-level declarations shadow nothing above them
+		}
+		outer := lookupOuter(scope, id.Name, v, pass.Pkg.Scope())
+		if outer == nil {
+			continue
+		}
+		if !types.Identical(outer.Type(), v.Type()) {
+			continue // different type: deliberate reuse of the name
+		}
+		// Interesting only if the outer variable is still live: some use of
+		// it occurs after the inner declaration.
+		poss := usesAfter[outer]
+		i := sort.Search(len(poss), func(j int) bool { return poss[j] > id.Pos() })
+		if i == len(poss) {
+			continue
+		}
+		pass.Reportf(id.Pos(), "declaration of %q shadows declaration at line %d",
+			id.Name, pass.Fset.Position(outer.Pos()).Line)
+	}
+	return nil
+}
+
+// lookupOuter finds a variable named name in a scope strictly enclosing
+// inner's scope, declared before inner. Package scope is excluded: shadowing
+// a package-level variable is idiomatic (err, ctx wrappers) and x/tools'
+// shadow skips it as well.
+func lookupOuter(scope *types.Scope, name string, inner *types.Var, pkgScope *types.Scope) types.Object {
+	for s := scope.Parent(); s != nil && s != pkgScope && s != types.Universe; s = s.Parent() {
+		if obj := s.Lookup(name); obj != nil {
+			v, ok := obj.(*types.Var)
+			if !ok || obj.Pos() >= inner.Pos() {
+				return nil
+			}
+			return v
+		}
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// DirectivePrefix introduces a suppression comment: the directive
+//
+//	//lint:allow <analyzer> <reason>
+//
+// silences <analyzer>'s findings on the directive's own line and on the line
+// directly below it (so a standalone comment line covers the statement it
+// precedes, and a trailing comment covers its own statement). The reason is
+// mandatory — reviewers must be able to audit why an invariant is waived —
+// and a directive naming no known analyzer or carrying no reason is itself
+// reported under the pseudo-analyzer "lintdirective".
+const DirectivePrefix = "//lint:allow"
+
+// DirectiveAnalyzerName labels malformed-directive findings.
+const DirectiveAnalyzerName = "lintdirective"
+
+// directive is one parsed //lint:allow comment.
+type directive struct {
+	analyzer string
+	file     string
+	line     int // line the comment starts on
+}
+
+// collectDirectives parses every //lint:allow directive in files. It returns
+// the well-formed directives plus diagnostics for malformed ones (missing
+// reason, unknown analyzer name).
+func collectDirectives(fset *token.FileSet, files []*ast.File) ([]directive, []Diagnostic) {
+	// Validate against the full registry, not just the analyzers running:
+	// `p2plint -only detrand` must not misreport a maporder directive.
+	known := make(map[string]bool)
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	var dirs []directive
+	var diags []Diagnostic
+	report := func(pos token.Pos, format string, args ...any) {
+		p := &Pass{Analyzer: &Analyzer{Name: DirectiveAnalyzerName}, Fset: fset}
+		p.Reportf(pos, format, args...)
+		diags = append(diags, p.diags...)
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, DirectivePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, DirectivePrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //lint:allowance — not ours
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					report(c.Pos(), "directive %q names no analyzer", c.Text)
+					continue
+				}
+				name := fields[0]
+				if !known[name] {
+					report(c.Pos(), "directive allows unknown analyzer %q", name)
+					continue
+				}
+				if len(fields) < 2 {
+					report(c.Pos(), "directive allowing %q is missing the mandatory reason", name)
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				dirs = append(dirs, directive{
+					analyzer: name,
+					file:     pos.Filename,
+					line:     pos.Line,
+				})
+			}
+		}
+	}
+	return dirs, diags
+}
+
+// filterSuppressed drops diagnostics covered by a directive: same analyzer,
+// and the diagnostic sits on the directive's line or the line directly below.
+func filterSuppressed(diags []Diagnostic, dirs []directive) []Diagnostic {
+	if len(dirs) == 0 {
+		return diags
+	}
+	type key struct {
+		analyzer string
+		file     string
+		line     int
+	}
+	covered := make(map[key]bool, 2*len(dirs))
+	for _, d := range dirs {
+		covered[key{d.analyzer, d.file, d.line}] = true
+		covered[key{d.analyzer, d.file, d.line + 1}] = true
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if covered[key{d.Analyzer, d.Position.Filename, d.Position.Line}] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}

@@ -1,0 +1,38 @@
+// Package detrand is golden-test input: nondeterministic time and
+// randomness sources that the detrand analyzer must flag, next to the
+// seeded forms it must accept.
+package detrand
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Duration {
+	start := time.Now()        // want "time.Now reads the wall clock"
+	return time.Since(start) + // want "time.Since reads the wall clock"
+		time.Until(start.Add(time.Second)) // want "time.Until reads the wall clock"
+}
+
+func globalRand() int {
+	n := rand.Intn(10)                 // want "global rand.Intn uses process-wide unseeded state"
+	rand.Shuffle(n, func(i, j int) {}) // want "global rand.Shuffle uses process-wide unseeded state"
+	_ = rand.Float64()                 // want "global rand.Float64 uses process-wide unseeded state"
+	return n
+}
+
+// seeded is the sanctioned form: explicit seed, local generator.
+func seeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+// durations and other non-clock time API stay legal.
+func durationsOnly(d time.Duration) time.Duration {
+	return d * 2 / time.Millisecond
+}
+
+// suppressed documents a deliberate wall-clock read.
+func suppressed() time.Time {
+	return time.Now() //lint:allow detrand startup banner timestamp is presentation-only
+}

@@ -1,0 +1,33 @@
+// Package directive is golden-test input for the //lint:allow suppression
+// machinery itself: well-formed directives must silence findings, a
+// directive without the mandatory reason must be reported and must NOT
+// silence anything, and unknown analyzer names must be reported.
+package directive
+
+import "time"
+
+// properlySuppressed: trailing directive with a reason silences the line.
+func properlySuppressed() time.Time {
+	return time.Now() //lint:allow detrand wall clock feeds the operator log only
+}
+
+// standaloneSuppressed: a directive on its own line covers the next line.
+func standaloneSuppressed() time.Time {
+	//lint:allow detrand wall clock feeds the operator log only
+	return time.Now()
+}
+
+// missingReason: the reasonless directive is itself a finding, and the
+// violation it failed to suppress is still reported.
+func missingReason() time.Time {
+	// wantbelow "directive allowing \"detrand\" is missing the mandatory reason"
+	//lint:allow detrand
+	return time.Now() // want "time.Now reads the wall clock"
+}
+
+// unknownAnalyzer: misspelled analyzer names must not silently no-op.
+func unknownAnalyzer() int {
+	// wantbelow "directive allows unknown analyzer \"detrnd\""
+	//lint:allow detrnd typo in the analyzer name
+	return 1
+}

@@ -1,0 +1,27 @@
+// Package lockstep is golden-test input: OS-timer scheduling the lockstep
+// analyzer must flag in round-driven code.
+package lockstep
+
+import "time"
+
+func sleeper() {
+	time.Sleep(time.Millisecond) // want "time.Sleep schedules on the OS timer"
+}
+
+func timers(fn func()) {
+	t := time.NewTimer(time.Second) // want "time.NewTimer schedules on the OS timer"
+	defer t.Stop()
+	time.AfterFunc(time.Second, fn) // want "time.AfterFunc schedules on the OS timer"
+	<-time.After(time.Second)       // want "time.After schedules on the OS timer"
+}
+
+// durations are not timers; arithmetic stays legal.
+func budget(rounds int, interval time.Duration) time.Duration {
+	return time.Duration(rounds) * interval
+}
+
+// suppressed documents a deliberate host-timer use.
+func suppressedSleep() {
+	//lint:allow lockstep backoff in operator tooling runs outside the round loop
+	time.Sleep(10 * time.Millisecond)
+}

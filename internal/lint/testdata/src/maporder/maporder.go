@@ -1,0 +1,110 @@
+// Package maporder is golden-test input: map iterations whose results
+// escape in iteration order, next to the sorted idioms that stay legal.
+package maporder
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+)
+
+// escapingAppend leaks map order into the returned slice.
+func escapingAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "append to keys inside map range escapes iteration order"
+	}
+	return keys
+}
+
+// collectThenSort is the canonical deterministic idiom: no finding.
+func collectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sortSliceAlsoCounts: sort.Slice on the destination redeems the append.
+func sortSliceAlsoCounts(m map[int]int) []int {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+// accumulators cannot be fixed after the fact.
+func accumulate(m map[string]uint64) uint64 {
+	var acc uint64
+	for _, v := range m {
+		acc ^= v // want "accumulation into acc inside map range depends on iteration order"
+	}
+	return acc
+}
+
+func concat(m map[string]string) string {
+	out := ""
+	for _, v := range m {
+		out += v // want "string concatenation into out inside map range escapes iteration order"
+	}
+	return out
+}
+
+// intSumIsCommutative: += on numbers is order-free; no finding.
+func intSumIsCommutative(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// streamWrites serialize in iteration order.
+func streamWrites(m map[string]string) string {
+	var buf bytes.Buffer
+	for k, v := range m {
+		buf.WriteString(k)   // want "buf.WriteString inside map range writes in iteration order"
+		fmt.Fprintf(&buf, v) // want "fmt.Fprintf to buf inside map range writes in iteration order"
+	}
+	return buf.String()
+}
+
+// mapToMap rebuilds a map: insertion order is irrelevant, no finding.
+func mapToMap(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// channelSend leaks order to the receiver.
+func channelSend(m map[string]int, ch chan<- string) {
+	for k := range m {
+		ch <- k // want "send on ch inside map range leaks iteration order"
+	}
+}
+
+// loopLocal destinations die with the iteration; no finding.
+func loopLocal(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}
+
+// suppressed documents a deliberately order-free fold.
+func suppressed(m map[string]uint64) uint64 {
+	var acc uint64
+	for _, v := range m {
+		acc ^= v //lint:allow maporder XOR fold is commutative and feeds no positional digest
+	}
+	return acc
+}

@@ -1,0 +1,89 @@
+// Package nilness is golden-test input for the local nilness pass:
+// guaranteed panics inside `if x == nil` branches.
+package nilness
+
+type node struct{ next *node }
+
+type ringer interface{ Ring() int }
+
+func deref(p *node) *node {
+	if p == nil {
+		return p.next // want "field access through p, which is nil on this branch"
+	}
+	return p
+}
+
+func explicitStar(p *int) int {
+	if nil == p {
+		return *p // want "dereference of p, which is nil on this branch"
+	}
+	return 0
+}
+
+func ifaceCall(r ringer) int {
+	if r == nil {
+		return r.Ring() // want "method call on r, which is nil on this branch"
+	}
+	return r.Ring()
+}
+
+func sliceIndex(s []int) int {
+	if s == nil {
+		return s[0] // want "index of s, which is nil on this branch"
+	}
+	return s[0]
+}
+
+func mapWrite(m map[string]int) {
+	if m == nil {
+		m["k"] = 1 // want "write into m, which is nil on this branch"
+	}
+}
+
+func funcCall(f func() int) int {
+	if f == nil {
+		return f() // want "call of f, which is nil on this branch"
+	}
+	return f()
+}
+
+// reassigned: x gets a value before use, so the branch is safe.
+func reassigned(p *node) *node {
+	if p == nil {
+		p = &node{}
+		return p.next
+	}
+	return p
+}
+
+// mapRead of a nil map is defined behaviour; no finding.
+func mapRead(m map[string]int) int {
+	if m == nil {
+		return m["k"]
+	}
+	return m["k"]
+}
+
+// pointerMethod: methods may tolerate nil receivers; only field access is
+// flagged on pointers.
+func pointerMethod(p *node) int {
+	if p == nil {
+		return p.depth()
+	}
+	return p.depth()
+}
+
+func (p *node) depth() int {
+	if p == nil {
+		return 0
+	}
+	return 1 + p.next.depth()
+}
+
+// suppressed documents an intentional panic-on-nil.
+func suppressed(p *node) *node {
+	if p == nil {
+		return p.next //lint:allow nilness crash here is the documented contract for nil roots
+	}
+	return p
+}

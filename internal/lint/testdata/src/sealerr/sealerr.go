@@ -1,0 +1,52 @@
+// Package sealerr is golden-test input: dropped errors from the guarded
+// enclave-boundary API shapes, next to handled forms that stay legal.
+package sealerr
+
+import "errors"
+
+type link struct{}
+
+func (link) Seal(b []byte) ([]byte, error)   { return b, nil }
+func (link) Open(b []byte) ([]byte, error)   { return b, nil }
+func (link) Send(b []byte) error             { return nil }
+func (link) Multicast(b []byte) (int, error) { return 0, nil }
+
+func Decode(b []byte) (string, error) { return "", errors.New("short") }
+func Encode(s string) ([]byte, error) { return nil, nil }
+
+// logf is not a guarded name: dropping its error is out of scope here.
+func logf(s string) error { return nil }
+
+func dropped(l link, b []byte) {
+	l.Seal(b)      // want "error from Seal: result dropped"
+	l.Send(b)      // want "error from Send: result dropped"
+	l.Multicast(b) // want "error from Multicast: result dropped"
+	logf("fine")
+}
+
+func blanked(l link, b []byte) ([]byte, string) {
+	opened, _ := l.Open(b) // want "error from Open discarded into _"
+	v, _ := Decode(b)      // want "error from Decode discarded into _"
+	return opened, v
+}
+
+func unobservable(l link, b []byte) {
+	go l.Seal(b)    // want "error from Seal: error unobservable in go statement"
+	defer l.Open(b) // want "error from Open: error unobservable in deferred call"
+}
+
+func handled(l link, b []byte) ([]byte, error) {
+	sealed, err := l.Seal(b)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := Encode("x"); err != nil {
+		return nil, err
+	}
+	return sealed, l.Send(sealed)
+}
+
+// suppressed documents a deliberate drop.
+func suppressed(l link, b []byte) {
+	_, _ = l.Open(b) //lint:allow sealerr probe path measures throughput only, tamper result unused
+}

@@ -1,0 +1,64 @@
+// Package shadow is golden-test input for the local shadow pass: inner
+// declarations that hide a live outer variable of the same type.
+package shadow
+
+import "errors"
+
+func fetch() (int, error) { return 0, nil }
+
+// liveOuter: the outer err is read after the block, so the inner shadow is
+// the classic lost-write hazard.
+func liveOuter() error {
+	n, err := fetch()
+	if n > 0 {
+		m, err := fetch() // want "declaration of \"err\" shadows declaration at line 12"
+		_ = m
+		_ = err
+	}
+	return err
+}
+
+// deadOuter: the outer err is never used after the inner declaration, so
+// the shadow is harmless and stays legal.
+func deadOuter() int {
+	n, err := fetch()
+	_ = err
+	if n > 0 {
+		m, err := fetch()
+		_ = err
+		return m
+	}
+	return n
+}
+
+// differentType: reusing a name for a different type is deliberate reuse.
+func differentType() error {
+	v := 1
+	if v > 0 {
+		v := "one"
+		_ = v
+	}
+	if v > 1 {
+		return errors.New("big")
+	}
+	return nil
+}
+
+// packageLevel shadowing is idiomatic and out of scope.
+var counter int
+
+func packageLevel() int {
+	counter := 7
+	_ = counter
+	return counter
+}
+
+// suppressed documents a tolerated shadow.
+func suppressed() error {
+	n, err := fetch()
+	if n > 0 {
+		_, err := fetch() //lint:allow shadow retry probe intentionally ignores the outer error chain
+		_ = err
+	}
+	return err
+}

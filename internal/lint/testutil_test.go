@@ -1,0 +1,113 @@
+package lint
+
+// analysistest-style golden harness. Each analyzer has a package under
+// testdata/src/<name>/ whose files carry expectations as comments:
+//
+//	foo() // want "regexp matching the diagnostic"
+//	// wantbelow "regexp"   — expectation for the NEXT line (used when the
+//	                          next line's only comment is a //lint:allow
+//	                          directive under test)
+//
+// The harness loads the package, runs the analyzer through the same
+// RunAnalyzers path as the driver (so suppression directives and malformed-
+// directive reporting behave identically), and fails on any diagnostic
+// without a matching expectation or expectation without a diagnostic.
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"testing"
+)
+
+var wantRe = regexp.MustCompile(`//\s*(wantbelow|want)\s+("(?:[^"\\]|\\.)*")`)
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// runGolden runs one analyzer over testdata/src/<name> and checks the
+// diagnostics against the want comments.
+func runGolden(t *testing.T, a *Analyzer, dirName string) {
+	t.Helper()
+	pkg, err := LoadDir(filepath.Join("testdata", "src", dirName))
+	if err != nil {
+		t.Fatalf("load testdata package %s: %v", dirName, err)
+	}
+	// Testdata package paths do not live under sgxp2p/, so run the analyzer
+	// unscoped; scoping itself is unit-tested in TestScopes.
+	unscoped := *a
+	unscoped.Packages = nil
+	diags, err := RunAnalyzers(pkg, []*Analyzer{&unscoped})
+	if err != nil {
+		t.Fatalf("run %s: %v", a.Name, err)
+	}
+	wants := collectWants(t, pkg)
+	for _, d := range diags {
+		if !matchWant(wants, d) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+func collectWants(t *testing.T, pkg *Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+					pattern, err := strconv.Unquote(m[2])
+					if err != nil {
+						t.Fatalf("bad want comment %q: %v", c.Text, err)
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					line := pos.Line
+					if m[1] == "wantbelow" {
+						line++
+					}
+					wants = append(wants, &expectation{
+						file: pos.Filename,
+						line: line,
+						re:   regexp.MustCompile(pattern),
+					})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func matchWant(wants []*expectation, d Diagnostic) bool {
+	for _, w := range wants {
+		if !w.hit && w.file == d.Position.Filename && w.line == d.Position.Line && w.re.MatchString(d.Message) {
+			w.hit = true
+			return true
+		}
+	}
+	return false
+}
+
+// mustParse builds a tiny throwaway package for unit tests that do not need
+// a full golden directory.
+func mustParse(t *testing.T, src string) *Package {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "x.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg
+}

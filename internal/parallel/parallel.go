@@ -86,9 +86,9 @@ func ForEach(n, workers int, fn func(i int) error) error {
 func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
 	err := ForEach(n, workers, func(i int) error {
-		v, err := fn(i)
-		if err != nil {
-			return err
+		v, ferr := fn(i)
+		if ferr != nil {
+			return ferr
 		}
 		out[i] = v
 		return nil

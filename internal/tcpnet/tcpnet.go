@@ -94,7 +94,7 @@ func Listen(self wire.NodeID, addr string) (*Port, error) {
 	p := &Port{
 		self:    self,
 		ln:      ln,
-		origin:  time.Now(),
+		origin:  time.Now(), //lint:allow detrand tcpnet is the real-network transport; rounds are anchored to a wall-clock origin by design
 		addrs:   make(map[wire.NodeID]string),
 		conns:   make(map[wire.NodeID]*outConn),
 		inbound: make(map[net.Conn]struct{}),
@@ -132,7 +132,7 @@ func (p *Port) Now() time.Duration {
 	p.mu.Lock()
 	origin := p.origin
 	p.mu.Unlock()
-	return time.Since(origin)
+	return time.Since(origin) //lint:allow detrand virtual now on the real transport is elapsed wall time since the shared origin
 }
 
 // SetHandler implements runtime.Transport.
@@ -147,7 +147,7 @@ func (p *Port) After(d time.Duration, fn func()) {
 	if d < 0 {
 		d = 0
 	}
-	time.AfterFunc(d, func() { p.post(fn) })
+	time.AfterFunc(d, func() { p.post(fn) }) //lint:allow lockstep the real transport schedules round ticks on host time; lockstep is enforced by the engine above it
 }
 
 // post enqueues fn on the event loop, dropping it if the port is closed.
@@ -316,7 +316,7 @@ func (p *Port) Close() {
 	p.conns = make(map[wire.NodeID]*outConn)
 	inbound := make([]net.Conn, 0, len(p.inbound))
 	for c := range p.inbound {
-		inbound = append(inbound, c)
+		inbound = append(inbound, c) //lint:allow maporder connection close order is irrelevant; the set is drained, not serialized
 	}
 	p.mu.Unlock()
 	close(p.done)
