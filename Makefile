@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race chaos lint verify bench benchsmoke clean
+.PHONY: build test vet race chaos lint obs-smoke verify bench bench-telemetry benchsmoke clean
 
 build:
 	$(GO) build ./...
@@ -40,15 +40,37 @@ lint:
 	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
 		echo "gofmt drift in:"; echo "$$fmt_out"; exit 1; fi
 
+# obs-smoke is the end-to-end observability check: replay one seeded
+# crash-restart chaos schedule twice with the tracer and metrics on,
+# validate the JSONL schema, and require the two traces byte-identical.
+# Any nondeterminism that leaks into an event (wall clock, map order)
+# fails the diff with the first diverging line.
+obs-smoke:
+	@dir=$$(mktemp -d) && trap 'rm -rf "$$dir"' EXIT && \
+	$(GO) run ./cmd/p2pexp -experiment chaos -chaos-seed 7 \
+		-trace "$$dir/a.jsonl" -metrics-out "$$dir/a.prom" >/dev/null && \
+	$(GO) run ./cmd/p2pexp -experiment chaos -chaos-seed 7 \
+		-trace "$$dir/b.jsonl" -metrics-out "$$dir/b.prom" >/dev/null && \
+	$(GO) run ./cmd/p2ptrace -check "$$dir/a.jsonl" && \
+	$(GO) run ./cmd/p2ptrace -diff "$$dir/a.jsonl" "$$dir/b.jsonl"
+
 # verify is the tier-1 gate: build, vet, full test suite, race subset,
-# chaos fault-injection suite, one-iteration benchmark smoke run, and
-# the project lint battery.
-verify: build vet test race chaos benchsmoke lint
+# chaos fault-injection suite, one-iteration benchmark smoke run, the
+# project lint battery, and the traced-replay determinism smoke.
+verify: build vet test race chaos benchsmoke lint obs-smoke
 
 # bench regenerates BENCH_setup.json: setup/broadcast microbenchmarks plus
 # the fig2a/fig2b sweeps (ns/op and allocs/op) via cmd/p2pbench.
 bench:
 	$(GO) run ./cmd/p2pbench -o BENCH_setup.json
+
+# bench-telemetry re-measures the telemetry overhead artifact: the two
+# hot-path benchmarks, best-of-10, compared against the pre-telemetry
+# baseline (see the methodology note in EXPERIMENTS.md — the baseline
+# must be re-measured in the same window to mean anything).
+bench-telemetry:
+	$(GO) run ./cmd/p2pbench -count 10 -bench seal_open_hot,cluster_broadcast_n64 \
+		-baseline BENCH_pretelemetry.json -o BENCH_telemetry.json
 
 clean:
 	$(GO) clean ./...

@@ -53,6 +53,22 @@ type snapshot struct {
 	GoMaxProcs int      `json:"gomaxprocs"`
 	Workers    int      `json:"workers"`
 	Results    []result `json:"results"`
+	// Baseline and Comparison are present when the run diffed against a
+	// previous snapshot (-baseline): the snapshot then carries its own
+	// evidence of how the measured paths moved.
+	Baseline   string       `json:"baseline,omitempty"`
+	Comparison []comparison `json:"comparison,omitempty"`
+}
+
+// comparison is one benchmark's delta against the baseline snapshot.
+type comparison struct {
+	Name            string  `json:"name"`
+	BaseNsPerOp     int64   `json:"base_ns_per_op"`
+	NsPerOp         int64   `json:"ns_per_op"`
+	NsDeltaPct      float64 `json:"ns_delta_pct"`
+	BaseAllocsPerOp int64   `json:"base_allocs_per_op"`
+	AllocsPerOp     int64   `json:"allocs_per_op"`
+	AllocsDelta     int64   `json:"allocs_delta"`
 }
 
 func main() {
@@ -66,8 +82,9 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("p2pbench", flag.ContinueOnError)
 	var (
 		out        = fs.String("o", "", "also write the JSON snapshot to this file")
-		match      = fs.String("bench", "", "only run benchmarks whose name contains this substring")
+		match      = fs.String("bench", "", "only run benchmarks whose name contains one of these comma-separated substrings")
 		workers    = fs.Int("workers", 0, "worker pool size for the sweep benchmarks (0 = all cores)")
+		count      = fs.Int("count", 1, "run each benchmark this many times and keep the fastest (damps scheduler/GC noise)")
 		baseline   = fs.String("baseline", "", "previous snapshot JSON to diff the new results against")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
 		memprofile = fs.String("memprofile", "", "write a heap profile taken after the run to this file")
@@ -156,11 +173,16 @@ func run(args []string) error {
 		Workers:    *workers,
 	}
 	for _, bench := range benches {
-		if *match != "" && !strings.Contains(bench.name, *match) {
+		if !matchesBench(bench.name, *match) {
 			continue
 		}
 		fmt.Fprintf(os.Stderr, "running %s...\n", bench.name)
 		r := testing.Benchmark(bench.fn)
+		for c := 1; c < *count; c++ {
+			if rc := testing.Benchmark(bench.fn); rc.N > 0 && rc.NsPerOp() < r.NsPerOp() {
+				r = rc
+			}
+		}
 		if r.N == 0 {
 			return fmt.Errorf("benchmark %s failed", bench.name)
 		}
@@ -191,6 +213,8 @@ func run(args []string) error {
 
 	if base != nil {
 		printDeltas(os.Stderr, base, &snap)
+		snap.Baseline = *baseline
+		snap.Comparison = compare(base, &snap)
 	}
 
 	data, err := json.MarshalIndent(snap, "", "  ")
@@ -275,6 +299,48 @@ func printDeltas(w *os.File, base, cur *snapshot) {
 			old.AllocsPerOp, r.AllocsPerOp, pct(old.AllocsPerOp, r.AllocsPerOp))
 	}
 	fmt.Fprintln(w)
+}
+
+// matchesBench reports whether a benchmark name matches the -bench filter
+// (comma-separated substrings, empty matches everything).
+func matchesBench(name, filter string) bool {
+	if filter == "" {
+		return true
+	}
+	for _, sub := range strings.Split(filter, ",") {
+		if sub != "" && strings.Contains(name, sub) {
+			return true
+		}
+	}
+	return false
+}
+
+// compare builds the per-benchmark deltas embedded in the snapshot.
+func compare(base, cur *snapshot) []comparison {
+	prev := make(map[string]result, len(base.Results))
+	for _, r := range base.Results {
+		prev[r.Name] = r
+	}
+	out := make([]comparison, 0, len(cur.Results))
+	for _, r := range cur.Results {
+		old, ok := prev[r.Name]
+		if !ok {
+			continue
+		}
+		c := comparison{
+			Name:            r.Name,
+			BaseNsPerOp:     old.NsPerOp,
+			NsPerOp:         r.NsPerOp,
+			BaseAllocsPerOp: old.AllocsPerOp,
+			AllocsPerOp:     r.AllocsPerOp,
+			AllocsDelta:     r.AllocsPerOp - old.AllocsPerOp,
+		}
+		if old.NsPerOp != 0 {
+			c.NsDeltaPct = 100 * float64(r.NsPerOp-old.NsPerOp) / float64(old.NsPerOp)
+		}
+		out = append(out, c)
+	}
+	return out
 }
 
 // pct formats the relative change from old to new as a signed percentage.

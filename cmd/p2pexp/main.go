@@ -14,12 +14,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/debug"
 	"runtime/pprof"
 	"time"
 
+	"sgxp2p/internal/chaos"
 	"sgxp2p/internal/experiments"
 )
 
@@ -41,6 +43,10 @@ func run(args []string) error {
 		unlimited  = fs.Bool("unlimited-bandwidth", false, "disable the shared-link model")
 		workers    = fs.Int("workers", 0, "goroutines sweeping independent data points (0 = all cores, 1 = serial); tables are identical for any value")
 		chaosSeed  = fs.Int64("chaos-seed", 0, "replay a single chaos fault schedule by seed (chaos experiment only)")
+		tracePath  = fs.String("trace", "", "run one traced chaos replay and write its JSONL event stream to this file")
+		metricsOut = fs.String("metrics-out", "", "with -trace: also write the run's metrics in Prometheus text format")
+		traceProto = fs.String("trace-proto", "erb", "traced replay protocol: erb, erng or erng-opt")
+		traceN     = fs.Int("trace-n", 9, "traced replay network size")
 		list       = fs.Bool("list", false, "list experiment ids and exit")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 		memprofile = fs.String("memprofile", "", "write a heap profile taken after the sweep to this file")
@@ -53,6 +59,14 @@ func run(args []string) error {
 			fmt.Println(id)
 		}
 		return nil
+	}
+
+	if *tracePath != "" || *metricsOut != "" {
+		traceSeed := *chaosSeed
+		if traceSeed == 0 {
+			traceSeed = *seed
+		}
+		return tracedRun(*traceProto, *traceN, traceSeed, *tracePath, *metricsOut)
 	}
 
 	if *cpuprofile != "" {
@@ -129,4 +143,65 @@ func run(args []string) error {
 		}
 	}
 	return nil
+}
+
+// tracedRun executes one seeded chaos replay with telemetry enabled and
+// exports the trace (JSONL) and metrics (Prometheus text). The invariant
+// verdict is printed but never turns into a non-zero exit: the point of a
+// traced replay is to capture the evidence, violation included.
+func tracedRun(proto string, n int, seed int64, tracePath, metricsPath string) error {
+	var (
+		o     *chaos.Outcome
+		err   error
+		check func(*chaos.Outcome) error
+	)
+	switch proto {
+	case "erb":
+		o, err = chaos.RunERB(seed, n, (n-1)/2)
+		check = chaos.CheckERB
+	case "erng":
+		o, err = chaos.RunERNG(seed, n, (n-1)/2, false)
+		check = chaos.CheckERNG
+	case "erng-opt":
+		o, err = chaos.RunERNG(seed, n, n/3, true)
+		check = chaos.CheckERNG
+	default:
+		return fmt.Errorf("unknown -trace-proto %q (want erb, erng or erng-opt)", proto)
+	}
+	if err != nil {
+		return err
+	}
+
+	if tracePath != "" {
+		if err := writeFileWith(tracePath, o.Trace.ExportJSONL); err != nil {
+			return err
+		}
+	}
+	if metricsPath != "" {
+		if err := writeFileWith(metricsPath, o.Metrics.ExportPrometheus); err != nil {
+			return err
+		}
+	}
+
+	fmt.Printf("traced %s replay: seed=%d n=%d t=%d schedule %s\n", proto, o.Seed, o.N, o.T, o.Schedule)
+	fmt.Printf("events=%d hash=%#016x trace-hash=%#016x\n", o.Events, o.EventsHash, o.TraceHash)
+	if verr := check(o); verr != nil {
+		fmt.Printf("invariants: VIOLATED\n%v\n", verr)
+	} else {
+		fmt.Println("invariants: held")
+	}
+	return nil
+}
+
+// writeFileWith creates path and streams export into it.
+func writeFileWith(path string, export func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := export(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

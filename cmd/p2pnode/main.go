@@ -25,6 +25,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	mrand "math/rand"
 	"os"
 	"sort"
@@ -36,6 +37,7 @@ import (
 	"sgxp2p/internal/enclave"
 	"sgxp2p/internal/runtime"
 	"sgxp2p/internal/tcpnet"
+	"sgxp2p/internal/telemetry"
 	"sgxp2p/internal/wire"
 	"sgxp2p/internal/xcrypto"
 )
@@ -60,6 +62,8 @@ func run(args []string) error {
 		initiator  = fs.Int("initiator", 0, "erb mode: broadcasting node")
 		message    = fs.String("message", "hello from the enclave", "erb mode: payload")
 		demoSecret = fs.Int64("demo-secret", 42, "shared demo attestation seed (all nodes must agree)")
+		tracePath  = fs.String("trace", "", "write this node's telemetry event stream (JSONL) to a file on exit")
+		metricsOut = fs.String("metrics-out", "", "write this node's metrics in Prometheus text format to a file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -87,6 +91,31 @@ func run(args []string) error {
 			self, start.UnixMilli(), start.UnixMilli())
 	}
 	port.SetOrigin(start)
+
+	// Telemetry rides on the port's logical clock (time since the shared
+	// start instant), so traces from different nodes of one run line up.
+	var trace *telemetry.Tracer
+	var metrics *telemetry.Metrics
+	if *tracePath != "" {
+		trace = telemetry.New(telemetry.Options{Clock: port.Now})
+	}
+	if *metricsOut != "" {
+		metrics = telemetry.NewMetrics()
+		port.SetMetrics(metrics)
+	}
+	dump := func() error {
+		if trace != nil {
+			if werr := writeExport(*tracePath, trace.ExportJSONL); werr != nil {
+				return werr
+			}
+		}
+		if metrics != nil {
+			if werr := writeExport(*metricsOut, metrics.ExportPrometheus); werr != nil {
+				return werr
+			}
+		}
+		return nil
+	}
 
 	// Demo attestation: every node derives the same service key from the
 	// shared demo secret, so quotes verify across processes without an
@@ -126,7 +155,7 @@ func run(args []string) error {
 	}
 
 	peer, err := runtime.NewPeer(encl, port, roster, runtime.Config{
-		N: *n, T: *t, Delta: *delta,
+		N: *n, T: *t, Delta: *delta, Trace: trace, Metrics: metrics,
 	})
 	if err != nil {
 		return err
@@ -198,9 +227,27 @@ func run(args []string) error {
 	case msg := <-done:
 		fmt.Printf("node %d: %s\n", self, msg)
 	case <-time.After(timeout):
+		// Dump what was captured anyway — a timed-out run is exactly the
+		// one whose trace is worth reading.
+		if derr := dump(); derr != nil {
+			fmt.Fprintln(os.Stderr, "p2pnode:", derr)
+		}
 		return fmt.Errorf("timed out after %v", timeout)
 	}
-	return nil
+	return dump()
+}
+
+// writeExport creates path and streams one telemetry export into it.
+func writeExport(path string, export func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := export(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // finishHook forwards a protocol and signals its finish.

@@ -1,0 +1,114 @@
+// Command p2ptrace inspects JSONL telemetry traces produced by
+// p2pexp -trace and p2pnode -trace.
+//
+// Usage:
+//
+//	p2ptrace run.jsonl            # pretty-print the per-round timeline
+//	p2ptrace -check run.jsonl     # strict schema + monotonicity check
+//	p2ptrace -diff a.jsonl b.jsonl  # first diverging line (exit 1 if any)
+//
+// -diff is the determinism witness: two traced runs of the same seed must
+// be byte-identical, so any reported divergence is a reproducibility bug
+// (or two genuinely different runs).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sgxp2p/internal/telemetry"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "p2ptrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("p2ptrace", flag.ContinueOnError)
+	var (
+		check = fs.Bool("check", false, "validate the trace (schema, kinds, monotone timestamps) and print its event count")
+		diff  = fs.Bool("diff", false, "compare two traces line by line; exit 1 on the first divergence")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *diff {
+		if fs.NArg() != 2 {
+			return fmt.Errorf("-diff needs exactly two trace files, got %d", fs.NArg())
+		}
+		return diffTraces(fs.Arg(0), fs.Arg(1))
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("need exactly one trace file, got %d", fs.NArg())
+	}
+	if *check {
+		return checkTrace(fs.Arg(0))
+	}
+	return printTimeline(fs.Arg(0))
+}
+
+// printTimeline renders a trace as the per-round timeline.
+func printTimeline(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	events, err := telemetry.ReadJSONL(f)
+	if err != nil {
+		return err
+	}
+	return telemetry.WriteTimeline(os.Stdout, events)
+}
+
+// checkTrace validates a trace file and reports its event count.
+func checkTrace(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	count, err := telemetry.ValidateJSONL(f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: valid, %d events\n", path, count)
+	return nil
+}
+
+// diffTraces reports the first line where two traces diverge; identical
+// traces print a confirmation, differing ones exit non-zero.
+func diffTraces(pathA, pathB string) error {
+	fa, err := os.Open(pathA)
+	if err != nil {
+		return err
+	}
+	defer fa.Close()
+	fb, err := os.Open(pathB)
+	if err != nil {
+		return err
+	}
+	defer fb.Close()
+	line, aLine, bLine, err := telemetry.DiffLines(fa, fb)
+	if err != nil {
+		return err
+	}
+	if line == 0 {
+		fmt.Printf("traces identical: %s == %s\n", pathA, pathB)
+		return nil
+	}
+	return fmt.Errorf("traces diverge at line %d:\n  %s: %s\n  %s: %s",
+		line, pathA, orEOF(aLine), pathB, orEOF(bLine))
+}
+
+// orEOF substitutes a marker for a side that ran out of lines.
+func orEOF(s string) string {
+	if s == "" {
+		return "<eof>"
+	}
+	return s
+}

@@ -30,9 +30,36 @@ import (
 	"hash/fnv"
 
 	"sgxp2p/internal/enclave"
+	"sgxp2p/internal/telemetry"
 	"sgxp2p/internal/wire"
 	"sgxp2p/internal/xcrypto"
 )
+
+// Counters are the channel-layer metric handles, shared by all of a peer's
+// links so the registry sees per-node totals. A nil *Counters (no metrics
+// registry) costs the hot path exactly one pointer check.
+type Counters struct {
+	Seals        *telemetry.Counter
+	Opens        *telemetry.Counter
+	OpenFailures *telemetry.Counter
+	SealedBytes  *telemetry.Counter
+	OpenedBytes  *telemetry.Counter
+}
+
+// NewCounters registers the channel counters in m; nil m yields nil (the
+// disabled state).
+func NewCounters(m *telemetry.Metrics) *Counters {
+	if m == nil {
+		return nil
+	}
+	return &Counters{
+		Seals:        m.Counter("channel_seals_total"),
+		Opens:        m.Counter("channel_opens_total"),
+		OpenFailures: m.Counter("channel_open_failures_total"),
+		SealedBytes:  m.Counter("channel_sealed_bytes_total"),
+		OpenedBytes:  m.Counter("channel_opened_bytes_total"),
+	}
+}
 
 // Errors returned when opening envelopes.
 var (
@@ -201,7 +228,14 @@ type Link struct {
 	// Stateful (scratch blocks, HMAC state), hence per-link and never
 	// shared through the enclave key cache.
 	cipher *xcrypto.LinkCipher
+	// ctr, when non-nil, tallies seal/open traffic. Every seal and open
+	// funnels through sealAppend/openAppend, so counting there covers all
+	// entry points.
+	ctr *Counters
 }
+
+// SetCounters attaches metric counters to the link (nil detaches them).
+func (l *Link) SetCounters(c *Counters) { l.ctr = c }
 
 // NewLink derives the session keys with the remote enclave's public key
 // and returns the established link. It fails if the local enclave has
@@ -228,22 +262,44 @@ func NewLink(local *enclave.Enclave, remote wire.NodeID, remotePub [xcrypto.Publ
 // sealAppend appends the envelope for plaintext to dst via the prepared
 // cipher when the link has one, the sealer otherwise.
 func (l *Link) sealAppend(dst, plaintext []byte) ([]byte, error) {
+	var out []byte
+	var err error
 	if l.cipher != nil {
-		return l.cipher.SealAppend(dst, nil, plaintext)
+		out, err = l.cipher.SealAppend(dst, nil, plaintext)
+	} else {
+		out, err = l.sealer.SealAppend(l.keys, dst, plaintext)
 	}
-	return l.sealer.SealAppend(l.keys, dst, plaintext)
+	if err == nil && l.ctr != nil {
+		l.ctr.Seals.Inc()
+		l.ctr.SealedBytes.Add(uint64(len(out) - len(dst)))
+	}
+	return out, err
 }
 
 // openAppend appends the verified plaintext of sealed to dst.
 func (l *Link) openAppend(dst, sealed []byte) ([]byte, error) {
+	var out []byte
+	var err error
 	if l.cipher != nil {
-		out, err := l.cipher.OpenAppend(dst, sealed)
+		out, err = l.cipher.OpenAppend(dst, sealed)
 		if err != nil {
-			return nil, ErrAuth
+			err = ErrAuth
 		}
-		return out, nil
+	} else {
+		out, err = l.sealer.OpenAppend(l.keys, dst, sealed)
 	}
-	return l.sealer.OpenAppend(l.keys, dst, sealed)
+	if l.ctr != nil {
+		if err != nil {
+			l.ctr.OpenFailures.Inc()
+		} else {
+			l.ctr.Opens.Inc()
+			l.ctr.OpenedBytes.Add(uint64(len(out) - len(dst)))
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Remote returns the peer on the far side of the link.
@@ -255,7 +311,7 @@ func (l *Link) Seal(msg *wire.Message) ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("channel: encode: %w", err)
 	}
-	return l.sealer.Seal(l.keys, plaintext)
+	return l.SealEncodedAppend(nil, plaintext)
 }
 
 // SealEncoded seals an already-encoded message for the remote peer. It is
@@ -264,7 +320,7 @@ func (l *Link) Seal(msg *wire.Message) ([]byte, error) {
 // inside every Seal. The envelope is byte-identical to Seal(msg) for the
 // same sealer state (proven by the package's equivalence tests).
 func (l *Link) SealEncoded(encoded []byte) ([]byte, error) {
-	return l.sealer.Seal(l.keys, encoded)
+	return l.SealEncodedAppend(nil, encoded)
 }
 
 // SealEncodedAppend is SealEncoded appending the envelope to dst. It

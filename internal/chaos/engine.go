@@ -6,6 +6,7 @@ import (
 	"sgxp2p/internal/adversary"
 	"sgxp2p/internal/deploy"
 	"sgxp2p/internal/runtime"
+	"sgxp2p/internal/telemetry"
 	"sgxp2p/internal/wire"
 )
 
@@ -38,6 +39,7 @@ type Engine struct {
 	sched *Schedule
 	seed  int64
 	d     *deploy.Deployment
+	trace *telemetry.Tracer
 	nodes []*nodeState
 	// group is the active partition map (node → group index); nil when
 	// the network is whole.
@@ -110,6 +112,7 @@ func (e *Engine) Wrap(id wire.NodeID, tr runtime.Transport) runtime.Transport {
 // tick at that boundary — the ordering the determinism contract rests on.
 func (e *Engine) Arm(d *deploy.Deployment) {
 	e.d = d
+	e.trace = d.Opts.Trace
 	t0 := d.Sim.Now()
 	rd := d.RoundDuration()
 	for _, ev := range e.sched.Events() {
@@ -119,20 +122,31 @@ func (e *Engine) Arm(d *deploy.Deployment) {
 
 // apply executes one schedule event.
 func (e *Engine) apply(ev Event) {
+	rnd := uint32(ev.Round)
 	switch ev.Kind {
 	case KindCrash:
 		if e.d.Stop(ev.Node) == nil {
 			e.stats.Crashes++
+			e.trace.Record(ev.Node, rnd, telemetry.KindCrash, wire.NoNode, 0, "")
 		}
 	case KindRestart:
-		if e.d.Restart(ev.Node) == nil {
+		if err := e.d.Restart(ev.Node); err == nil {
 			e.stats.Restarts++
+			e.trace.Record(ev.Node, rnd, telemetry.KindRestart, wire.NoNode, 0, "")
 		} else {
 			e.stats.RestartFailures++
+			// The deploy errors are fixed sentinels, so the note stays
+			// deterministic across runs of the same seed.
+			e.trace.Record(ev.Node, rnd, telemetry.KindRestartFail, wire.NoNode, 0, err.Error())
 		}
 	case KindFlip:
 		e.node(ev.Node).sw.Set(ev.Behavior)
 		e.stats.Flips++
+		label := ev.Label
+		if ev.Behavior == nil {
+			label = "honest"
+		}
+		e.trace.Record(ev.Node, rnd, telemetry.KindFlip, wire.NoNode, 0, label)
 	case KindPartition:
 		group := make([]int, e.d.Opts.N)
 		for gi, g := range ev.Groups {
@@ -144,9 +158,12 @@ func (e *Engine) apply(ev Event) {
 		}
 		e.group = group
 		e.stats.Partitions++
+		e.trace.Record(wire.NoNode, rnd, telemetry.KindPartition, wire.NoNode,
+			uint64(len(ev.Groups)), groupsString(ev.Groups))
 	case KindHeal:
 		e.group = nil
 		e.stats.Heals++
+		e.trace.Record(wire.NoNode, rnd, telemetry.KindHeal, wire.NoNode, 0, "")
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"sgxp2p/internal/core/erb"
 	"sgxp2p/internal/core/erng"
 	"sgxp2p/internal/deploy"
+	"sgxp2p/internal/telemetry"
 	"sgxp2p/internal/wire"
 )
 
@@ -24,8 +25,8 @@ type NodeOutcome struct {
 	// random number). Round is the decision round.
 	Value wire.Value
 	Round uint32
-	// LastRound is the highest lockstep round the node's protocol
-	// observed (via the round hooks) — a crashed node's stops short.
+	// LastRound is the highest lockstep round the node ticked (from the
+	// telemetry tracer) — a crashed node's stops short.
 	LastRound uint32
 }
 
@@ -48,6 +49,16 @@ type Outcome struct {
 	Fired     uint64
 	Nodes     []NodeOutcome
 	Stats     EngineStats
+	// Trace is the run's telemetry tracer — the single event stream every
+	// per-node bookkeeping above derives from, exportable as JSONL.
+	Trace *telemetry.Tracer
+	// Metrics is the run's metric registry (runtime, channel and network
+	// counters), exportable in Prometheus text format.
+	Metrics *telemetry.Metrics
+	// Events and EventsHash summarize the telemetry stream (event count
+	// and FNV-1a fingerprint) for cheap outcome comparison.
+	Events     uint64
+	EventsHash uint64
 }
 
 // Repro returns the one-line reproduction hint printed by failing
@@ -70,13 +81,13 @@ func RunERBSchedule(seed int64, n, t int, sched *Schedule) (*Outcome, error) {
 		return nil, err
 	}
 	eng := NewEngine(sched, seed)
-	d, err := deploy.New(deploy.Options{N: n, T: t, Seed: seed, Wrap: eng.Wrap})
+	trace, metrics := newRunTelemetry()
+	d, err := deploy.New(deploy.Options{N: n, T: t, Seed: seed, Wrap: eng.Wrap, Trace: trace, Metrics: metrics})
 	if err != nil {
 		return nil, err
 	}
 	eng.Arm(d)
 
-	lastRound := make([]uint32, n)
 	engines := make([]*erb.Engine, n)
 	for i, p := range d.Peers {
 		e, eerr := erb.NewEngine(p, erb.Config{
@@ -86,7 +97,6 @@ func RunERBSchedule(seed int64, n, t int, sched *Schedule) (*Outcome, error) {
 		if eerr != nil {
 			return nil, eerr
 		}
-		e.SetRoundHook(func(rnd uint32) { lastRound[i] = rnd })
 		engines[i] = e
 	}
 	v, err := d.Encls[0].RandomValue()
@@ -110,7 +120,6 @@ func RunERBSchedule(seed int64, n, t int, sched *Schedule) (*Outcome, error) {
 		no.Accepted = res.Accepted
 		no.Value = res.Value
 		no.Round = res.Round
-		no.LastRound = lastRound[i]
 	}
 	return o, nil
 }
@@ -133,13 +142,13 @@ func RunERNGSchedule(seed int64, n, t int, optimized bool, sched *Schedule) (*Ou
 		return nil, err
 	}
 	eng := NewEngine(sched, seed)
-	d, err := deploy.New(deploy.Options{N: n, T: t, Seed: seed, Wrap: eng.Wrap})
+	trace, metrics := newRunTelemetry()
+	d, err := deploy.New(deploy.Options{N: n, T: t, Seed: seed, Wrap: eng.Wrap, Trace: trace, Metrics: metrics})
 	if err != nil {
 		return nil, err
 	}
 	eng.Arm(d)
 
-	lastRound := make([]uint32, n)
 	protos := make([]erngProto, n)
 	rounds := 0
 	for i, p := range d.Peers {
@@ -152,7 +161,6 @@ func RunERNGSchedule(seed int64, n, t int, optimized bool, sched *Schedule) (*Ou
 		if err != nil {
 			return nil, err
 		}
-		proto.SetRoundHook(func(rnd uint32) { lastRound[i] = rnd })
 		protos[i] = proto
 		rounds = proto.Rounds()
 	}
@@ -171,9 +179,15 @@ func RunERNGSchedule(seed int64, n, t int, optimized bool, sched *Schedule) (*Ou
 		no.Accepted = res.OK
 		no.Value = res.Value
 		no.Round = res.Round
-		no.LastRound = lastRound[i]
 	}
 	return o, nil
+}
+
+// newRunTelemetry builds the tracer and registry every chaos run records
+// into: the tracer is the single event stream the outcome's per-node
+// bookkeeping (LastRound, flight recorders) derives from.
+func newRunTelemetry() (*telemetry.Tracer, *telemetry.Metrics) {
+	return telemetry.New(telemetry.Options{}), telemetry.NewMetrics()
 }
 
 // erngProto is the common surface of the two beacon variants.
@@ -183,7 +197,6 @@ type erngProto interface {
 	OnFinish()
 	Rounds() int
 	Result() (erng.Result, bool)
-	SetRoundHook(fn func(rnd uint32))
 }
 
 // erngRounds resolves the lockstep round count of a beacon variant.
@@ -218,23 +231,28 @@ func newOutcome(seed int64, n, t int, sched *Schedule, d *deploy.Deployment, eng
 		isFaulty[id] = true
 	}
 	o := &Outcome{
-		Seed:      seed,
-		N:         n,
-		T:         t,
-		F:         len(faulty),
-		Faulty:    faulty,
-		Schedule:  sched.String(),
-		TraceHash: d.Sim.TraceHash(),
-		Fired:     d.Sim.FiredCount(),
-		Nodes:     make([]NodeOutcome, n),
-		Stats:     eng.Stats(),
+		Seed:       seed,
+		N:          n,
+		T:          t,
+		F:          len(faulty),
+		Faulty:     faulty,
+		Schedule:   sched.String(),
+		TraceHash:  d.Sim.TraceHash(),
+		Fired:      d.Sim.FiredCount(),
+		Nodes:      make([]NodeOutcome, n),
+		Stats:      eng.Stats(),
+		Trace:      d.Opts.Trace,
+		Metrics:    d.Opts.Metrics,
+		Events:     d.Opts.Trace.EventCount(),
+		EventsHash: d.Opts.Trace.Hash(),
 	}
 	for i := range o.Nodes {
 		o.Nodes[i] = NodeOutcome{
-			Node:    wire.NodeID(i),
-			Honest:  !isFaulty[i],
-			Stopped: d.Stopped(wire.NodeID(i)),
-			Halted:  d.Peers[i].Halted(),
+			Node:      wire.NodeID(i),
+			Honest:    !isFaulty[i],
+			Stopped:   d.Stopped(wire.NodeID(i)),
+			Halted:    d.Peers[i].Halted(),
+			LastRound: d.Opts.Trace.LastRound(wire.NodeID(i)),
 		}
 	}
 	return o
@@ -263,35 +281,35 @@ func CheckERB(o *Outcome) error {
 			continue
 		}
 		if no.Halted {
-			return o.violation("liveness", "honest node %d executed halt-on-divergence", no.Node)
+			return o.violation("liveness", no.Node, "honest node %d executed halt-on-divergence", no.Node)
 		}
 		if no.Stopped {
-			return o.violation("liveness", "honest node %d is stopped", no.Node)
+			return o.violation("liveness", no.Node, "honest node %d is stopped", no.Node)
 		}
 		if !no.Decided {
-			return o.violation("termination", "honest node %d never decided", no.Node)
+			return o.violation("termination", no.Node, "honest node %d never decided", no.Node)
 		}
 		if ref == nil {
 			ref = no
 		} else if no.Accepted != ref.Accepted || no.Value != ref.Value {
-			return o.violation("agreement", "honest nodes %d and %d decided differently (accepted=%v/%v)",
+			return o.violation("agreement", no.Node, "honest nodes %d and %d decided differently (accepted=%v/%v)",
 				ref.Node, no.Node, ref.Accepted, no.Accepted)
 		}
 		if no.Accepted {
 			if no.Value != o.InitValue {
-				return o.violation("integrity", "honest node %d accepted a value the initiator never sent", no.Node)
+				return o.violation("integrity", no.Node, "honest node %d accepted a value the initiator never sent", no.Node)
 			}
 			if int(no.Round) > bound {
-				return o.violation("termination", "honest node %d accepted at round %d > min{f+2,t+2}=%d",
+				return o.violation("termination", no.Node, "honest node %d accepted at round %d > min{f+2,t+2}=%d",
 					no.Node, no.Round, bound)
 			}
 		} else {
 			if int(no.Round) > o.T+3 {
-				return o.violation("termination", "honest node %d output bottom at round %d > t+3=%d",
+				return o.violation("termination", no.Node, "honest node %d output bottom at round %d > t+3=%d",
 					no.Node, no.Round, o.T+3)
 			}
 			if initiatorHonest {
-				return o.violation("validity", "honest initiator %d broadcast, honest node %d output bottom",
+				return o.violation("validity", no.Node, "honest initiator %d broadcast, honest node %d output bottom",
 					o.Initiator, no.Node)
 			}
 		}
@@ -310,22 +328,29 @@ func CheckERNG(o *Outcome) error {
 			continue
 		}
 		if no.Halted {
-			return o.violation("liveness", "honest node %d executed halt-on-divergence", no.Node)
+			return o.violation("liveness", no.Node, "honest node %d executed halt-on-divergence", no.Node)
 		}
 		if !no.Decided {
-			return o.violation("termination", "honest node %d never decided", no.Node)
+			return o.violation("termination", no.Node, "honest node %d never decided", no.Node)
 		}
 		if ref == nil {
 			ref = no
 		} else if no.Accepted != ref.Accepted || no.Value != ref.Value {
-			return o.violation("agreement", "honest nodes %d and %d decided different beacon outputs (ok=%v/%v)",
+			return o.violation("agreement", no.Node, "honest nodes %d and %d decided different beacon outputs (ok=%v/%v)",
 				ref.Node, no.Node, ref.Accepted, no.Accepted)
 		}
 	}
 	return nil
 }
 
-// violation formats an invariant failure with the schedule and repro hint.
-func (o *Outcome) violation(property, format string, args ...any) error {
-	return fmt.Errorf("chaos: %s violated: %s — %s", property, fmt.Sprintf(format, args...), o.Repro())
+// violation formats an invariant failure with the schedule, the repro
+// hint, and the offending node's flight-recorder timeline — the exact
+// trace that produced the violation.
+func (o *Outcome) violation(property string, node wire.NodeID, format string, args ...any) error {
+	err := fmt.Errorf("chaos: %s violated: %s — %s", property, fmt.Sprintf(format, args...), o.Repro())
+	if flight := o.Trace.FlightString(node, 12); flight != "" {
+		err = fmt.Errorf("%w\nflight recorder, node %d (last round %d):\n%s",
+			err, node, o.Trace.LastRound(node), flight)
+	}
+	return err
 }

@@ -238,20 +238,27 @@ func (s *Schedule) String() string {
 			}
 			toks = append(toks, fmt.Sprintf("flip(%d,%s)@r%d", ev.Node, label, ev.Round))
 		case KindPartition:
-			groups := make([]string, len(ev.Groups))
-			for gi, g := range ev.Groups {
-				ids := make([]string, len(g))
-				for i, id := range g {
-					ids[i] = fmt.Sprint(id)
-				}
-				groups[gi] = strings.Join(ids, " ")
-			}
-			toks = append(toks, fmt.Sprintf("part([%s])@r%d", strings.Join(groups, "|"), ev.Round))
+			toks = append(toks, fmt.Sprintf("part([%s])@r%d", groupsString(ev.Groups), ev.Round))
 		case KindHeal:
 			toks = append(toks, fmt.Sprintf("heal@r%d", ev.Round))
 		}
 	}
 	return strings.Join(toks, " ")
+}
+
+// groupsString renders a partition layout canonically: groups separated
+// by '|', members by spaces ("0 1|2 3"). Shared by Schedule.String and
+// the engine's partition trace events.
+func groupsString(groups [][]wire.NodeID) string {
+	out := make([]string, len(groups))
+	for gi, g := range groups {
+		ids := make([]string, len(g))
+		for i, id := range g {
+			ids[i] = fmt.Sprint(id)
+		}
+		out[gi] = strings.Join(ids, " ")
+	}
+	return strings.Join(out, "|")
 }
 
 // sortIDs sorts a node id slice in place and returns it.

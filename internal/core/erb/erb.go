@@ -23,11 +23,14 @@
 package erb
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"sgxp2p/internal/runtime"
+	"sgxp2p/internal/telemetry"
 	"sgxp2p/internal/wire"
 )
 
@@ -93,7 +96,21 @@ type Engine struct {
 	instances map[wire.NodeID]*instance
 	pending   []*instance // instances with an ECHO queued for next round
 	accepted  int         // instances decided with a value (not bottom)
-	roundHook func(rnd uint32)
+	metrics   erbMetrics
+}
+
+// erbMetrics are the engine's metric handles; nil handles (no registry)
+// are no-ops.
+type erbMetrics struct {
+	accepts     *telemetry.Counter
+	bottoms     *telemetry.Counter
+	acceptRound *telemetry.Histogram
+}
+
+// valueFP condenses a broadcast value into the 64-bit fingerprint trace
+// events carry in Arg.
+func valueFP(v wire.Value) uint64 {
+	return binary.BigEndian.Uint64(v[:8])
 }
 
 var _ runtime.Protocol = (*Engine)(nil)
@@ -129,6 +146,13 @@ func NewEngine(peer *runtime.Peer, cfg Config) (*Engine, error) {
 	for _, id := range cfg.Members {
 		e.members[id] = true
 	}
+	if m := peer.Metrics(); m != nil {
+		e.metrics = erbMetrics{
+			accepts:     m.Counter("erb_accepts_total"),
+			bottoms:     m.Counter("erb_bottoms_total"),
+			acceptRound: m.Histogram("erb_accept_round", []float64{1, 2, 3, 4, 5, 6, 8}),
+		}
+	}
 	if cfg.ExpectedInitiators != nil {
 		e.expect = make(map[wire.NodeID]bool, len(cfg.ExpectedInitiators))
 		for _, id := range cfg.ExpectedInitiators {
@@ -159,15 +183,6 @@ func (e *Engine) Rounds() int {
 // Must be called before the start round fires.
 func (e *Engine) SetInput(v wire.Value) {
 	e.input = &v
-}
-
-// SetRoundHook installs fn, invoked at the top of every OnRound with the
-// lockstep round number, before any protocol action of that round. Chaos
-// schedules and invariant tests use it to observe per-node round
-// progression — "round r of broadcast b" is well-defined because the
-// engine's rounds are the peer's lockstep rounds offset by StartRound.
-func (e *Engine) SetRoundHook(fn func(rnd uint32)) {
-	e.roundHook = fn
 }
 
 // Result returns this node's decision for the given initiator's broadcast.
@@ -251,9 +266,6 @@ func (e *Engine) getInstance(initiator wire.NodeID) *instance {
 // OnRound implements runtime.Protocol: flush queued ECHOs, then (at the
 // start round) launch our own broadcast if we are an initiator.
 func (e *Engine) OnRound(rnd uint32) {
-	if e.roundHook != nil {
-		e.roundHook(rnd)
-	}
 	if !e.members[e.peer.ID()] {
 		return
 	}
@@ -298,6 +310,7 @@ func (e *Engine) startBroadcast(rnd uint32) {
 		HasValue:  true,
 		Value:     inst.value,
 	}
+	e.peer.Trace(telemetry.KindInit, wire.NoNode, valueFP(inst.value))
 	if err := e.peer.Multicast(e.cfg.Members, msg, e.cfg.AckThreshold); err != nil {
 		// Halted mid-multicast: nothing further to do.
 		return
@@ -311,6 +324,7 @@ func (e *Engine) multicastEcho(inst *instance, rnd uint32) {
 		return
 	}
 	inst.echoed = true
+	e.peer.Trace(telemetry.KindEcho, inst.initiator, valueFP(inst.value))
 	msg := &wire.Message{
 		Type:      wire.TypeEcho,
 		Sender:    e.peer.ID(),
@@ -436,6 +450,9 @@ func (e *Engine) maybeAccept(inst *instance, rnd uint32) {
 			Round:    rnd,
 			At:       e.peer.Now(),
 		}
+		e.peer.Trace(telemetry.KindAccept, inst.initiator, valueFP(inst.value))
+		e.metrics.accepts.Inc()
+		e.metrics.acceptRound.Observe(float64(rnd))
 	}
 }
 
@@ -457,20 +474,38 @@ func (e *Engine) finalize(rnd uint32) {
 	if !e.members[e.peer.ID()] {
 		return
 	}
+	// Bottom decisions must run in a deterministic order — they emit trace
+	// events, and the exported stream is required to be byte-identical
+	// across runs of the same seed. With explicit expected initiators the
+	// config slice is that order (and instances only exist for expected
+	// initiators); otherwise sort the known initiators.
 	if e.expect != nil {
-		for id := range e.expect {
-			e.getInstance(id)
+		for _, id := range e.cfg.ExpectedInitiators {
+			e.decideBottom(e.getInstance(id), rnd)
 		}
+		return
 	}
-	for _, inst := range e.instances {
-		if inst.decided {
-			continue
-		}
-		inst.decided = true
-		inst.result = Result{
-			Accepted: false,
-			Round:    rnd,
-			At:       e.peer.Now(),
-		}
+	ids := make([]wire.NodeID, 0, len(e.instances))
+	for id := range e.instances {
+		ids = append(ids, id)
 	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		e.decideBottom(e.instances[id], rnd)
+	}
+}
+
+// decideBottom closes one undecided instance with a bottom result.
+func (e *Engine) decideBottom(inst *instance, rnd uint32) {
+	if inst == nil || inst.decided {
+		return
+	}
+	inst.decided = true
+	inst.result = Result{
+		Accepted: false,
+		Round:    rnd,
+		At:       e.peer.Now(),
+	}
+	e.peer.Trace(telemetry.KindBottom, inst.initiator, 0)
+	e.metrics.bottoms.Inc()
 }

@@ -8,6 +8,7 @@ import (
 
 	"sgxp2p/internal/core/erb"
 	"sgxp2p/internal/runtime"
+	"sgxp2p/internal/telemetry"
 	"sgxp2p/internal/wire"
 )
 
@@ -30,12 +31,11 @@ type Result struct {
 // instance per node, XOR of the accepted set. It implements
 // runtime.Protocol.
 type Basic struct {
-	peer      *runtime.Peer
-	t         int
-	eng       *erb.Engine
-	decided   bool
-	result    Result
-	roundHook func(rnd uint32)
+	peer    *runtime.Peer
+	t       int
+	eng     *erb.Engine
+	decided bool
+	result  Result
 }
 
 var _ runtime.Protocol = (*Basic)(nil)
@@ -69,18 +69,8 @@ func (b *Basic) Result() (Result, bool) {
 	return b.result, b.decided
 }
 
-// SetRoundHook installs fn, invoked at the top of every OnRound with the
-// lockstep round number (chaos-schedule observability; the embedded ERB's
-// own hook stays free for finer-grained instrumentation).
-func (b *Basic) SetRoundHook(fn func(rnd uint32)) {
-	b.roundHook = fn
-}
-
 // OnRound implements runtime.Protocol.
 func (b *Basic) OnRound(rnd uint32) {
-	if b.roundHook != nil {
-		b.roundHook(rnd)
-	}
 	if rnd == 1 {
 		v, err := b.peer.Enclave().RandomValue()
 		if err != nil {
@@ -112,6 +102,7 @@ func (b *Basic) maybeFinishEarly() {
 	}
 	b.result = foldSet(acceptedSet(b.eng.Results()), b.peer.Round(), b.peer.Now())
 	b.decided = true
+	b.peer.Trace(telemetry.KindDecide, wire.NoNode, uint64(len(b.result.Contributors)))
 }
 
 // OnFinish implements runtime.Protocol: fold the accepted set.
@@ -123,6 +114,7 @@ func (b *Basic) OnFinish() {
 	set := acceptedSet(b.eng.Results())
 	b.result = foldSet(set, b.peer.Round(), b.peer.Now())
 	b.decided = true
+	b.peer.Trace(telemetry.KindDecide, wire.NoNode, uint64(len(b.result.Contributors)))
 }
 
 // acceptedSet filters ERB results down to accepted (initiator, value)

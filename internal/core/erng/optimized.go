@@ -8,6 +8,7 @@ import (
 
 	"sgxp2p/internal/core/erb"
 	"sgxp2p/internal/runtime"
+	"sgxp2p/internal/telemetry"
 	"sgxp2p/internal/wire"
 )
 
@@ -25,13 +26,12 @@ type Optimized struct {
 	peer   *runtime.Peer
 	params Params
 
-	chosen    bool
-	schosen   map[wire.NodeID]bool
-	eng       *erb.Engine // nil for non-cluster nodes
-	finalSet  map[[32]byte]*finalTally
-	decided   bool
-	result    Result
-	roundHook func(rnd uint32)
+	chosen   bool
+	schosen  map[wire.NodeID]bool
+	eng      *erb.Engine // nil for non-cluster nodes
+	finalSet map[[32]byte]*finalTally
+	decided  bool
+	result   Result
 }
 
 // finalTally counts identical FINAL sets by content hash.
@@ -79,17 +79,8 @@ func (o *Optimized) ClusterView() []wire.NodeID {
 // Chosen reports whether this node joined the cluster.
 func (o *Optimized) Chosen() bool { return o.chosen }
 
-// SetRoundHook installs fn, invoked at the top of every OnRound with the
-// lockstep round number (chaos-schedule observability).
-func (o *Optimized) SetRoundHook(fn func(rnd uint32)) {
-	o.roundHook = fn
-}
-
 // OnRound implements runtime.Protocol.
 func (o *Optimized) OnRound(rnd uint32) {
-	if o.roundHook != nil {
-		o.roundHook(rnd)
-	}
 	switch {
 	case rnd == 1:
 		o.selectionPhase(rnd)
@@ -117,6 +108,7 @@ func (o *Optimized) selectionPhase(rnd uint32) {
 	}
 	o.chosen = true
 	o.schosen[o.peer.ID()] = true
+	o.peer.Trace(telemetry.KindChosen, wire.NoNode, 0)
 	msg := &wire.Message{
 		Type:      wire.TypeChosen,
 		Sender:    o.peer.ID(),
@@ -152,6 +144,7 @@ func (o *Optimized) startClusterERB(rnd uint32) {
 		return
 	}
 	o.eng = eng
+	o.peer.Trace(telemetry.KindCluster, wire.NoNode, uint64(len(members)))
 	draw, err := o.peer.Enclave().RandomBelow(o.params.InitRange)
 	if err != nil {
 		return
@@ -249,6 +242,7 @@ func (o *Optimized) tallyFinal(sender wire.NodeID, set []wire.SetEntry, rnd uint
 	if len(tally.senders) >= o.finalThreshold() {
 		o.result = foldSet(tally.set, rnd, o.peer.Now())
 		o.decided = true
+		o.peer.Trace(telemetry.KindDecide, wire.NoNode, uint64(len(o.result.Contributors)))
 	}
 }
 
@@ -268,6 +262,7 @@ func (o *Optimized) OnFinish() {
 	if !o.decided {
 		o.result = Result{Round: uint32(o.Rounds()), At: o.peer.Now()}
 		o.decided = true
+		o.peer.Trace(telemetry.KindDecide, wire.NoNode, 0)
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"sgxp2p/internal/parallel"
 	"sgxp2p/internal/runtime"
 	"sgxp2p/internal/simnet"
+	"sgxp2p/internal/telemetry"
 	"sgxp2p/internal/vclock"
 	"sgxp2p/internal/wire"
 	"sgxp2p/internal/xcrypto"
@@ -72,6 +73,13 @@ type Options struct {
 	// enclave draws from its own seeded RNG and all results land in
 	// index-distinct slots.
 	Workers int
+	// Trace, when non-nil, receives the round-structured event stream of
+	// every peer and the network (churn, round ticks, deliveries). New
+	// binds its clock to the simulator, so events carry virtual time.
+	Trace *telemetry.Tracer
+	// Metrics, when non-nil, is the registry all layers (runtime, channel,
+	// transport) register their counters into.
+	Metrics *telemetry.Metrics
 }
 
 // Deployment is a fully wired simulated network of peers.
@@ -132,6 +140,8 @@ func New(opts Options) (*Deployment, error) {
 	if err != nil {
 		return nil, fmt.Errorf("deploy: network: %w", err)
 	}
+	opts.Trace.SetClock(sim.Now)
+	net.SetTelemetry(opts.Trace, opts.Metrics)
 
 	masterRNG := rand.New(rand.NewSource(opts.Seed ^ 0x5eed))
 	service, err := enclave.NewAttestationService(masterRNG)
@@ -209,10 +219,12 @@ func New(opts Options) (*Deployment, error) {
 	// the rest across cores.
 	err = parallel.ForEach(opts.N, opts.Workers, func(id int) error {
 		peer, perr := runtime.NewPeer(d.Encls[id], transports[id], d.Roster, runtime.Config{
-			N:      opts.N,
-			T:      opts.T,
-			Delta:  opts.Delta,
-			Sealer: d.newSealer(),
+			N:       opts.N,
+			T:       opts.T,
+			Delta:   opts.Delta,
+			Sealer:  d.newSealer(),
+			Trace:   opts.Trace,
+			Metrics: opts.Metrics,
 		})
 		if perr != nil {
 			return fmt.Errorf("deploy: peer %d: %w", id, perr)

@@ -14,16 +14,18 @@ var DeterministicPackages = []string{
 	"sgxp2p/internal/adversary",
 	"sgxp2p/internal/runtime",
 	"sgxp2p/internal/tcpnet",
+	"sgxp2p/internal/telemetry",
 }
 
 // Analyzers returns the full p2plint battery in the order findings are
-// attributed: the four project invariants, then the two general passes
+// attributed: the five project invariants, then the two general passes
 // adopted from x/tools (reimplemented locally — see shadow.go/nilness.go).
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		DetrandAnalyzer,
 		MaporderAnalyzer,
 		SealerrAnalyzer,
+		TelemetryAnalyzer,
 		LockstepAnalyzer,
 		ShadowAnalyzer,
 		NilnessAnalyzer,

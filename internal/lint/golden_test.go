@@ -11,9 +11,11 @@ import "testing"
 func TestDetrandGolden(t *testing.T)  { runGolden(t, DetrandAnalyzer, "detrand") }
 func TestMaporderGolden(t *testing.T) { runGolden(t, MaporderAnalyzer, "maporder") }
 func TestSealerrGolden(t *testing.T)  { runGolden(t, SealerrAnalyzer, "sealerr") }
-func TestLockstepGolden(t *testing.T) { runGolden(t, LockstepAnalyzer, "lockstep") }
-func TestShadowGolden(t *testing.T)   { runGolden(t, ShadowAnalyzer, "shadow") }
-func TestNilnessGolden(t *testing.T)  { runGolden(t, NilnessAnalyzer, "nilness") }
+
+func TestTelemetryGolden(t *testing.T) { runGolden(t, TelemetryAnalyzer, "telemetry") }
+func TestLockstepGolden(t *testing.T)  { runGolden(t, LockstepAnalyzer, "lockstep") }
+func TestShadowGolden(t *testing.T)    { runGolden(t, ShadowAnalyzer, "shadow") }
+func TestNilnessGolden(t *testing.T)   { runGolden(t, NilnessAnalyzer, "nilness") }
 
 // TestDirectiveGolden exercises the suppression machinery itself: reasoned
 // directives silence findings, reasonless or unknown-analyzer directives are

@@ -22,6 +22,8 @@ func TestScopes(t *testing.T) {
 		{DetrandAnalyzer, "sgxp2p/internal/simnet", true},
 		{DetrandAnalyzer, "sgxp2p/internal/adversary", true},
 		{DetrandAnalyzer, "sgxp2p/internal/tcpnet", true},
+		{DetrandAnalyzer, "sgxp2p/internal/telemetry", true},
+		{TelemetryAnalyzer, "sgxp2p/cmd/p2ptrace", true},
 		{DetrandAnalyzer, "sgxp2p/internal/corebis", false}, // prefix must respect path boundaries
 		{DetrandAnalyzer, "sgxp2p/internal/experiments", false},
 		{DetrandAnalyzer, "sgxp2p/cmd/p2pnode", false},
@@ -42,7 +44,7 @@ func TestScopes(t *testing.T) {
 // TestRegistry pins the battery composition and that names used in
 // //lint:allow directives stay stable.
 func TestRegistry(t *testing.T) {
-	want := []string{"detrand", "maporder", "sealerr", "lockstep", "shadow", "nilness"}
+	want := []string{"detrand", "maporder", "sealerr", "telemetry", "lockstep", "shadow", "nilness"}
 	got := Analyzers()
 	if len(got) != len(want) {
 		t.Fatalf("Analyzers() returned %d analyzers, want %d", len(got), len(want))

@@ -29,16 +29,33 @@ var SealerrAnalyzer = &Analyzer{
 	Run: runSealerr,
 }
 
-// sealerrPrefixes are the guarded API name prefixes. The list is name-based
-// on purpose: it catches the project's Sealer/Link/Message APIs as well as
-// stdlib encoders feeding the wire, without needing a registry of types.
-var sealerrPrefixes = []string{
-	"Seal", "Open", "Encode", "Decode", "AppendEncode",
-	"Send", "Multicast", "Unicast",
+// sealerrChecker guards the enclave-boundary and wire API name prefixes.
+// The list is name-based on purpose: it catches the project's Sealer/Link/
+// Message APIs as well as stdlib encoders feeding the wire, without needing
+// a registry of types.
+var sealerrChecker = &dropChecker{
+	prefixes: []string{
+		"Seal", "Open", "Encode", "Decode", "AppendEncode",
+		"Send", "Multicast", "Unicast",
+	},
+	reason: "tampering/replay/halt signals must be handled",
 }
 
-func guardedName(name string) bool {
-	for _, p := range sealerrPrefixes {
+func runSealerr(pass *Pass) error {
+	return sealerrChecker.run(pass)
+}
+
+// dropChecker is the shared dropped-error detector behind sealerr and
+// telemetry: it flags calls to name-prefix-guarded APIs whose error result
+// is unobserved (expression statement, go/defer) or assigned to _.
+type dropChecker struct {
+	prefixes []string
+	// reason is the parenthesized consequence appended to every finding.
+	reason string
+}
+
+func (c *dropChecker) guardedName(name string) bool {
+	for _, p := range c.prefixes {
 		if strings.HasPrefix(name, p) {
 			return true
 		}
@@ -46,20 +63,20 @@ func guardedName(name string) bool {
 	return false
 }
 
-func runSealerr(pass *Pass) error {
+func (c *dropChecker) run(pass *Pass) error {
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch st := n.(type) {
 			case *ast.ExprStmt:
 				if call, ok := st.X.(*ast.CallExpr); ok {
-					pass.checkDroppedCall(call, "result dropped")
+					c.checkDroppedCall(pass, call, "result dropped")
 				}
 			case *ast.GoStmt:
-				pass.checkDroppedCall(st.Call, "error unobservable in go statement")
+				c.checkDroppedCall(pass, st.Call, "error unobservable in go statement")
 			case *ast.DeferStmt:
-				pass.checkDroppedCall(st.Call, "error unobservable in deferred call")
+				c.checkDroppedCall(pass, st.Call, "error unobservable in deferred call")
 			case *ast.AssignStmt:
-				pass.checkBlankAssign(st)
+				c.checkBlankAssign(pass, st)
 			}
 			return true
 		})
@@ -67,11 +84,11 @@ func runSealerr(pass *Pass) error {
 	return nil
 }
 
-// errorPositions returns the indices of call's results whose type is error,
-// but only when the callee is one of the guarded APIs.
-func (p *Pass) guardedErrorPositions(call *ast.CallExpr) []int {
+// guardedErrorPositions returns the indices of call's results whose type is
+// error, but only when the callee is one of the guarded APIs.
+func (c *dropChecker) guardedErrorPositions(p *Pass, call *ast.CallExpr) []int {
 	name := calleeName(call)
-	if name == "" || !guardedName(name) {
+	if name == "" || !c.guardedName(name) {
 		return nil
 	}
 	tv, ok := p.TypesInfo.Types[call.Fun]
@@ -92,15 +109,15 @@ func (p *Pass) guardedErrorPositions(call *ast.CallExpr) []int {
 	return idx
 }
 
-func (p *Pass) checkDroppedCall(call *ast.CallExpr, how string) {
-	if len(p.guardedErrorPositions(call)) > 0 {
-		p.Reportf(call.Pos(), "error from %s: %s (tampering/replay/halt signals must be handled)", calleeName(call), how)
+func (c *dropChecker) checkDroppedCall(p *Pass, call *ast.CallExpr, how string) {
+	if len(c.guardedErrorPositions(p, call)) > 0 {
+		p.Reportf(call.Pos(), "error from %s: %s (%s)", calleeName(call), how, c.reason)
 	}
 }
 
 // checkBlankAssign flags `v, _ := Decode(...)`-style assignments where the
 // error result of a guarded call lands in the blank identifier.
-func (p *Pass) checkBlankAssign(st *ast.AssignStmt) {
+func (c *dropChecker) checkBlankAssign(p *Pass, st *ast.AssignStmt) {
 	if len(st.Rhs) != 1 {
 		return
 	}
@@ -108,7 +125,7 @@ func (p *Pass) checkBlankAssign(st *ast.AssignStmt) {
 	if !ok {
 		return
 	}
-	idx := p.guardedErrorPositions(call)
+	idx := c.guardedErrorPositions(p, call)
 	if len(idx) == 0 {
 		return
 	}
@@ -117,7 +134,7 @@ func (p *Pass) checkBlankAssign(st *ast.AssignStmt) {
 			continue
 		}
 		if id, ok := st.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
-			p.Reportf(st.Pos(), "error from %s discarded into _ (tampering/replay/halt signals must be handled)", calleeName(call))
+			p.Reportf(st.Pos(), "error from %s discarded into _ (%s)", calleeName(call), c.reason)
 		}
 	}
 }

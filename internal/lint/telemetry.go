@@ -1,0 +1,36 @@
+package lint
+
+// TelemetryAnalyzer flags dropped errors from the telemetry export and dump
+// APIs. An export is usually the last thing a run does — the trace or metric
+// snapshot IS the run's evidence — so a swallowed ExportJSONL/DumpFlight
+// error leaves a truncated or missing artifact that a later `p2ptrace
+// -check` (or a human) reads as "the run produced nothing", which is
+// indistinguishable from the bug being triaged. The guarded prefixes also
+// cover ValidateJSONL and DiffLines: ignoring their errors turns a failed
+// determinism check into a false pass.
+//
+// Flagged forms mirror sealerr, in non-test code module-wide:
+//
+//	tracer.ExportJSONL(w)            // ExprStmt: all results dropped
+//	n, _ := telemetry.ValidateJSONL(r) // error position assigned to _
+//	defer t.DumpFlight(w, node)      // result unobservable
+//
+// Deliberate drops carry //lint:allow telemetry <reason>.
+var TelemetryAnalyzer = &Analyzer{
+	Name: "telemetry",
+	Doc: "flags dropped or _-discarded errors from telemetry Export*/Dump*/Validate*/Diff* calls " +
+		"(a silently failed export destroys the run's observability evidence)",
+	Run: runTelemetry,
+}
+
+// telemetryChecker guards the telemetry artifact-producing API prefixes.
+var telemetryChecker = &dropChecker{
+	prefixes: []string{
+		"Export", "Dump", "ValidateJSONL", "DiffLines", "WriteTimeline",
+	},
+	reason: "a failed export/dump destroys the run's observability evidence",
+}
+
+func runTelemetry(pass *Pass) error {
+	return telemetryChecker.run(pass)
+}

@@ -1,0 +1,55 @@
+// Package telemetry is golden-test input: dropped errors from the telemetry
+// export/dump API shapes, next to handled forms that stay legal.
+package telemetry
+
+import "io"
+
+type tracer struct{}
+
+func (tracer) ExportJSONL(w io.Writer) error          { return nil }
+func (tracer) ExportTimeline(w io.Writer) error       { return nil }
+func (tracer) DumpFlight(w io.Writer, n uint32) error { return nil }
+
+type metrics struct{}
+
+func (metrics) ExportPrometheus(w io.Writer) error { return nil }
+
+func ValidateJSONL(r io.Reader) (int, error) { return 0, nil }
+
+func DiffLines(a, b io.Reader) (int, string, string, error) { return 0, "", "", nil }
+
+// render is not a guarded name: dropping its error is out of scope here.
+func render(w io.Writer) error { return nil }
+
+func dropped(t tracer, m metrics, w io.Writer) {
+	t.ExportJSONL(w)      // want "error from ExportJSONL: result dropped"
+	m.ExportPrometheus(w) // want "error from ExportPrometheus: result dropped"
+	t.DumpFlight(w, 3)    // want "error from DumpFlight: result dropped"
+	render(w)
+}
+
+func blanked(r io.Reader) int {
+	n, _ := ValidateJSONL(r)         // want "error from ValidateJSONL discarded into _"
+	line, _, _, _ := DiffLines(r, r) // want "error from DiffLines discarded into _"
+	return n + line
+}
+
+func unobservable(t tracer, w io.Writer) {
+	go t.ExportTimeline(w)   // want "error from ExportTimeline: error unobservable in go statement"
+	defer t.DumpFlight(w, 0) // want "error from DumpFlight: error unobservable in deferred call"
+}
+
+func handled(t tracer, m metrics, w io.Writer, r io.Reader) error {
+	if err := t.ExportJSONL(w); err != nil {
+		return err
+	}
+	if _, err := ValidateJSONL(r); err != nil {
+		return err
+	}
+	return m.ExportPrometheus(w)
+}
+
+// suppressed documents a deliberate drop.
+func suppressed(t tracer, w io.Writer) {
+	_ = t.ExportTimeline(w) //lint:allow telemetry best-effort debug print on the failure path
+}

@@ -24,6 +24,7 @@ import (
 
 	"sgxp2p/internal/channel"
 	"sgxp2p/internal/enclave"
+	"sgxp2p/internal/telemetry"
 	"sgxp2p/internal/wire"
 	"sgxp2p/internal/xcrypto"
 )
@@ -81,6 +82,13 @@ type Config struct {
 	// Sealer builds this peer's sealer. Nil defaults to the real
 	// AES+HMAC sealer.
 	Sealer channel.Sealer
+	// Trace, when non-nil, receives the peer's round-structured event
+	// stream (round ticks, deliveries, ACK traffic, halts). Nil disables
+	// tracing at the cost of one pointer check per event site.
+	Trace *telemetry.Tracer
+	// Metrics, when non-nil, is the registry the peer's counters (and its
+	// links' channel counters) register into. Nil disables metrics.
+	Metrics *telemetry.Metrics
 }
 
 // Errors returned by peer construction and messaging.
@@ -115,6 +123,36 @@ type Stats struct {
 	// omissions — the rest of the multicast proceeds — so a crashed peer
 	// cannot wedge a broadcast.
 	SendFailures uint64
+}
+
+// counters are the peer's registered metric handles, mirroring Stats in
+// the telemetry registry; nil when the deployment runs without one, so
+// every hot-path update is behind a single pointer check.
+type counters struct {
+	delivered       *telemetry.Counter
+	authFailures    *telemetry.Counter
+	roundMismatches *telemetry.Counter
+	acksSent        *telemetry.Counter
+	acksReceived    *telemetry.Counter
+	halts           *telemetry.Counter
+	sendFailures    *telemetry.Counter
+	envelopesSent   *telemetry.Counter
+}
+
+func newCounters(m *telemetry.Metrics) *counters {
+	if m == nil {
+		return nil
+	}
+	return &counters{
+		delivered:       m.Counter("runtime_delivered_total"),
+		authFailures:    m.Counter("runtime_auth_failures_total"),
+		roundMismatches: m.Counter("runtime_round_mismatches_total"),
+		acksSent:        m.Counter("runtime_acks_sent_total"),
+		acksReceived:    m.Counter("runtime_acks_received_total"),
+		halts:           m.Counter("runtime_halts_total"),
+		sendFailures:    m.Counter("runtime_send_failures_total"),
+		envelopesSent:   m.Counter("runtime_envelopes_sent_total"),
+	}
 }
 
 // nodeBitset is a dense set of NodeIDs. The ACK tracker of a multicast
@@ -170,6 +208,8 @@ type Peer struct {
 	trackers    []*ackTracker
 	startOffset time.Duration
 	stats       Stats
+	trace       *telemetry.Tracer
+	ctr         *counters
 
 	// delivering is the message currently being handed to the protocol by
 	// receive, together with the channel plaintext it was decoded from.
@@ -216,7 +256,10 @@ func NewPeer(encl *enclave.Enclave, tr Transport, roster Roster, cfg Config) (*P
 		cfg:   cfg,
 		links: make([]*channel.Link, cfg.N),
 		seqs:  make([]uint64, cfg.N),
+		trace: cfg.Trace,
+		ctr:   newCounters(cfg.Metrics),
 	}
+	chanCtr := channel.NewCounters(cfg.Metrics)
 	self := int(encl.ID())
 	for id, q := range roster.Quotes {
 		if id == self {
@@ -234,6 +277,7 @@ func NewPeer(encl *enclave.Enclave, tr Transport, roster Roster, cfg Config) (*P
 		if err != nil {
 			return nil, fmt.Errorf("runtime: link to %d: %w", id, err)
 		}
+		link.SetCounters(chanCtr)
 		p.links[id] = link
 	}
 	tr.SetHandler(p.receive)
@@ -258,6 +302,19 @@ func (p *Peer) Enclave() *enclave.Enclave { return p.encl }
 
 // Stats returns a snapshot of the runtime counters.
 func (p *Peer) Stats() Stats { return p.stats }
+
+// Metrics exposes the deployment's metrics registry to the protocol layer
+// (nil when the deployment runs without one).
+func (p *Peer) Metrics() *telemetry.Metrics { return p.cfg.Metrics }
+
+// Trace records a protocol-layer event against this peer's current round.
+// Protocols call it for their own milestones (INIT/ECHO/accept, cluster
+// sampling, decisions); runtime-level events are recorded internally.
+func (p *Peer) Trace(kind telemetry.Kind, peer wire.NodeID, arg uint64) {
+	if p.trace != nil {
+		p.trace.Record(p.ID(), p.round, kind, peer, arg, "")
+	}
+}
 
 // Halted reports whether this peer has churned itself out.
 func (p *Peer) Halted() bool { return p.encl.Halted() }
@@ -309,6 +366,7 @@ func (p *Peer) AddPeer(roster Roster, q enclave.Quote, seq uint64) error {
 	if err != nil {
 		return fmt.Errorf("runtime: link to joiner %d: %w", q.NodeID, err)
 	}
+	link.SetCounters(channel.NewCounters(p.cfg.Metrics))
 	p.links = append(p.links, link)
 	p.seqs = append(p.seqs, seq)
 	p.cfg.N++
@@ -378,6 +436,9 @@ func (p *Peer) tick(rnd uint32) {
 		return
 	}
 	p.round = rnd
+	if p.trace != nil {
+		p.trace.Record(p.ID(), rnd, telemetry.KindRound, wire.NoNode, 0, "")
+	}
 	p.proto.OnRound(rnd)
 	if !p.Halted() {
 		p.scheduleTick(rnd + 1)
@@ -392,7 +453,7 @@ func (p *Peer) closeRound() {
 	p.trackers = nil
 	for _, tk := range trackers {
 		if tk.acked.count < tk.threshold {
-			p.HaltSelf()
+			p.haltSelf("ack-threshold")
 			return
 		}
 	}
@@ -413,11 +474,20 @@ func (p *Peer) Stop() {
 
 // HaltSelf executes halt-on-divergence: the enclave state becomes bottom
 // and the node churns out of the network.
-func (p *Peer) HaltSelf() {
+func (p *Peer) HaltSelf() { p.haltSelf("") }
+
+// haltSelf is HaltSelf with a trace annotation naming the trigger.
+func (p *Peer) haltSelf(why string) {
 	if p.Halted() {
 		return
 	}
 	p.stats.Halts++
+	if p.ctr != nil {
+		p.ctr.halts.Inc()
+	}
+	if p.trace != nil {
+		p.trace.Record(p.ID(), p.round, telemetry.KindHalt, wire.NoNode, 0, why)
+	}
 	p.encl.Halt()
 	p.tr.Detach()
 }
@@ -506,6 +576,12 @@ func (p *Peer) multicastOne(dst wire.NodeID, encoded []byte) error {
 		return err
 	}
 	p.stats.SendFailures++
+	if p.ctr != nil {
+		p.ctr.sendFailures.Inc()
+	}
+	if p.trace != nil {
+		p.trace.Record(p.ID(), p.round, telemetry.KindSendFail, dst, 0, "")
+	}
 	return nil
 }
 
@@ -534,6 +610,9 @@ func (p *Peer) sendEncoded(dst wire.NodeID, encoded []byte) error {
 	env, err := p.links[dst].SealEncodedAppend(nil, encoded)
 	if err != nil {
 		return err
+	}
+	if p.ctr != nil {
+		p.ctr.envelopesSent.Inc()
 	}
 	p.tr.Send(dst, env)
 	return nil
@@ -575,6 +654,12 @@ func (p *Peer) SendAck(dst wire.NodeID, received *wire.Message) error {
 		Value:     digest,
 	}
 	p.stats.AcksSent++
+	if p.ctr != nil {
+		p.ctr.acksSent.Inc()
+	}
+	if p.trace != nil {
+		p.trace.Record(p.ID(), p.round, telemetry.KindAckSent, dst, 0, "")
+	}
 	return p.Send(dst, ack)
 }
 
@@ -597,11 +682,23 @@ func (p *Peer) receive(src wire.NodeID, payload []byte) {
 		// Forged, corrupted, cross-program or mis-addressed envelopes
 		// reduce to omissions (Theorem A.2).
 		p.stats.AuthFailures++
+		if p.ctr != nil {
+			p.ctr.authFailures.Inc()
+		}
+		if p.trace != nil {
+			p.trace.Record(p.ID(), p.round, telemetry.KindAuthFail, src, 0, "")
+		}
 		return
 	}
 	p.openBuf = encoded
 	if msg.Type == wire.TypeAck {
 		p.stats.AcksReceived++
+		if p.ctr != nil {
+			p.ctr.acksReceived.Inc()
+		}
+		if p.trace != nil {
+			p.trace.Record(p.ID(), p.round, telemetry.KindAckRecv, src, 0, "")
+		}
 		p.handleAck(src, msg)
 		return
 	}
@@ -610,9 +707,21 @@ func (p *Peer) receive(src wire.NodeID, payload []byte) {
 	// and is ignored, i.e. treated as omitted.
 	if msg.Round != p.round {
 		p.stats.RoundMismatches++
+		if p.ctr != nil {
+			p.ctr.roundMismatches.Inc()
+		}
+		if p.trace != nil {
+			p.trace.Record(p.ID(), p.round, telemetry.KindStale, src, uint64(msg.Round), "")
+		}
 		return
 	}
 	p.stats.Delivered++
+	if p.ctr != nil {
+		p.ctr.delivered.Inc()
+	}
+	if p.trace != nil {
+		p.trace.Record(p.ID(), p.round, telemetry.KindDeliver, src, uint64(msg.Type), "")
+	}
 	p.delivering, p.deliveringEncoded = msg, encoded
 	p.proto.OnMessage(msg)
 	p.delivering, p.deliveringEncoded = nil, nil

@@ -23,6 +23,7 @@ import (
 	"math/rand"
 	"time"
 
+	"sgxp2p/internal/telemetry"
 	"sgxp2p/internal/vclock"
 	"sgxp2p/internal/wire"
 )
@@ -83,6 +84,36 @@ type Network struct {
 	linkFree time.Duration
 	traffic  Traffic
 	perNode  []Traffic
+	trace    *telemetry.Tracer
+	ctr      *netCounters
+}
+
+// netCounters are the transport-level metric handles; nil when the network
+// runs without a metrics registry.
+type netCounters struct {
+	messages      *telemetry.Counter
+	bytes         *telemetry.Counter
+	dropped       *telemetry.Counter
+	late          *telemetry.Counter
+	envelopeBytes *telemetry.Histogram
+}
+
+// SetTelemetry attaches a tracer (detach/reattach churn events) and a
+// metrics registry (traffic counters, envelope-size histogram) to the
+// network. Either may be nil.
+func (n *Network) SetTelemetry(tr *telemetry.Tracer, m *telemetry.Metrics) {
+	n.trace = tr
+	if m == nil {
+		n.ctr = nil
+		return
+	}
+	n.ctr = &netCounters{
+		messages:      m.Counter("net_messages_total"),
+		bytes:         m.Counter("net_bytes_total"),
+		dropped:       m.Counter("net_dropped_total"),
+		late:          m.Counter("net_late_total"),
+		envelopeBytes: m.Histogram("net_envelope_bytes", []float64{64, 128, 256, 512, 1024, 4096, 16384}),
+	}
 }
 
 // New creates a network of cfg.N disconnected ports on the given simulator.
@@ -157,6 +188,9 @@ func (n *Network) Detach(id wire.NodeID) {
 	}
 	n.detached[int(id)] = true
 	n.epoch[int(id)]++
+	if n.trace != nil {
+		n.trace.Record(id, 0, telemetry.KindDetach, wire.NoNode, 0, "")
+	}
 }
 
 // Detached reports whether a node has been detached.
@@ -174,6 +208,9 @@ func (n *Network) Reattach(id wire.NodeID) {
 		return
 	}
 	n.detached[int(id)] = false
+	if n.trace != nil {
+		n.trace.Record(id, 0, telemetry.KindReattach, wire.NoNode, 0, "")
+	}
 }
 
 // Send transmits payload from src to dst. Ownership of payload passes to
@@ -185,6 +222,9 @@ func (n *Network) Send(src, dst wire.NodeID, payload []byte) {
 	}
 	if n.detached[int(src)] || n.detached[int(dst)] {
 		n.traffic.Dropped++
+		if n.ctr != nil {
+			n.ctr.dropped.Inc()
+		}
 		return
 	}
 	size := len(payload)
@@ -192,6 +232,11 @@ func (n *Network) Send(src, dst wire.NodeID, payload []byte) {
 	n.traffic.Bytes += uint64(size)
 	n.perNode[int(src)].Messages++
 	n.perNode[int(src)].Bytes += uint64(size)
+	if n.ctr != nil {
+		n.ctr.messages.Inc()
+		n.ctr.bytes.Add(uint64(size))
+		n.ctr.envelopeBytes.Observe(float64(size))
+	}
 
 	now := n.sim.Now()
 	start := now
@@ -213,6 +258,9 @@ func (n *Network) Send(src, dst wire.NodeID, payload []byte) {
 	arrival := start + latency
 	if arrival-now > n.cfg.Delta {
 		n.traffic.Late++
+		if n.ctr != nil {
+			n.ctr.late.Inc()
+		}
 	}
 	ep := n.epoch[int(dst)]
 	n.sim.Schedule(arrival, func() {
@@ -222,6 +270,9 @@ func (n *Network) Send(src, dst wire.NodeID, payload []byte) {
 		// crashed after the send — the frame is lost even if it rebooted.
 		if n.detached[int(dst)] || n.epoch[int(dst)] != ep {
 			n.traffic.Dropped++
+			if n.ctr != nil {
+				n.ctr.dropped.Inc()
+			}
 			return
 		}
 		if h := n.handlers[int(dst)]; h != nil {

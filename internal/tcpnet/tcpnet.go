@@ -19,9 +19,11 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sgxp2p/internal/runtime"
+	"sgxp2p/internal/telemetry"
 	"sgxp2p/internal/wire"
 )
 
@@ -47,6 +49,36 @@ type Port struct {
 	loop chan func()
 	done chan struct{}
 	wg   sync.WaitGroup
+
+	// ctr holds the transport metric handles; an atomic pointer because
+	// Send and the read loops touch it from different goroutines while
+	// SetMetrics may install it after the port is live.
+	ctr atomic.Pointer[portCounters]
+}
+
+// portCounters are the TCP transport's metric handles.
+type portCounters struct {
+	framesSent     *telemetry.Counter
+	framesDropped  *telemetry.Counter
+	framesReceived *telemetry.Counter
+	bytesSent      *telemetry.Counter
+	bytesReceived  *telemetry.Counter
+}
+
+// SetMetrics registers the transport counters in m and attaches them to
+// the port. A nil registry detaches them.
+func (p *Port) SetMetrics(m *telemetry.Metrics) {
+	if m == nil {
+		p.ctr.Store(nil)
+		return
+	}
+	p.ctr.Store(&portCounters{
+		framesSent:     m.Counter("tcp_frames_sent_total"),
+		framesDropped:  m.Counter("tcp_frames_dropped_total"),
+		framesReceived: m.Counter("tcp_frames_received_total"),
+		bytesSent:      m.Counter("tcp_bytes_sent_total"),
+		bytesReceived:  m.Counter("tcp_bytes_received_total"),
+	})
 }
 
 var _ runtime.Transport = (*Port)(nil)
@@ -176,18 +208,32 @@ func (p *Port) runLoop() {
 // returns, and frames cycle between Send and the writer goroutines
 // through framePool instead of allocating per envelope.
 func (p *Port) Send(dst wire.NodeID, payload []byte) {
+	ctr := p.ctr.Load()
 	oc, err := p.outbound(dst)
 	if err != nil {
+		if ctr != nil {
+			ctr.framesDropped.Inc()
+		}
 		return // unreachable peer: equivalent to an omission
 	}
 	f := newFrame(p.self, payload)
 	select {
 	case oc.ch <- f:
+		if ctr != nil {
+			ctr.framesSent.Inc()
+			ctr.bytesSent.Add(uint64(len(payload)))
+		}
 	case <-p.done:
 		framePool.Put(f)
+		if ctr != nil {
+			ctr.framesDropped.Inc()
+		}
 	default:
 		// Writer queue full: drop (bounded memory; omission-equivalent).
 		framePool.Put(f)
+		if ctr != nil {
+			ctr.framesDropped.Inc()
+		}
 	}
 }
 
@@ -288,6 +334,10 @@ func (p *Port) readLoop(conn net.Conn) {
 		payload := make([]byte, size)
 		if _, err := io.ReadFull(conn, payload); err != nil {
 			return
+		}
+		if ctr := p.ctr.Load(); ctr != nil {
+			ctr.framesReceived.Inc()
+			ctr.bytesReceived.Add(uint64(size))
 		}
 		p.post(func() {
 			p.mu.Lock()

@@ -1,0 +1,232 @@
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Metrics is a registry of named counters, gauges and histograms. All
+// registration methods are idempotent — asking for an existing name returns
+// the existing handle — and nil-receiver safe: a nil *Metrics hands out nil
+// handles whose operations are no-ops, so instrumented code never branches
+// on "is telemetry on". Registering one name as two different metric kinds
+// is a programming error and panics at wiring time.
+//
+// Handles update with atomics (the TCP deployment records from several
+// goroutines); the registry lock is only taken on registration and export.
+type Metrics struct {
+	mu      sync.Mutex
+	entries []*metricEntry
+	index   map[string]int
+}
+
+// metricEntry is one registered metric; exactly one handle field is set.
+type metricEntry struct {
+	name string
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
+}
+
+// NewMetrics builds an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{index: make(map[string]int)}
+}
+
+// lookup returns the entry for name, creating it via build when absent.
+func (m *Metrics) lookup(name, kind string, build func(e *metricEntry)) *metricEntry {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if i, ok := m.index[name]; ok {
+		return m.entries[i]
+	}
+	e := &metricEntry{name: name}
+	build(e)
+	m.index[name] = len(m.entries)
+	m.entries = append(m.entries, e)
+	return e
+}
+
+// kindMismatch panics: one name registered as two metric kinds is a wiring
+// bug that silent fallback would hide.
+func kindMismatch(name, want string) {
+	panic("telemetry: metric " + name + " already registered as a different kind, wanted " + want)
+}
+
+// Counter registers (or returns) the named counter. Nil registry → nil
+// handle (no-op).
+func (m *Metrics) Counter(name string) *Counter {
+	if m == nil {
+		return nil
+	}
+	e := m.lookup(name, "counter", func(me *metricEntry) { me.c = &Counter{} })
+	if e.c == nil {
+		kindMismatch(name, "counter")
+	}
+	return e.c
+}
+
+// Gauge registers (or returns) the named gauge. Nil registry → nil handle.
+func (m *Metrics) Gauge(name string) *Gauge {
+	if m == nil {
+		return nil
+	}
+	e := m.lookup(name, "gauge", func(me *metricEntry) { me.g = &Gauge{} })
+	if e.g == nil {
+		kindMismatch(name, "gauge")
+	}
+	return e.g
+}
+
+// Histogram registers (or returns) the named fixed-bucket histogram.
+// bounds are the inclusive bucket upper bounds, strictly increasing; an
+// implicit +Inf bucket catches the rest. Re-registering an existing
+// histogram returns the existing handle (its original bounds win). Nil
+// registry → nil handle.
+func (m *Metrics) Histogram(name string, bounds []float64) *Histogram {
+	if m == nil {
+		return nil
+	}
+	e := m.lookup(name, "histogram", func(me *metricEntry) { me.h = newHistogram(bounds) })
+	if e.h == nil {
+		kindMismatch(name, "histogram")
+	}
+	return e.h
+}
+
+// Counter is a monotonically increasing metric. The zero value is ready;
+// a nil handle is a no-op. Add is allocation-free.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds d.
+func (c *Counter) Add(d uint64) {
+	if c != nil {
+		c.v.Add(d)
+	}
+}
+
+// Value returns the current count (0 on a nil handle).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable signed metric. The zero value is ready; a nil handle
+// is a no-op. Set and Add are allocation-free.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adjusts the value by d (negative to decrease).
+func (g *Gauge) Add(d int64) {
+	if g != nil {
+		g.v.Add(d)
+	}
+}
+
+// Value returns the current value (0 on a nil handle).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket distribution: counts[i] tallies observations
+// v <= bounds[i] (first matching bucket), counts[len(bounds)] the +Inf
+// rest, Prometheus le semantics. Observe is allocation-free: a binary
+// search over the bounds plus two atomic updates.
+type Histogram struct {
+	bounds  []float64
+	counts  []atomic.Uint64 // len(bounds)+1, last is +Inf
+	sumBits atomic.Uint64   // math.Float64bits of the running sum
+	count   atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("telemetry: histogram bounds must be strictly increasing")
+		}
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one value. Nil handles are no-ops.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Binary search for the first bound >= v; misses land in +Inf.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.bounds[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.counts[lo].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Bounds returns the bucket upper bounds (nil on a nil handle).
+func (h *Histogram) Bounds() []float64 {
+	if h == nil {
+		return nil
+	}
+	return h.bounds
+}
+
+// BucketCount returns the count of bucket i (i == len(Bounds()) is +Inf).
+func (h *Histogram) BucketCount(i int) uint64 {
+	if h == nil || i < 0 || i >= len(h.counts) {
+		return 0
+	}
+	return h.counts[i].Load()
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}

@@ -1,0 +1,150 @@
+// Package telemetry is the reproduction's zero-dependency observability
+// layer: a metrics registry (counters, gauges, fixed-bucket histograms), a
+// round-structured event tracer, and a bounded per-node flight recorder.
+//
+// The paper's evaluation is built on measured per-round latency, message
+// counts and churn events; this package makes the same quantities visible
+// inside the reproduction without perturbing it. Three properties are
+// load-bearing:
+//
+//   - Disabled means free. Every handle type treats a nil receiver as a
+//     no-op (a nil *Tracer records nothing, a nil *Counter counts nothing),
+//     and instrumented packages keep their hot paths behind a single
+//     pointer check, so a deployment built without telemetry pays no
+//     allocations and no measurable time (pinned by BENCH_telemetry.json).
+//
+//   - Logical time only. The tracer has no clock of its own: it stamps
+//     events with an injected clock function (vclock.Sim.Now in simulation,
+//     the transport origin clock on live TCP). Deterministic packages thus
+//     stay wall-clock free (the detrand analyzer checks this), and two runs
+//     of the same chaos seed export byte-identical JSONL traces.
+//
+//   - Bounded failure evidence. Besides the full event stream, the tracer
+//     keeps a fixed-size ring of recent events per node — the flight
+//     recorder — so an invariant violation can dump exactly what the
+//     offending node did last, however long the run was.
+//
+// Event volume is bounded by the run, not the network: events are recorded
+// per protocol action (round ticks, multicasts, deliveries, decisions,
+// churn), so a trace grows linearly with simulated work and is safe to keep
+// in memory for experiment-scale runs.
+package telemetry
+
+import (
+	"time"
+
+	"sgxp2p/internal/wire"
+)
+
+// Kind enumerates trace event kinds. The string names (see String) are the
+// stable wire vocabulary of the JSONL export; appending new kinds is safe,
+// renumbering existing ones is not.
+type Kind uint8
+
+// Trace event kinds, grouped by the layer that records them.
+const (
+	// KindRound marks the start of a lockstep round at a node (recorded by
+	// the runtime tick, before the protocol's OnRound runs).
+	KindRound Kind = iota + 1
+	// KindDeliver is an authenticated protocol message handed to the
+	// protocol layer; Peer is the sender, Arg the wire message type.
+	KindDeliver
+	// KindAckSent and KindAckRecv are the P4 acknowledgment traffic.
+	KindAckSent
+	KindAckRecv
+	// KindAuthFail is an envelope rejected by the channel (forgery,
+	// corruption, wrong program) — an omission per Theorem A.2.
+	KindAuthFail
+	// KindStale is an authenticated message dropped by the lockstep round
+	// check (delayed or replayed).
+	KindStale
+	// KindSendFail is a multicast leg that degraded to an omission.
+	KindSendFail
+	// KindHalt is halt-on-divergence (P4): the node churned itself out.
+	KindHalt
+
+	// KindInit and KindEcho are ERB multicasts (Algorithm 2); Peer is the
+	// instance's initiator, Arg a 64-bit fingerprint of the value.
+	KindInit
+	KindEcho
+	// KindAccept is an ERB accept decision; KindBottom a bottom decision.
+	KindAccept
+	KindBottom
+	// KindChosen marks a node joining the ERNG representative cluster;
+	// KindCluster freezes its local cluster view (Arg = view size).
+	KindChosen
+	KindCluster
+	// KindDecide is a beacon decision (Arg = number of contributors).
+	KindDecide
+
+	// Chaos-engine events. Node is wire.NoNode for network-wide events.
+	KindCrash
+	KindRestart
+	KindRestartFail
+	KindFlip
+	KindPartition
+	KindHeal
+	// KindDetach and KindReattach are the transport-level halves of churn.
+	KindDetach
+	KindReattach
+)
+
+// kindNames is the stable Kind → JSONL name table.
+var kindNames = [...]string{
+	KindRound:       "round",
+	KindDeliver:     "deliver",
+	KindAckSent:     "ack-sent",
+	KindAckRecv:     "ack-recv",
+	KindAuthFail:    "auth-fail",
+	KindStale:       "stale",
+	KindSendFail:    "send-fail",
+	KindHalt:        "halt",
+	KindInit:        "init",
+	KindEcho:        "echo",
+	KindAccept:      "accept",
+	KindBottom:      "bottom",
+	KindChosen:      "chosen",
+	KindCluster:     "cluster",
+	KindDecide:      "decide",
+	KindCrash:       "crash",
+	KindRestart:     "restart",
+	KindRestartFail: "restart-fail",
+	KindFlip:        "flip",
+	KindPartition:   "partition",
+	KindHeal:        "heal",
+	KindDetach:      "detach",
+	KindReattach:    "reattach",
+}
+
+// String returns the stable event-kind name used in exports.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// ParseKind resolves an exported kind name back to its Kind.
+func ParseKind(s string) (Kind, bool) {
+	for k, name := range kindNames {
+		if name != "" && name == s {
+			return Kind(k), true
+		}
+	}
+	return 0, false
+}
+
+// Event is one trace record. Events are keyed by (Node, Round, Kind): the
+// node that acted, the lockstep round it was in, and what happened. At is
+// logical time (virtual in simulation), Peer the counterparty (wire.NoNode
+// when there is none), Arg a kind-specific 64-bit payload and Note a short
+// kind-specific annotation.
+type Event struct {
+	At    time.Duration
+	Node  wire.NodeID
+	Round uint32
+	Kind  Kind
+	Peer  wire.NodeID
+	Arg   uint64
+	Note  string
+}

@@ -1,0 +1,207 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+
+	"sgxp2p/internal/wire"
+)
+
+// DefaultRing is the per-node flight-recorder capacity used when Options
+// leaves Ring zero.
+const DefaultRing = 64
+
+// Options configures a Tracer.
+type Options struct {
+	// Clock supplies logical timestamps. Nil is valid — events are stamped
+	// 0 until SetClock binds one (deploy.New binds the simulator's clock so
+	// callers can construct the tracer before the deployment exists).
+	Clock func() time.Duration
+	// Ring is the per-node flight-recorder capacity; 0 means DefaultRing.
+	Ring int
+}
+
+// Tracer records the round-structured event stream of one run. All methods
+// are safe on a nil receiver (no-ops) and safe for concurrent use: the
+// simulator is single-threaded, but the TCP deployment records from its
+// event-loop goroutines.
+type Tracer struct {
+	mu        sync.Mutex
+	clock     func() time.Duration
+	ringCap   int
+	events    []Event
+	rings     []*ring
+	lastRound []uint32
+	hash      uint64
+}
+
+// New builds a tracer.
+func New(opts Options) *Tracer {
+	if opts.Ring <= 0 {
+		opts.Ring = DefaultRing
+	}
+	return &Tracer{clock: opts.Clock, ringCap: opts.Ring}
+}
+
+// SetClock binds the logical clock used to stamp subsequent events.
+func (t *Tracer) SetClock(clock func() time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.clock = clock
+	t.mu.Unlock()
+}
+
+// Record appends one event: node acted in round, kind says what happened,
+// peer is the counterparty (wire.NoNode when none), arg and note carry
+// kind-specific detail. Events flow into the full stream, the node's
+// flight ring, and — for KindRound — the per-node round high-water mark.
+func (t *Tracer) Record(node wire.NodeID, round uint32, kind Kind, peer wire.NodeID, arg uint64, note string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	ev := Event{Node: node, Round: round, Kind: kind, Peer: peer, Arg: arg, Note: note}
+	if t.clock != nil {
+		ev.At = t.clock()
+	}
+	t.events = append(t.events, ev)
+	t.hash = foldEvent(t.hash, ev)
+	if node != wire.NoNode {
+		i := int(node)
+		for i >= len(t.rings) {
+			t.rings = append(t.rings, nil)
+			t.lastRound = append(t.lastRound, 0)
+		}
+		if t.rings[i] == nil {
+			t.rings[i] = newRing(t.ringCap)
+		}
+		t.rings[i].push(ev)
+		if kind == KindRound {
+			t.lastRound[i] = round
+		}
+	}
+	t.mu.Unlock()
+}
+
+// Events returns a snapshot of the full event stream in record order.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]Event, len(t.events))
+	copy(out, t.events)
+	t.mu.Unlock()
+	return out
+}
+
+// EventCount returns the number of recorded events.
+func (t *Tracer) EventCount() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	n := uint64(len(t.events))
+	t.mu.Unlock()
+	return n
+}
+
+// Hash returns an FNV-1a fingerprint over the event stream: two traces
+// with equal hashes recorded the same events in the same order.
+func (t *Tracer) Hash() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	h := t.hash
+	t.mu.Unlock()
+	return h
+}
+
+// LastRound returns the highest lockstep round node ticked (0 when the
+// node never ticked or the tracer is nil).
+func (t *Tracer) LastRound(node wire.NodeID) uint32 {
+	if t == nil || node == wire.NoNode {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if int(node) >= len(t.lastRound) {
+		return 0
+	}
+	return t.lastRound[int(node)]
+}
+
+// Flight returns the node's flight-recorder contents, oldest first: the
+// last Ring events the node recorded, however long the run was.
+func (t *Tracer) Flight(node wire.NodeID) []Event {
+	if t == nil || node == wire.NoNode {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if int(node) >= len(t.rings) || t.rings[int(node)] == nil {
+		return nil
+	}
+	return t.rings[int(node)].snapshot()
+}
+
+// foldEvent mixes one event into an FNV-1a accumulator.
+func foldEvent(h uint64, ev Event) uint64 {
+	if h == 0 {
+		h = 14695981039346656037 // FNV-1a offset basis
+	}
+	h = foldUint64(h, uint64(ev.At))
+	h = foldUint64(h, uint64(ev.Node))
+	h = foldUint64(h, uint64(ev.Round))
+	h = foldUint64(h, uint64(ev.Kind))
+	h = foldUint64(h, uint64(ev.Peer))
+	h = foldUint64(h, ev.Arg)
+	for i := 0; i < len(ev.Note); i++ {
+		h = (h ^ uint64(ev.Note[i])) * 1099511628211
+	}
+	return h
+}
+
+func foldUint64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = (h ^ (v & 0xff)) * 1099511628211 // FNV-1a prime
+		v >>= 8
+	}
+	return h
+}
+
+// ring is a fixed-capacity circular event buffer.
+type ring struct {
+	buf  []Event
+	next int
+	full bool
+}
+
+func newRing(capacity int) *ring {
+	return &ring{buf: make([]Event, capacity)}
+}
+
+// push overwrites the oldest entry once the ring is full.
+func (r *ring) push(ev Event) {
+	r.buf[r.next] = ev
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+// snapshot returns the contents oldest-first.
+func (r *ring) snapshot() []Event {
+	if !r.full {
+		out := make([]Event, r.next)
+		copy(out, r.buf[:r.next])
+		return out
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	return append(out, r.buf[:r.next]...)
+}
