@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race chaos lint obs-smoke verify bench bench-telemetry benchsmoke clean
+.PHONY: build test vet race chaos lint obs-smoke verify bench bench-telemetry bench-coalesce benchsmoke clean
 
 build:
 	$(GO) build ./...
@@ -71,6 +71,16 @@ bench:
 bench-telemetry:
 	$(GO) run ./cmd/p2pbench -count 10 -bench seal_open_hot,cluster_broadcast_n64 \
 		-baseline BENCH_pretelemetry.json -o BENCH_telemetry.json
+
+# bench-coalesce re-measures the frame-coalescing artifact: the ERB
+# broadcast benchmarks, batched and unbatched, at N=64 and N=512,
+# best-of-5, diffed against the pre-coalescing baseline
+# (BENCH_telemetry.json). The snapshot carries both comparisons the
+# coalescing PR is judged on: same-binary batched-vs-unbatched (the
+# *_nobatch rows) and batched-vs-pre-PR (the embedded comparison block).
+bench-coalesce:
+	$(GO) run ./cmd/p2pbench -count 5 -bench cluster_broadcast \
+		-baseline BENCH_telemetry.json -o BENCH_coalesce.json
 
 clean:
 	$(GO) clean ./...

@@ -69,6 +69,9 @@ type comparison struct {
 	BaseAllocsPerOp int64   `json:"base_allocs_per_op"`
 	AllocsPerOp     int64   `json:"allocs_per_op"`
 	AllocsDelta     int64   `json:"allocs_delta"`
+	BaseBytesPerOp  int64   `json:"base_bytes_per_op"`
+	BytesPerOp      int64   `json:"bytes_per_op"`
+	BytesDeltaPct   float64 `json:"bytes_delta_pct"`
 }
 
 func main() {
@@ -136,6 +139,29 @@ func run(args []string) error {
 			}
 		}
 	}
+	// broadcast measures a full ERB broadcast on a standing cluster —
+	// the protocol hot loop the round-scoped frame coalescing targets.
+	// The nobatch variants run the identical workload with coalescing
+	// off, so a snapshot carries the batched-vs-unbatched delta for the
+	// same binary.
+	broadcast := func(n, t int, disableBatching bool) func(b *testing.B) {
+		return func(b *testing.B) {
+			cluster, err := sgxp2p.NewCluster(sgxp2p.Options{
+				N: n, T: t, Seed: 1, DisableBatching: disableBatching,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			payload := sgxp2p.ValueFromString("bench")
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := cluster.Broadcast(0, payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
 	benches := []struct {
 		name string
 		fn   func(b *testing.B)
@@ -149,20 +175,10 @@ func run(args []string) error {
 				}
 			}
 		}},
-		{"cluster_broadcast_n64", func(b *testing.B) {
-			cluster, err := sgxp2p.NewCluster(sgxp2p.Options{N: 64, T: 31, Seed: 1})
-			if err != nil {
-				b.Fatal(err)
-			}
-			payload := sgxp2p.ValueFromString("bench")
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				if _, err := cluster.Broadcast(0, payload); err != nil {
-					b.Fatal(err)
-				}
-			}
-		}},
+		{"cluster_broadcast_n64", broadcast(64, 31, false)},
+		{"cluster_broadcast_n64_nobatch", broadcast(64, 31, true)},
+		{"cluster_broadcast_n512", broadcast(512, 255, false)},
+		{"cluster_broadcast_n512_nobatch", broadcast(512, 255, true)},
 		{"sweep_fig2a", sweep("fig2a")},
 		{"sweep_fig2b", sweep("fig2b")},
 	}
@@ -278,25 +294,29 @@ func benchSealOpenHot(b *testing.B) {
 	}
 }
 
-// printDeltas writes a per-benchmark comparison of ns/op and allocs/op
-// against a previous snapshot, flagging results with no counterpart.
+// printDeltas writes a per-benchmark comparison of ns/op, allocs/op and
+// bytes/op against a previous snapshot, flagging results with no
+// counterpart.
 func printDeltas(w *os.File, base, cur *snapshot) {
 	prev := make(map[string]result, len(base.Results))
 	for _, r := range base.Results {
 		prev[r.Name] = r
 	}
-	fmt.Fprintf(w, "\n%-24s %15s %15s %9s %13s %13s %9s\n",
-		"benchmark", "old ns/op", "new ns/op", "delta", "old allocs", "new allocs", "delta")
+	fmt.Fprintf(w, "\n%-30s %13s %13s %9s %11s %11s %9s %13s %13s %9s\n",
+		"benchmark", "old ns/op", "new ns/op", "delta",
+		"old allocs", "new allocs", "delta",
+		"old bytes", "new bytes", "delta")
 	for _, r := range cur.Results {
 		old, ok := prev[r.Name]
 		if !ok {
-			fmt.Fprintf(w, "%-24s %15s %15d %9s %13s %13d %9s\n",
-				r.Name, "-", r.NsPerOp, "new", "-", r.AllocsPerOp, "new")
+			fmt.Fprintf(w, "%-30s %13s %13d %9s %11s %11d %9s %13s %13d %9s\n",
+				r.Name, "-", r.NsPerOp, "new", "-", r.AllocsPerOp, "new", "-", r.BytesPerOp, "new")
 			continue
 		}
-		fmt.Fprintf(w, "%-24s %15d %15d %9s %13d %13d %9s\n",
+		fmt.Fprintf(w, "%-30s %13d %13d %9s %11d %11d %9s %13d %13d %9s\n",
 			r.Name, old.NsPerOp, r.NsPerOp, pct(old.NsPerOp, r.NsPerOp),
-			old.AllocsPerOp, r.AllocsPerOp, pct(old.AllocsPerOp, r.AllocsPerOp))
+			old.AllocsPerOp, r.AllocsPerOp, pct(old.AllocsPerOp, r.AllocsPerOp),
+			old.BytesPerOp, r.BytesPerOp, pct(old.BytesPerOp, r.BytesPerOp))
 	}
 	fmt.Fprintln(w)
 }
@@ -334,9 +354,14 @@ func compare(base, cur *snapshot) []comparison {
 			BaseAllocsPerOp: old.AllocsPerOp,
 			AllocsPerOp:     r.AllocsPerOp,
 			AllocsDelta:     r.AllocsPerOp - old.AllocsPerOp,
+			BaseBytesPerOp:  old.BytesPerOp,
+			BytesPerOp:      r.BytesPerOp,
 		}
 		if old.NsPerOp != 0 {
 			c.NsDeltaPct = 100 * float64(r.NsPerOp-old.NsPerOp) / float64(old.NsPerOp)
+		}
+		if old.BytesPerOp != 0 {
+			c.BytesDeltaPct = 100 * float64(r.BytesPerOp-old.BytesPerOp) / float64(old.BytesPerOp)
 		}
 		out = append(out, c)
 	}

@@ -134,7 +134,9 @@ func (o *OS) Send(dst wire.NodeID, payload []byte) {
 		o.stats.Dropped++
 	case Hold:
 		o.stats.Held++
-		o.held = append(o.held, heldEnvelope{dst: dst, payload: payload})
+		// The runtime reuses its seal buffer after Send returns, so a
+		// held envelope must own its bytes.
+		o.held = append(o.held, heldEnvelope{dst: dst, payload: append([]byte(nil), payload...)})
 	case Corrupt:
 		o.stats.Corrupted++
 		bad := append([]byte(nil), payload...)

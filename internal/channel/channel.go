@@ -27,7 +27,6 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/fnv"
 
 	"sgxp2p/internal/enclave"
 	"sgxp2p/internal/telemetry"
@@ -207,31 +206,93 @@ func (s *ModelSealer) SealedSize(plaintextLen int) int {
 	return modelHeader + plaintextLen + modelTag
 }
 
-// modelChecksum computes the keyed checksum standing in for the HMAC.
+// FNV-1a parameters of the model checksum (identical to hash/fnv's
+// 64-bit variant; hand-rolled so the MAC-key prefix state can be
+// precomputed per link).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnvFold folds data into an FNV-1a state, byte for byte.
+func fnvFold(h uint64, data []byte) uint64 {
+	for _, b := range data {
+		h = (h ^ uint64(b)) * fnvPrime64
+	}
+	return h
+}
+
+// modelChecksum computes the keyed checksum standing in for the HMAC:
+// FNV-1a over MAC key || body.
 func modelChecksum(keys xcrypto.SessionKeys, body []byte) uint64 {
-	h := fnv.New64a()
-	h.Write(keys.Mac[:])
-	h.Write(body)
-	return h.Sum64()
+	return fnvFold(fnvFold(fnvOffset64, keys.Mac[:]), body)
+}
+
+// modelCipher is the prepared per-link state of a ModelSealer link — the
+// simulation analogue of xcrypto.LinkCipher: the FNV state after folding
+// the link's 32-byte MAC key is derived once at link establishment, so
+// every envelope checksum starts from the precomputed seed instead of
+// re-hashing the key. The envelope counter stays on the shared
+// *ModelSealer, so the envelope stream is byte-identical to the generic
+// Sealer path (pinned by the package equivalence tests).
+type modelCipher struct {
+	s       *ModelSealer
+	macSeed uint64
+}
+
+func (c *modelCipher) sealAppend(dst, plaintext []byte) ([]byte, error) {
+	c.s.counter++
+	start := len(dst)
+	dst = binary.LittleEndian.AppendUint64(dst, c.s.counter)
+	dst = binary.LittleEndian.AppendUint64(dst, 0) // header padding
+	dst = append(dst, plaintext...)
+	sum := fnvFold(c.macSeed, dst[start:])
+	for i := 0; i < modelTag; i += 8 {
+		dst = binary.LittleEndian.AppendUint64(dst, sum)
+	}
+	return dst, nil
+}
+
+func (c *modelCipher) openAppend(dst, sealed []byte) ([]byte, error) {
+	if len(sealed) < modelHeader+modelTag {
+		return nil, ErrAuth
+	}
+	body := sealed[:len(sealed)-modelTag]
+	sum := fnvFold(c.macSeed, body)
+	tag := sealed[len(body):]
+	for i := 0; i < modelTag; i += 8 {
+		if binary.LittleEndian.Uint64(tag[i:]) != sum {
+			return nil, ErrAuth
+		}
+	}
+	return append(dst, body[modelHeader:]...), nil
 }
 
 // Link is one direction-agnostic secure channel between the local enclave
 // and one remote peer, established during the setup phase.
 type Link struct {
-	local  wire.NodeID
-	remote wire.NodeID
-	keys   xcrypto.SessionKeys
-	sealer Sealer
+	// The dispatch pointers every seal/open touches lead the struct so
+	// they share the Link's first cache line: a large topology holds one
+	// Link per directed pair, and the per-envelope hot path reads only
+	// these three fields.
+	//
 	// cipher is the prepared per-link cipher state built at link
 	// establishment for RealSealer links: the AES key schedule and the
 	// HMAC pads are derived once here instead of on every envelope.
 	// Stateful (scratch blocks, HMAC state), hence per-link and never
 	// shared through the enclave key cache.
 	cipher *xcrypto.LinkCipher
+	// model is the prepared per-link state for *ModelSealer links (the
+	// precomputed MAC-key FNV seed), nil otherwise.
+	model *modelCipher
 	// ctr, when non-nil, tallies seal/open traffic. Every seal and open
 	// funnels through sealAppend/openAppend, so counting there covers all
 	// entry points.
-	ctr *Counters
+	ctr    *Counters
+	local  wire.NodeID
+	remote wire.NodeID
+	keys   xcrypto.SessionKeys
+	sealer Sealer
 }
 
 // SetCounters attaches metric counters to the link (nil detaches them).
@@ -256,6 +317,9 @@ func NewLink(local *enclave.Enclave, remote wire.NodeID, remotePub [xcrypto.Publ
 			return nil, fmt.Errorf("channel: link to %d: %w", remote, err)
 		}
 	}
+	if ms, ok := sealer.(*ModelSealer); ok {
+		l.model = &modelCipher{s: ms, macSeed: fnvFold(fnvOffset64, keys.Mac[:])}
+	}
 	return l, nil
 }
 
@@ -264,9 +328,12 @@ func NewLink(local *enclave.Enclave, remote wire.NodeID, remotePub [xcrypto.Publ
 func (l *Link) sealAppend(dst, plaintext []byte) ([]byte, error) {
 	var out []byte
 	var err error
-	if l.cipher != nil {
+	switch {
+	case l.cipher != nil:
 		out, err = l.cipher.SealAppend(dst, nil, plaintext)
-	} else {
+	case l.model != nil:
+		out, err = l.model.sealAppend(dst, plaintext)
+	default:
 		out, err = l.sealer.SealAppend(l.keys, dst, plaintext)
 	}
 	if err == nil && l.ctr != nil {
@@ -280,12 +347,15 @@ func (l *Link) sealAppend(dst, plaintext []byte) ([]byte, error) {
 func (l *Link) openAppend(dst, sealed []byte) ([]byte, error) {
 	var out []byte
 	var err error
-	if l.cipher != nil {
+	switch {
+	case l.cipher != nil:
 		out, err = l.cipher.OpenAppend(dst, sealed)
 		if err != nil {
 			err = ErrAuth
 		}
-	} else {
+	case l.model != nil:
+		out, err = l.model.openAppend(dst, sealed)
+	default:
 		out, err = l.sealer.OpenAppend(l.keys, dst, sealed)
 	}
 	if l.ctr != nil {
@@ -327,10 +397,10 @@ func (l *Link) SealEncoded(encoded []byte) ([]byte, error) {
 // pre-grows dst to the exact envelope size, so sealing into a nil dst
 // costs one exactly-sized allocation and sealing into a warm buffer
 // costs none; the envelope bytes are identical to SealEncoded for the
-// same sealer state. Envelopes handed to a transport escape the caller
-// (the adversarial OS may hold or replay them), so the runtime seals
-// each into a fresh dst and reuses buffers only where the envelope
-// provably does not outlive the call.
+// same sealer state. The runtime seals every envelope into one reused
+// per-peer scratch buffer — the Transport.Send contract makes the
+// payload valid only during the call, and transports that keep
+// envelopes (queues, adversarial holds) copy them.
 func (l *Link) SealEncodedAppend(dst, encoded []byte) ([]byte, error) {
 	if need := l.sealer.SealedSize(len(encoded)); cap(dst)-len(dst) < need {
 		grown := make([]byte, len(dst), len(dst)+need)
@@ -338,6 +408,26 @@ func (l *Link) SealEncodedAppend(dst, encoded []byte) ([]byte, error) {
 		dst = grown
 	}
 	return l.sealAppend(dst, encoded)
+}
+
+// SealBatchAppend seals a wire batch container (wire.AppendBatchEntry)
+// for the remote peer, appending the envelope to dst. The container is
+// opaque plaintext to the channel, so this is SealEncodedAppend under a
+// name marking the coalesced-outbox entry point: one seal pass covers
+// every message in the batch.
+func (l *Link) SealBatchAppend(dst, batch []byte) ([]byte, error) {
+	return l.SealEncodedAppend(dst, batch)
+}
+
+// OpenRawAppend verifies and decrypts an envelope without interpreting
+// the plaintext, appending it to dst. The runtime's receive path opens
+// raw first, then dispatches on the plaintext's first byte: a batch
+// container is unbatched entry by entry, a bare message is decoded
+// directly — with the per-message decode and sender checks applied by
+// the caller either way (wire.Decode plus a Sender == Remote() check,
+// exactly what OpenEncodedAppend enforces).
+func (l *Link) OpenRawAppend(dst, sealed []byte) ([]byte, error) {
+	return l.openAppend(dst, sealed)
 }
 
 // Open verifies, decrypts and decodes an envelope received from the remote

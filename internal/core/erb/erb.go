@@ -26,7 +26,6 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"sort"
 	"time"
 
 	"sgxp2p/internal/runtime"
@@ -71,32 +70,70 @@ type Result struct {
 	At time.Duration
 }
 
+// nodeSet is a dense bitset over NodeIDs with a running count — the
+// Secho set of Algorithm 2. Node ids are small dense integers, so a few
+// words replace the per-instance map and the per-message hashing the
+// delivery path used to pay.
+type nodeSet struct {
+	words []uint64
+	count int
+}
+
+// add records id and reports whether it was newly set.
+func (s *nodeSet) add(id wire.NodeID) bool {
+	w, bit := int(id)/64, uint(id)%64
+	if w >= len(s.words) {
+		grown := make([]uint64, w+1)
+		copy(grown, s.words)
+		s.words = grown
+	}
+	if s.words[w]&(1<<bit) != 0 {
+		return false
+	}
+	s.words[w] |= 1 << bit
+	s.count++
+	return true
+}
+
 // instance is the per-initiator broadcast state of Algorithm 2.
 type instance struct {
 	initiator wire.NodeID
 	value     wire.Value // m~: current candidate
 	hasValue  bool
-	echo      map[wire.NodeID]bool // Secho
-	queued    bool                 // ECHO queued for next round start
-	echoed    bool                 // ECHO already multicast
+	echo      nodeSet // Secho
+	queued    bool    // ECHO queued for next round start
+	echoed    bool    // ECHO already multicast
 	decided   bool
 	result    Result
 }
 
 // Engine drives all broadcast instances of one protocol epoch at one peer.
 // It implements runtime.Protocol.
+//
+// Membership, expected-initiator filtering and the per-initiator
+// instance table are dense slices indexed by NodeID rather than maps:
+// ids are dense small integers and every one of these structures is hit
+// once or more per delivered message.
 type Engine struct {
-	peer    *runtime.Peer
-	cfg     Config
-	members map[wire.NodeID]bool
-	nm      int // len(members)
-	expect  map[wire.NodeID]bool
+	peer       *runtime.Peer
+	cfg        Config
+	self       wire.NodeID
+	selfMember bool
+	member     []bool // dense Members set
+	nm         int    // number of members
+	hasExpect  bool
+	expect     []bool // dense ExpectedInitiators set (when hasExpect)
 
 	input     *wire.Value
-	instances map[wire.NodeID]*instance
+	instances []*instance // indexed by initiator, nil until tracked
 	pending   []*instance // instances with an ECHO queued for next round
 	accepted  int         // instances decided with a value (not bottom)
 	metrics   erbMetrics
+}
+
+// isMember reports whether id is in the broadcast scope.
+func (e *Engine) isMember(id wire.NodeID) bool {
+	return int(id) < len(e.member) && e.member[id]
 }
 
 // erbMetrics are the engine's metric handles; nil handles (no registry)
@@ -137,15 +174,23 @@ func NewEngine(peer *runtime.Peer, cfg Config) (*Engine, error) {
 		cfg.AckThreshold = cfg.T
 	}
 	e := &Engine{
-		peer:      peer,
-		cfg:       cfg,
-		members:   make(map[wire.NodeID]bool, len(cfg.Members)),
-		nm:        len(cfg.Members),
-		instances: make(map[wire.NodeID]*instance),
+		peer: peer,
+		cfg:  cfg,
+		self: peer.ID(),
+		nm:   len(cfg.Members),
 	}
+	maxID := wire.NodeID(0)
 	for _, id := range cfg.Members {
-		e.members[id] = true
+		if id > maxID {
+			maxID = id
+		}
 	}
+	e.member = make([]bool, int(maxID)+1)
+	for _, id := range cfg.Members {
+		e.member[id] = true
+	}
+	e.selfMember = e.isMember(e.self)
+	e.instances = make([]*instance, int(maxID)+1)
 	if m := peer.Metrics(); m != nil {
 		e.metrics = erbMetrics{
 			accepts:     m.Counter("erb_accepts_total"),
@@ -154,9 +199,10 @@ func NewEngine(peer *runtime.Peer, cfg Config) (*Engine, error) {
 		}
 	}
 	if cfg.ExpectedInitiators != nil {
-		e.expect = make(map[wire.NodeID]bool, len(cfg.ExpectedInitiators))
+		e.hasExpect = true
+		e.expect = make([]bool, int(maxID)+1)
 		for _, id := range cfg.ExpectedInitiators {
-			if !e.members[id] {
+			if !e.isMember(id) {
 				return nil, fmt.Errorf("erb: expected initiator %d is not a member", id)
 			}
 			e.expect[id] = true
@@ -189,8 +235,11 @@ func (e *Engine) SetInput(v wire.Value) {
 // The boolean reports whether a decision exists (it always does after the
 // engine finished, for expected initiators).
 func (e *Engine) Result(initiator wire.NodeID) (Result, bool) {
-	inst, ok := e.instances[initiator]
-	if !ok || !inst.decided {
+	if int(initiator) >= len(e.instances) {
+		return Result{}, false
+	}
+	inst := e.instances[initiator]
+	if inst == nil || !inst.decided {
 		return Result{}, false
 	}
 	return inst.result, true
@@ -198,10 +247,10 @@ func (e *Engine) Result(initiator wire.NodeID) (Result, bool) {
 
 // Results returns all decided instances keyed by initiator.
 func (e *Engine) Results() map[wire.NodeID]Result {
-	out := make(map[wire.NodeID]Result, len(e.instances))
+	out := make(map[wire.NodeID]Result)
 	for id, inst := range e.instances {
-		if inst.decided {
-			out[id] = inst.result
+		if inst != nil && inst.decided {
+			out[wire.NodeID(id)] = inst.result
 		}
 	}
 	return out
@@ -210,21 +259,25 @@ func (e *Engine) Results() map[wire.NodeID]Result {
 // DecidedAll reports whether every expected initiator's instance decided.
 // With ExpectedInitiators nil it reports whether all known instances did.
 func (e *Engine) DecidedAll() bool {
-	if e.expect != nil {
-		for id := range e.expect {
-			inst, ok := e.instances[id]
-			if !ok || !inst.decided {
+	if e.hasExpect {
+		for _, id := range e.cfg.ExpectedInitiators {
+			if _, ok := e.Result(id); !ok {
 				return false
 			}
 		}
 		return true
 	}
+	known := 0
 	for _, inst := range e.instances {
+		if inst == nil {
+			continue
+		}
+		known++
 		if !inst.decided {
 			return false
 		}
 	}
-	return len(e.instances) > 0
+	return known > 0
 }
 
 // deadline is the last round of the instance window.
@@ -249,15 +302,17 @@ func (e *Engine) acceptThreshold() int {
 // the ACK threshold and churning them out. Relays are still only accepted
 // from members, and explicit ExpectedInitiators still filter.
 func (e *Engine) getInstance(initiator wire.NodeID) *instance {
-	if e.expect != nil && !e.expect[initiator] {
+	if e.hasExpect && (int(initiator) >= len(e.expect) || !e.expect[initiator]) {
 		return nil
 	}
-	inst, ok := e.instances[initiator]
-	if !ok {
-		inst = &instance{
-			initiator: initiator,
-			echo:      make(map[wire.NodeID]bool, e.nm),
-		}
+	if int(initiator) >= len(e.instances) {
+		grown := make([]*instance, int(initiator)+1)
+		copy(grown, e.instances)
+		e.instances = grown
+	}
+	inst := e.instances[initiator]
+	if inst == nil {
+		inst = &instance{initiator: initiator}
 		e.instances[initiator] = inst
 	}
 	return inst
@@ -266,7 +321,7 @@ func (e *Engine) getInstance(initiator wire.NodeID) *instance {
 // OnRound implements runtime.Protocol: flush queued ECHOs, then (at the
 // start round) launch our own broadcast if we are an initiator.
 func (e *Engine) OnRound(rnd uint32) {
-	if !e.members[e.peer.ID()] {
+	if !e.selfMember {
 		return
 	}
 	// Queued ECHO multicasts fire at the beginning of the round after the
@@ -291,14 +346,14 @@ func (e *Engine) OnRound(rnd uint32) {
 // startBroadcast is the initiator path of Algorithm 2: set m~, add self to
 // Secho, multicast INIT to all members.
 func (e *Engine) startBroadcast(rnd uint32) {
-	self := e.peer.ID()
+	self := e.self
 	inst := e.getInstance(self)
 	if inst == nil || inst.hasValue {
 		return
 	}
 	inst.value = *e.input
 	inst.hasValue = true
-	inst.echo[self] = true
+	inst.echo.add(self)
 	inst.echoed = true // the INIT plays the role of the initiator's ECHO
 	msg := &wire.Message{
 		Type:      wire.TypeInit,
@@ -327,7 +382,7 @@ func (e *Engine) multicastEcho(inst *instance, rnd uint32) {
 	e.peer.Trace(telemetry.KindEcho, inst.initiator, valueFP(inst.value))
 	msg := &wire.Message{
 		Type:      wire.TypeEcho,
-		Sender:    e.peer.ID(),
+		Sender:    e.self,
 		Initiator: inst.initiator,
 		Instance:  e.peer.Instance(),
 		Seq:       e.peer.SeqOf(inst.initiator),
@@ -343,13 +398,13 @@ func (e *Engine) multicastEcho(inst *instance, rnd uint32) {
 // (P5); the engine enforces membership, instance and sequence freshness
 // (P6) and runs the Echo/Decision phases of Algorithm 2.
 func (e *Engine) OnMessage(msg *wire.Message) {
-	if !e.members[e.peer.ID()] {
+	if !e.selfMember {
 		return
 	}
 	// INITs are self-identifying and genuine under P1 even when the
 	// initiator is missing from the local member view (see getInstance);
 	// ECHO relays only count from known members.
-	if msg.Type == wire.TypeEcho && !e.members[msg.Sender] {
+	if msg.Type == wire.TypeEcho && !e.isMember(msg.Sender) {
 		return
 	}
 	if msg.Instance != e.peer.Instance() {
@@ -387,8 +442,8 @@ func (e *Engine) onInit(msg *wire.Message, rnd uint32) {
 	}
 	inst.value = msg.Value
 	inst.hasValue = true
-	inst.echo[msg.Initiator] = true
-	inst.echo[e.peer.ID()] = true
+	inst.echo.add(msg.Initiator)
+	inst.echo.add(e.self)
 	e.queueEcho(inst)
 	e.maybeAccept(inst, rnd)
 }
@@ -417,12 +472,10 @@ func (e *Engine) onEcho(msg *wire.Message, rnd uint32) {
 	if !inst.hasValue {
 		inst.value = msg.Value
 		inst.hasValue = true
-		inst.echo[e.peer.ID()] = true
+		inst.echo.add(e.self)
 		e.queueEcho(inst)
 	}
-	if !inst.echo[msg.Sender] {
-		inst.echo[msg.Sender] = true
-	}
+	inst.echo.add(msg.Sender)
 	e.maybeAccept(inst, rnd)
 }
 
@@ -441,7 +494,7 @@ func (e *Engine) maybeAccept(inst *instance, rnd uint32) {
 	if inst.decided || !inst.hasValue {
 		return
 	}
-	if len(inst.echo) >= e.acceptThreshold() {
+	if inst.echo.count >= e.acceptThreshold() {
 		inst.decided = true
 		e.accepted++
 		inst.result = Result{
@@ -471,27 +524,25 @@ func (e *Engine) OnFinish() {
 // bottom decisions for expected initiators never heard from. Peers outside
 // the member scope do not participate and record nothing.
 func (e *Engine) finalize(rnd uint32) {
-	if !e.members[e.peer.ID()] {
+	if !e.selfMember {
 		return
 	}
 	// Bottom decisions must run in a deterministic order — they emit trace
 	// events, and the exported stream is required to be byte-identical
 	// across runs of the same seed. With explicit expected initiators the
 	// config slice is that order (and instances only exist for expected
-	// initiators); otherwise sort the known initiators.
-	if e.expect != nil {
+	// initiators); otherwise the dense instance table walks known
+	// initiators in ascending id order.
+	if e.hasExpect {
 		for _, id := range e.cfg.ExpectedInitiators {
 			e.decideBottom(e.getInstance(id), rnd)
 		}
 		return
 	}
-	ids := make([]wire.NodeID, 0, len(e.instances))
-	for id := range e.instances {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, id := range ids {
-		e.decideBottom(e.instances[id], rnd)
+	for _, inst := range e.instances {
+		if inst != nil {
+			e.decideBottom(inst, rnd)
+		}
 	}
 }
 

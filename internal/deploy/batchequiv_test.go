@@ -1,0 +1,155 @@
+package deploy_test
+
+import (
+	"slices"
+	"testing"
+
+	"sgxp2p/internal/core/erb"
+	"sgxp2p/internal/core/erng"
+	"sgxp2p/internal/deploy"
+	"sgxp2p/internal/runtime"
+	"sgxp2p/internal/wire"
+)
+
+// These tests pin the coalescing equivalence contract: batching changes
+// how messages are framed on the wire (one sealed batch per link per
+// flush instead of one envelope per message), and nothing else. Every
+// protocol outcome and every per-message runtime statistic must be
+// identical with the knob on and off, for the same seed.
+//
+// The wire streams themselves are intentionally NOT compared — they
+// differ by construction (that is the point of batching); the unbatched
+// stream is separately pinned byte-for-byte by
+// TestUnbatchedWireStreamGolden.
+
+// erbEquivRun holds everything the ERB scenario must reproduce across
+// batching modes.
+type erbEquivRun struct {
+	stats   []runtime.Stats
+	results []erb.Result
+}
+
+// runEquivERB runs one seeded ERB broadcast (initiator 0) and returns
+// the per-peer stats and results.
+func runEquivERB(t *testing.T, n, tb int, seed int64, disableBatching bool) erbEquivRun {
+	t.Helper()
+	d, err := deploy.New(deploy.Options{N: n, T: tb, Seed: seed, DisableBatching: disableBatching})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engines := make([]*erb.Engine, len(d.Peers))
+	for i, p := range d.Peers {
+		eng, eerr := erb.NewEngine(p, erb.Config{T: tb, ExpectedInitiators: []wire.NodeID{0}})
+		if eerr != nil {
+			t.Fatal(eerr)
+		}
+		engines[i] = eng
+	}
+	engines[0].SetInput(wire.Value{0xAB, 0xCD, 0xEF})
+	for i, p := range d.Peers {
+		p.Start(engines[i], engines[i].Rounds())
+	}
+	if err := d.Run(); err != nil {
+		t.Fatal(err)
+	}
+	run := erbEquivRun{}
+	for i, eng := range engines {
+		res, ok := eng.Result(0)
+		if !ok {
+			t.Fatalf("node %d has no ERB result", i)
+		}
+		run.results = append(run.results, res)
+		run.stats = append(run.stats, d.Peers[i].Stats())
+	}
+	return run
+}
+
+// runEquivERNG runs one seeded basic-ERNG epoch (all nodes initiate —
+// the traffic shape that actually produces multi-message batches) and
+// returns the per-peer stats and outputs.
+func runEquivERNG(t *testing.T, n, tb int, seed int64, disableBatching bool) ([]runtime.Stats, []erng.Result) {
+	t.Helper()
+	d, err := deploy.New(deploy.Options{N: n, T: tb, Seed: seed, DisableBatching: disableBatching})
+	if err != nil {
+		t.Fatal(err)
+	}
+	protos := make([]*erng.Basic, len(d.Peers))
+	rounds := 0
+	for i, p := range d.Peers {
+		proto, perr := erng.NewBasic(p, tb)
+		if perr != nil {
+			t.Fatal(perr)
+		}
+		protos[i] = proto
+		rounds = proto.Rounds()
+	}
+	for i, p := range d.Peers {
+		p.Start(protos[i], rounds)
+	}
+	if err := d.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var stats []runtime.Stats
+	var outs []erng.Result
+	for i, proto := range protos {
+		res, ok := proto.Result()
+		if !ok {
+			t.Fatalf("node %d produced no ERNG output", i)
+		}
+		outs = append(outs, res)
+		stats = append(stats, d.Peers[i].Stats())
+	}
+	return stats, outs
+}
+
+// TestBatchingEquivalenceERB checks that a batched and an unbatched ERB
+// run from the same seed accept the same values with identical
+// per-message statistics, across several topology sizes.
+func TestBatchingEquivalenceERB(t *testing.T) {
+	for _, tc := range []struct {
+		n, t int
+		seed int64
+	}{
+		{5, 2, 1},
+		{9, 4, 2},
+		{17, 8, 3},
+	} {
+		batched := runEquivERB(t, tc.n, tc.t, tc.seed, false)
+		plain := runEquivERB(t, tc.n, tc.t, tc.seed, true)
+		for i := range batched.results {
+			// At (the virtual decision instant) is excluded on purpose:
+			// batching changes how many frames the network carries, so
+			// the simulated latency draws — and with them sub-round
+			// timing — legitimately differ. The protocol-visible outcome
+			// (acceptance, value, lockstep round) must not.
+			b, u := batched.results[i], plain.results[i]
+			if b.Accepted != u.Accepted || b.Value != u.Value || b.Round != u.Round {
+				t.Errorf("n=%d seed=%d node %d: ERB result diverged across batching modes: batched %+v, unbatched %+v",
+					tc.n, tc.seed, i, b, u)
+			}
+			if batched.stats[i] != plain.stats[i] {
+				t.Errorf("n=%d seed=%d node %d: runtime stats diverged across batching modes:\n  batched   %+v\n  unbatched %+v",
+					tc.n, tc.seed, i, batched.stats[i], plain.stats[i])
+			}
+		}
+	}
+}
+
+// TestBatchingEquivalenceERNG does the same for the basic ERNG, whose
+// concurrent initiators are the workload where flushes actually carry
+// more than one message per frame.
+func TestBatchingEquivalenceERNG(t *testing.T) {
+	batchedStats, batchedOut := runEquivERNG(t, 5, 2, 3, false)
+	plainStats, plainOut := runEquivERNG(t, 5, 2, 3, true)
+	for i := range batchedOut {
+		b, u := batchedOut[i], plainOut[i]
+		if b.OK != u.OK || b.Value != u.Value || !slices.Equal(b.Contributors, u.Contributors) {
+			t.Errorf("node %d: ERNG output diverged across batching modes: batched %+v, unbatched %+v",
+				i, b, u)
+		}
+		if batchedStats[i] != plainStats[i] {
+			t.Errorf("node %d: runtime stats diverged across batching modes:\n  batched   %+v\n  unbatched %+v",
+				i, batchedStats[i], plainStats[i])
+		}
+	}
+}

@@ -80,6 +80,11 @@ type Options struct {
 	// Metrics, when non-nil, is the registry all layers (runtime, channel,
 	// transport) register their counters into.
 	Metrics *telemetry.Metrics
+	// DisableBatching turns off per-round frame coalescing in every
+	// peer's runtime (see runtime.Config.DisableBatching): messages are
+	// sealed and sent one envelope each, byte-identical to the
+	// pre-coalescing wire behaviour.
+	DisableBatching bool
 }
 
 // Deployment is a fully wired simulated network of peers.
@@ -219,12 +224,13 @@ func New(opts Options) (*Deployment, error) {
 	// the rest across cores.
 	err = parallel.ForEach(opts.N, opts.Workers, func(id int) error {
 		peer, perr := runtime.NewPeer(d.Encls[id], transports[id], d.Roster, runtime.Config{
-			N:       opts.N,
-			T:       opts.T,
-			Delta:   opts.Delta,
-			Sealer:  d.newSealer(),
-			Trace:   opts.Trace,
-			Metrics: opts.Metrics,
+			N:               opts.N,
+			T:               opts.T,
+			Delta:           opts.Delta,
+			Sealer:          d.newSealer(),
+			Trace:           opts.Trace,
+			Metrics:         opts.Metrics,
+			DisableBatching: opts.DisableBatching,
 		})
 		if perr != nil {
 			return fmt.Errorf("deploy: peer %d: %w", id, perr)

@@ -1,0 +1,151 @@
+package deploy_test
+
+import (
+	"testing"
+
+	"sgxp2p/internal/core/erb"
+	"sgxp2p/internal/core/erng"
+	"sgxp2p/internal/deploy"
+	"sgxp2p/internal/runtime"
+	"sgxp2p/internal/wire"
+)
+
+// Golden FNV-1a fingerprints over every (src, dst, envelope) triple a
+// seeded deployment emits, in send order, recorded on the pre-coalescing
+// tree (PR 5). With batching disabled the runtime must keep producing
+// exactly these envelope streams: same frames, same bytes, same order.
+// A change here means the unbatched wire format or send schedule drifted
+// from the pre-PR tree, which the coalescing PR promised not to do.
+const (
+	goldenERBWireHash  uint64 = 0xe35a6cd01d546f71
+	goldenERNGWireHash uint64 = 0x7aad6278c717c365
+)
+
+// wireHasher is a TransportWrapper hook folding every outbound envelope
+// into a shared FNV-1a hash. The simulation is single-threaded, so send
+// order (and therefore the fold order) is deterministic for a seed.
+type wireHasher struct {
+	h uint64
+}
+
+func newWireHasher() *wireHasher {
+	return &wireHasher{h: 14695981039346656037}
+}
+
+func (w *wireHasher) fold(b byte) {
+	w.h = (w.h ^ uint64(b)) * 1099511628211
+}
+
+func (w *wireHasher) foldU32(x uint32) {
+	for i := 0; i < 4; i++ {
+		w.fold(byte(x))
+		x >>= 8
+	}
+}
+
+func (w *wireHasher) record(src, dst wire.NodeID, payload []byte) {
+	w.foldU32(uint32(src))
+	w.foldU32(uint32(dst))
+	w.foldU32(uint32(len(payload)))
+	for _, b := range payload {
+		w.fold(b)
+	}
+}
+
+// Wrap returns the deploy.TransportWrapper installing the recorder.
+func (w *wireHasher) Wrap(id wire.NodeID, tr runtime.Transport) runtime.Transport {
+	return &hashingTransport{Transport: tr, id: id, rec: w}
+}
+
+type hashingTransport struct {
+	runtime.Transport
+	id  wire.NodeID
+	rec *wireHasher
+}
+
+func (t *hashingTransport) Send(dst wire.NodeID, payload []byte) {
+	t.rec.record(t.id, dst, payload)
+	t.Transport.Send(dst, payload)
+}
+
+// runGoldenERB replays the reference ERB scenario: N=5, T=2, seed 1,
+// initiator 0 broadcasting a fixed value, full round budget.
+func runGoldenERB(t *testing.T, opts deploy.Options) uint64 {
+	t.Helper()
+	rec := newWireHasher()
+	opts.N, opts.T, opts.Seed = 5, 2, 1
+	opts.Wrap = rec.Wrap
+	d, err := deploy.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engines := make([]*erb.Engine, len(d.Peers))
+	for i, p := range d.Peers {
+		eng, eerr := erb.NewEngine(p, erb.Config{T: 2, ExpectedInitiators: []wire.NodeID{0}})
+		if eerr != nil {
+			t.Fatal(eerr)
+		}
+		engines[i] = eng
+	}
+	engines[0].SetInput(wire.Value{0xAB, 0xCD, 0xEF})
+	for i, p := range d.Peers {
+		p.Start(engines[i], engines[i].Rounds())
+	}
+	if err := d.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, eng := range engines {
+		if res, ok := eng.Result(0); !ok || !res.Accepted {
+			t.Fatalf("node %d did not accept the golden broadcast", i)
+		}
+	}
+	return rec.h
+}
+
+// runGoldenERNG replays the reference basic-ERNG scenario: N=5, T=2,
+// seed 3 (all five nodes initiate concurrently — the batching-heavy
+// traffic shape).
+func runGoldenERNG(t *testing.T, opts deploy.Options) uint64 {
+	t.Helper()
+	rec := newWireHasher()
+	opts.N, opts.T, opts.Seed = 5, 2, 3
+	opts.Wrap = rec.Wrap
+	d, err := deploy.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	protos := make([]*erng.Basic, len(d.Peers))
+	rounds := 0
+	for i, p := range d.Peers {
+		proto, perr := erng.NewBasic(p, 2)
+		if perr != nil {
+			t.Fatal(perr)
+		}
+		protos[i] = proto
+		rounds = proto.Rounds()
+	}
+	for i, p := range d.Peers {
+		p.Start(protos[i], rounds)
+	}
+	if err := d.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, proto := range protos {
+		if res, ok := proto.Result(); !ok || !res.OK {
+			t.Fatalf("node %d produced no ERNG output", i)
+		}
+	}
+	return rec.h
+}
+
+// TestUnbatchedWireStreamGolden pins the batching-disabled wire stream to
+// the pre-coalescing tree, byte for byte.
+func TestUnbatchedWireStreamGolden(t *testing.T) {
+	opts := deploy.Options{DisableBatching: true}
+	if got := runGoldenERB(t, opts); got != goldenERBWireHash {
+		t.Errorf("ERB unbatched wire hash %#x, want %#x (unbatched envelope stream drifted from pre-PR tree)", got, goldenERBWireHash)
+	}
+	if got := runGoldenERNG(t, opts); got != goldenERNGWireHash {
+		t.Errorf("ERNG unbatched wire hash %#x, want %#x (unbatched envelope stream drifted from pre-PR tree)", got, goldenERNGWireHash)
+	}
+}

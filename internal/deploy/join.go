@@ -154,12 +154,13 @@ func (d *Deployment) Join(opts JoinOptions) (wire.NodeID, error) {
 		tr = opts.Wrap(newID, tr)
 	}
 	peer, err := runtime.NewPeer(encl, tr, newRoster, runtime.Config{
-		N:       len(newRoster.Quotes),
-		T:       d.Opts.T,
-		Delta:   d.Opts.Delta,
-		Sealer:  d.newSealer(),
-		Trace:   d.Opts.Trace,
-		Metrics: d.Opts.Metrics,
+		N:               len(newRoster.Quotes),
+		T:               d.Opts.T,
+		Delta:           d.Opts.Delta,
+		Sealer:          d.newSealer(),
+		Trace:           d.Opts.Trace,
+		Metrics:         d.Opts.Metrics,
+		DisableBatching: d.Opts.DisableBatching,
 	})
 	if err != nil {
 		return wire.NoNode, fmt.Errorf("deploy: joiner peer: %w", err)

@@ -130,12 +130,13 @@ func (d *Deployment) Restart(id wire.NodeID) error {
 		return err
 	}
 	peer, err := runtime.NewPeer(encl, tr, d.Roster, runtime.Config{
-		N:       d.Opts.N,
-		T:       d.Opts.T,
-		Delta:   d.Opts.Delta,
-		Sealer:  d.newSealer(),
-		Trace:   d.Opts.Trace,
-		Metrics: d.Opts.Metrics,
+		N:               d.Opts.N,
+		T:               d.Opts.T,
+		Delta:           d.Opts.Delta,
+		Sealer:          d.newSealer(),
+		Trace:           d.Opts.Trace,
+		Metrics:         d.Opts.Metrics,
+		DisableBatching: d.Opts.DisableBatching,
 	})
 	if err != nil {
 		return fmt.Errorf("deploy: restart peer %d: %w", id, err)

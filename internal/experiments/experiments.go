@@ -231,6 +231,11 @@ func runERBOpts(cfg Config, n int, chainLen int, ackThreshold int) (erbRun, erro
 		Bandwidth: cfg.bandwidth(),
 		Seed:      cfg.Seed,
 		Wrap:      wrap,
+		// Paper-faithful wire accounting: figure/table experiments count
+		// the per-message envelopes the paper's evaluation measured, so
+		// frame coalescing stays off here (it is a post-paper speedup;
+		// its win is quantified in BENCH_coalesce.json instead).
+		DisableBatching: true,
 	})
 	if err != nil {
 		return erbRun{}, err

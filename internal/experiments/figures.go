@@ -77,6 +77,8 @@ func runBasicERNG(cfg Config, n int) (erngRun, error) {
 		Delta:     delta,
 		Bandwidth: cfg.bandwidth(),
 		Seed:      cfg.Seed,
+		// Paper-faithful per-message wire accounting (see runERBOpts).
+		DisableBatching: true,
 	})
 	if err != nil {
 		return erngRun{}, err
@@ -125,6 +127,8 @@ func runOptERNG(cfg Config, n int) (erngRun, error) {
 		Delta:     delta,
 		Bandwidth: cfg.bandwidth(),
 		Seed:      cfg.Seed,
+		// Paper-faithful per-message wire accounting (see runERBOpts).
+		DisableBatching: true,
 	})
 	if err != nil {
 		return erngRun{}, err

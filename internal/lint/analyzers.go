@@ -15,6 +15,8 @@ var DeterministicPackages = []string{
 	"sgxp2p/internal/runtime",
 	"sgxp2p/internal/tcpnet",
 	"sgxp2p/internal/telemetry",
+	"sgxp2p/internal/wire",
+	"sgxp2p/internal/channel",
 }
 
 // Analyzers returns the full p2plint battery in the order findings are

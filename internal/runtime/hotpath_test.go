@@ -23,8 +23,11 @@ func TestSendAckNilMessage(t *testing.T) {
 
 // TestScratchBuffersSurviveTraffic drives several rounds of multicast,
 // ACK and receive traffic through the reused per-peer scratch buffers
-// and checks that every delivered message is intact — i.e. that buffer
-// reuse never aliases a message a protocol still holds.
+// (encode, seal, open, and the scratch Message deliveries are decoded
+// into) and checks that every message observed during OnMessage is
+// intact and that copies taken there survive — the borrowed-message
+// contract: a delivery is valid for the duration of the callback, and
+// what a protocol keeps it must copy.
 func TestScratchBuffersSurviveTraffic(t *testing.T) {
 	d := newDeployment(t, 4, 1)
 	probes := make([]*probe, len(d.Peers))

@@ -32,8 +32,12 @@ import (
 // Transport is the narrow network interface the runtime needs. It is
 // satisfied by *simnet.Port (simulation) and *tcpnet.Port (live TCP).
 type Transport interface {
-	// Send transmits a sealed envelope to dst. Ownership of the slice
-	// passes to the transport.
+	// Send transmits a sealed envelope to dst. The slice is only valid
+	// for the duration of the call: the runtime seals every envelope
+	// into one reused per-peer buffer, so a transport (or wrapper) that
+	// queues or retains the payload must copy it. simnet copies into
+	// pooled delivery records, tcpnet into its frame buffers, and the
+	// adversary wrapper copies envelopes it holds or replays.
 	Send(dst wire.NodeID, payload []byte)
 	// SetHandler registers the delivery callback.
 	SetHandler(h func(src wire.NodeID, payload []byte))
@@ -51,7 +55,13 @@ type Protocol interface {
 	OnRound(rnd uint32)
 	// OnMessage fires for every authenticated message whose stamped
 	// round matches the current round. ACKs are consumed by the runtime
-	// and never reach the protocol.
+	// and never reach the protocol. The message is borrowed: it is
+	// decoded into a per-peer scratch that the next delivery overwrites,
+	// so it is valid only until OnMessage returns — a protocol that
+	// keeps any of it must copy the fields it needs (or msg.Clone()).
+	// Every shipped protocol already extracts plain values; the borrow
+	// is what lets a broadcast round run without a single message
+	// allocation.
 	OnMessage(msg *wire.Message)
 	// OnFinish fires once, at the end of the final round.
 	OnFinish()
@@ -89,6 +99,13 @@ type Config struct {
 	// Metrics, when non-nil, is the registry the peer's counters (and its
 	// links' channel counters) register into. Nil disables metrics.
 	Metrics *telemetry.Metrics
+	// DisableBatching turns off the round-scoped outbox: every message is
+	// sealed and sent individually, byte-identical to the pre-coalescing
+	// wire behaviour. The default (batching on) coalesces all messages a
+	// protocol callback emits to one destination into a single sealed
+	// batch frame, flushed when the callback returns — same messages,
+	// same virtual send instant, one seal + one transport send per link.
+	DisableBatching bool
 }
 
 // Errors returned by peer construction and messaging.
@@ -155,6 +172,11 @@ func newCounters(m *telemetry.Metrics) *counters {
 	}
 }
 
+// batchMsgBounds are the le-buckets of the runtime_batch_msgs histogram:
+// messages per flushed batch frame, from the singleton common case up to
+// the N-instance bursts of a concurrent ERNG round.
+var batchMsgBounds = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
+
 // nodeBitset is a dense set of NodeIDs. The ACK tracker of a multicast
 // previously used a map[wire.NodeID]bool, one allocation per multicast
 // plus hashing per ACK; node ids are dense small integers, so a bitset
@@ -218,17 +240,58 @@ type Peer struct {
 	delivering        *wire.Message
 	deliveringEncoded []byte
 
-	// encodeBuf and openBuf are per-peer scratch buffers for the two
-	// halves of the envelope hot path: Multicast/Send encode messages
-	// into encodeBuf (wire.AppendEncode) and receive decrypts envelopes
-	// into openBuf (channel.OpenEncodedAppend). Both are safe to reuse
-	// because the peer's sends and deliveries are serialized on one
-	// event loop and neither encoding outlives its call: envelopes are
-	// sealed into fresh buffers (they escape to the transport, where the
-	// adversary may hold or replay them) and decoded messages share no
-	// bytes with the plaintext they were parsed from.
+	// rxMsg is the scratch Message every delivery is decoded into
+	// (wire.DecodeInto): messages are borrowed by OnMessage, never owned,
+	// so one broadcast round performs zero message allocations. Reuse is
+	// safe for the same reason the byte scratches above are — deliveries
+	// are serialized on the event loop and protocols copy what they keep.
+	rxMsg wire.Message
+
+	// encodeBuf, sealBuf and openBuf are per-peer scratch buffers for
+	// the envelope hot path: Multicast/Send encode messages into
+	// encodeBuf (wire.AppendEncode), envelopes are sealed into sealBuf
+	// (valid only during the Transport.Send call — implementations that
+	// retain payloads copy them), and receive decrypts envelopes into
+	// openBuf (channel.OpenRawAppend). All are safe to reuse because
+	// the peer's sends and deliveries are serialized on one event loop
+	// and none of the encodings outlives its call: decoded messages
+	// share no bytes with the plaintext they were parsed from.
 	encodeBuf []byte
+	sealBuf   []byte
 	openBuf   []byte
+
+	// tickFn is the single prebound round-tick callback; tickRound is
+	// the round the pending tick will run. A peer has at most one
+	// outstanding tick — Start fires only on a fresh peer or after the
+	// previous instance finished (the final tick schedules no
+	// successor), and a stopped peer's stale tick no-ops on !started —
+	// so one (closure, field) pair replaces a per-round closure
+	// allocation.
+	tickFn    func()
+	tickRound uint32
+
+	// Round-scoped outbox (frame coalescing, ROADMAP 4a). While a
+	// protocol callback runs (inCallback), sendEncoded appends encoded
+	// messages into the destination's batch container instead of sealing
+	// immediately; the callback's caller flushes every dirty buffer as
+	// one sealed frame per link. outBufs keeps its per-destination
+	// capacity across rounds, outDirty preserves first-enqueue order so
+	// the flush sequence is deterministic.
+	//
+	// The first message a callback emits to a destination is not copied
+	// into outBufs: outRefs borrows the encoded bytes straight out of
+	// encodeBuf (a multicast's legs all share one encoding). The borrow
+	// is materialized into the batch buffer only if the encode scratch
+	// is about to be reused (outHasRefs gates that sweep), so the common
+	// all-singleton flush never copies a message at all.
+	batching   bool
+	inCallback bool
+	outHasRefs bool
+	outBufs    [][]byte
+	outCounts  []int
+	outRefs    [][]byte
+	outDirty   []wire.NodeID
+	batchHist  *telemetry.Histogram
 }
 
 // NewPeer verifies the roster's attestation quotes (F3, property P1),
@@ -251,13 +314,17 @@ func NewPeer(encl *enclave.Enclave, tr Transport, roster Roster, cfg Config) (*P
 		cfg.Sealer = channel.RealSealer{}
 	}
 	p := &Peer{
-		encl:  encl,
-		tr:    tr,
-		cfg:   cfg,
-		links: make([]*channel.Link, cfg.N),
-		seqs:  make([]uint64, cfg.N),
-		trace: cfg.Trace,
-		ctr:   newCounters(cfg.Metrics),
+		encl:     encl,
+		tr:       tr,
+		cfg:      cfg,
+		links:    make([]*channel.Link, cfg.N),
+		seqs:     make([]uint64, cfg.N),
+		trace:    cfg.Trace,
+		ctr:      newCounters(cfg.Metrics),
+		batching: !cfg.DisableBatching,
+	}
+	if cfg.Metrics != nil && p.batching {
+		p.batchHist = cfg.Metrics.Histogram("runtime_batch_msgs", batchMsgBounds)
 	}
 	chanCtr := channel.NewCounters(cfg.Metrics)
 	self := int(encl.ID())
@@ -417,9 +484,13 @@ func (p *Peer) StartIn(proto Protocol, rounds int, startDelay time.Duration) {
 
 func (p *Peer) scheduleTick(rnd uint32) {
 	delay := p.startOffset + time.Duration(rnd-1)*2*p.cfg.Delta
+	p.tickRound = rnd
+	if p.tickFn == nil {
+		p.tickFn = func() { p.tick(p.tickRound) }
+	}
 	// Re-anchor against the enclave's trusted elapsed time so a byzantine
 	// OS cannot skew the tick (F4 / lockstep P5).
-	p.tr.After(delay-p.encl.ElapsedTime(), func() { p.tick(rnd) })
+	p.tr.After(delay-p.encl.ElapsedTime(), p.tickFn)
 }
 
 func (p *Peer) tick(rnd uint32) {
@@ -432,14 +503,25 @@ func (p *Peer) tick(rnd uint32) {
 	}
 	if rnd > p.rounds {
 		p.finished = true
+		p.inCallback = true
 		p.proto.OnFinish()
+		p.inCallback = false
+		p.flushOutbox()
 		return
 	}
 	p.round = rnd
 	if p.trace != nil {
 		p.trace.Record(p.ID(), rnd, telemetry.KindRound, wire.NoNode, 0, "")
 	}
+	p.inCallback = true
 	p.proto.OnRound(rnd)
+	p.inCallback = false
+	// Flush the callback's coalesced frames at the same virtual instant
+	// the unbatched runtime would have sent them: still inside the tick
+	// event, before any 2Δ of the round has elapsed, so the lockstep
+	// round stamps and the P4 ACK window are unchanged (messages arrive
+	// within Δ, ACKs return within the same round).
+	p.flushOutbox()
 	if !p.Halted() {
 		p.scheduleTick(rnd + 1)
 	}
@@ -466,7 +548,15 @@ func (p *Peer) closeRound() {
 // vanishes instead of deliberately churning out; the enclave is NOT
 // halted — its state is lost with the machine, and the node can only
 // come back as a freshly launched enclave (deploy.Restart).
+//
+// Stop flushes the outbox first — deterministically, every time — so a
+// message the protocol already handed to Multicast/Send is on the wire
+// exactly as it would be unbatched, where sends leave during the callback.
+// Frames in flight at the moment the machine vanishes are dropped by the
+// transport's detach epoch: a coalesced frame lost there drops all of its
+// messages at once, the whole-batch omission the chaos suite exercises.
 func (p *Peer) Stop() {
+	p.flushOutbox()
 	p.started = false
 	p.proto = nil
 	p.trackers = nil
@@ -476,11 +566,15 @@ func (p *Peer) Stop() {
 // and the node churns out of the network.
 func (p *Peer) HaltSelf() { p.haltSelf("") }
 
-// haltSelf is HaltSelf with a trace annotation naming the trigger.
+// haltSelf is HaltSelf with a trace annotation naming the trigger. The
+// outbox is flushed before the enclave halts and the transport detaches:
+// unbatched, every message sent earlier in the same callback was already
+// on the wire when the halt struck, so coalescing must put them there too.
 func (p *Peer) haltSelf(why string) {
 	if p.Halted() {
 		return
 	}
+	p.flushOutbox()
 	p.stats.Halts++
 	if p.ctr != nil {
 		p.ctr.halts.Inc()
@@ -528,6 +622,9 @@ func DigestEncoded(encoded []byte) wire.Value {
 func (p *Peer) Multicast(dsts []wire.NodeID, msg *wire.Message, ackThreshold int) error {
 	if p.Halted() {
 		return ErrHalted
+	}
+	if p.outHasRefs {
+		p.copyOutboxRefs()
 	}
 	encoded, err := msg.AppendEncode(p.encodeBuf[:0])
 	if err != nil {
@@ -587,6 +684,9 @@ func (p *Peer) multicastOne(dst wire.NodeID, encoded []byte) error {
 
 // Send seals msg for one destination and hands it to the transport.
 func (p *Peer) Send(dst wire.NodeID, msg *wire.Message) error {
+	if p.outHasRefs {
+		p.copyOutboxRefs()
+	}
 	encoded, err := msg.AppendEncode(p.encodeBuf[:0])
 	if err != nil {
 		return err
@@ -596,10 +696,14 @@ func (p *Peer) Send(dst wire.NodeID, msg *wire.Message) error {
 }
 
 // sendEncoded seals an already-encoded message for one destination and
-// hands the envelope to the transport. The envelope is sealed into a
-// fresh exactly-sized buffer: ownership passes to the transport, where
-// the adversarial OS may hold or replay it indefinitely, so envelope
-// buffers are never reused by the runtime.
+// hands the envelope to the transport — or, while a protocol callback
+// runs with batching on, appends it to the destination's outbox buffer
+// for the end-of-callback flush. The unknown-peer check stays here, at
+// enqueue time, so Multicast's omission accounting is identical in both
+// modes. Envelopes are sealed into the peer's reused seal scratch: the
+// Transport.Send contract makes the payload valid only during the call,
+// so a transport (or adversary wrapper) that keeps the envelope copies
+// it, and the runtime pays no per-envelope allocation.
 func (p *Peer) sendEncoded(dst wire.NodeID, encoded []byte) error {
 	if p.Halted() {
 		return ErrHalted
@@ -607,15 +711,143 @@ func (p *Peer) sendEncoded(dst wire.NodeID, encoded []byte) error {
 	if int(dst) >= len(p.links) || p.links[dst] == nil {
 		return ErrUnknownPeer
 	}
-	env, err := p.links[dst].SealEncodedAppend(nil, encoded)
+	if p.batching && p.inCallback {
+		p.enqueueBatch(dst, encoded)
+		return nil
+	}
+	env, err := p.links[dst].SealEncodedAppend(p.sealBuf[:0], encoded)
 	if err != nil {
 		return err
 	}
+	p.sealBuf = env
 	if p.ctr != nil {
 		p.ctr.envelopesSent.Inc()
 	}
 	p.tr.Send(dst, env)
 	return nil
+}
+
+// enqueueBatch appends one encoded message to dst's outbox buffer. The
+// destination was validated by sendEncoded; enqueueing cannot fail —
+// seal errors surface at flush time, where they degrade to omissions
+// exactly like a failed multicast leg.
+func (p *Peer) enqueueBatch(dst wire.NodeID, encoded []byte) {
+	if len(p.outBufs) < len(p.links) {
+		bufs := make([][]byte, len(p.links))
+		copy(bufs, p.outBufs)
+		p.outBufs = bufs
+		counts := make([]int, len(p.links))
+		copy(counts, p.outCounts)
+		p.outCounts = counts
+		refs := make([][]byte, len(p.links))
+		copy(refs, p.outRefs)
+		p.outRefs = refs
+	}
+	if p.outCounts[dst] == 0 {
+		// First message to dst this flush window: borrow the encoded
+		// bytes instead of copying them. The borrow lives in encodeBuf,
+		// which is not reused before copyOutboxRefs materializes it.
+		p.outDirty = append(p.outDirty, dst)
+		p.outRefs[dst] = encoded
+		p.outCounts[dst] = 1
+		p.outHasRefs = true
+		return
+	}
+	if r := p.outRefs[dst]; r != nil {
+		// Same encoding enqueued twice to one dst (duplicate entries in
+		// an explicit Multicast dsts list) — no intervening encode ran,
+		// so materialize the borrow here before appending.
+		p.outBufs[dst] = wire.AppendBatchEntry(p.outBufs[dst][:0], r)
+		p.outRefs[dst] = nil
+	}
+	p.outBufs[dst] = wire.AppendBatchEntry(p.outBufs[dst], encoded)
+	p.outCounts[dst]++
+}
+
+// copyOutboxRefs materializes every borrowed outbox reference into its
+// destination's batch buffer. It runs just before the encode scratch is
+// reused — until that moment a singleton outbox entry is only a view of
+// the bytes the last encode produced. A callback that encodes once and
+// flushes (one multicast, or one ACK — the steady state of every
+// protocol in this repo) therefore never copies a message between
+// encode and seal.
+func (p *Peer) copyOutboxRefs() {
+	for _, dst := range p.outDirty {
+		if r := p.outRefs[dst]; r != nil {
+			p.outBufs[dst] = wire.AppendBatchEntry(p.outBufs[dst][:0], r)
+			p.outRefs[dst] = nil
+		}
+	}
+	p.outHasRefs = false
+}
+
+// Flush forces the round-scoped outbox onto the wire immediately: the
+// escape hatch for trusted code that must have its frames in flight
+// before its callback returns (e.g. a protocol that waits on the ACKs
+// of a multicast it just issued). With batching off, or an empty
+// outbox, it is a no-op.
+func (p *Peer) Flush() { p.flushOutbox() }
+
+// flushOutbox seals and sends every dirty outbox buffer: one envelope
+// per destination covering all messages a callback emitted to it. A
+// buffer holding a single message is sent as the bare encoded message —
+// byte-identical framing to an unbatched send — so coalescing only ever
+// changes the wire when it has something to coalesce. Buffers keep
+// their capacity for the next round; flush order is first-enqueue
+// order, which is deterministic, keeping trace streams and simulated
+// network schedules bit-reproducible per seed.
+func (p *Peer) flushOutbox() {
+	if len(p.outDirty) == 0 {
+		return
+	}
+	dirty := p.outDirty
+	for _, dst := range dirty {
+		n := p.outCounts[dst]
+		p.outCounts[dst] = 0
+		if n == 0 {
+			continue
+		}
+		plaintext := p.outRefs[dst]
+		if plaintext != nil {
+			// Borrowed singleton: the bare encoded message, still alive
+			// in encodeBuf — already in unbatched framing, zero copies.
+			p.outRefs[dst] = nil
+		} else {
+			buf := p.outBufs[dst]
+			p.outBufs[dst] = buf[:0]
+			plaintext = buf
+			if n == 1 {
+				// Strip the container: magic byte + one length prefix.
+				plaintext = buf[5:]
+			}
+		}
+		env, err := p.links[dst].SealEncodedAppend(p.sealBuf[:0], plaintext)
+		if err != nil {
+			// Degrade the whole frame to omissions, one per buffered
+			// message, mirroring the per-leg accounting of multicastOne.
+			p.stats.SendFailures += uint64(n)
+			if p.ctr != nil {
+				p.ctr.sendFailures.Add(uint64(n))
+			}
+			if p.trace != nil {
+				p.trace.Record(p.ID(), p.round, telemetry.KindSendFail, dst, uint64(n), "")
+			}
+			continue
+		}
+		if p.ctr != nil {
+			p.ctr.envelopesSent.Inc()
+		}
+		if p.trace != nil {
+			p.trace.Record(p.ID(), p.round, telemetry.KindBatchFlush, dst, uint64(n), "")
+		}
+		if p.batchHist != nil {
+			p.batchHist.Observe(float64(n))
+		}
+		p.sealBuf = env
+		p.tr.Send(dst, env)
+	}
+	p.outDirty = p.outDirty[:0]
+	p.outHasRefs = false
 }
 
 // SendAck acknowledges a valid received message: ACKs carry the digest
@@ -664,8 +896,12 @@ func (p *Peer) SendAck(dst wire.NodeID, received *wire.Message) error {
 }
 
 // receive is the transport delivery callback: it opens the envelope,
-// enforces the lockstep round check, consumes ACKs, and forwards protocol
-// messages.
+// unbatches coalesced frames, enforces the lockstep round check per
+// message, consumes ACKs, and forwards protocol messages. Anything the
+// protocol sent from its OnMessage callbacks is flushed when the
+// delivery event ends — the same virtual instant an unbatched runtime
+// would have sent it, and one frame per destination even when several
+// batch entries each ACKed the same peer.
 func (p *Peer) receive(src wire.NodeID, payload []byte) {
 	if p.Halted() || !p.started || p.finished {
 		return
@@ -675,22 +911,89 @@ func (p *Peer) receive(src wire.NodeID, payload []byte) {
 	}
 	// Envelopes are decrypted into the peer's reused open scratch: the
 	// plaintext is only alive while this delivery runs (the decoded
-	// message shares no bytes with it), so a warm receive pays no
+	// messages share no bytes with it), so a warm receive pays no
 	// plaintext allocation.
-	msg, encoded, err := p.links[src].OpenEncodedAppend(p.openBuf[:0], payload)
+	plaintext, err := p.links[src].OpenRawAppend(p.openBuf[:0], payload)
 	if err != nil {
-		// Forged, corrupted, cross-program or mis-addressed envelopes
-		// reduce to omissions (Theorem A.2).
-		p.stats.AuthFailures++
-		if p.ctr != nil {
-			p.ctr.authFailures.Inc()
-		}
-		if p.trace != nil {
-			p.trace.Record(p.ID(), p.round, telemetry.KindAuthFail, src, 0, "")
-		}
+		p.recvFailure(src)
 		return
 	}
-	p.openBuf = encoded
+	p.openBuf = plaintext
+	if wire.IsBatch(plaintext) {
+		p.receiveBatch(src, plaintext)
+	} else {
+		p.receiveOne(src, plaintext)
+	}
+	p.flushOutbox()
+}
+
+// receiveOne handles a bare (non-coalesced) frame: one encoded message.
+func (p *Peer) receiveOne(src wire.NodeID, encoded []byte) {
+	msg := &p.rxMsg
+	if err := wire.DecodeInto(msg, encoded); err != nil || msg.Sender != src {
+		p.recvFailure(src)
+		return
+	}
+	p.deliverOne(src, msg, encoded)
+}
+
+// receiveBatch walks a coalesced frame entry by entry. The envelope MAC
+// covered the whole container, so with honest enclaves every entry
+// decodes; a malformed entry means the frame was not produced by this
+// link's enclave after all and the remainder is dropped as one omission
+// (entries already delivered stay delivered — omission cuts a prefix,
+// exactly like a lost unbatched suffix). Every entry gets the same
+// per-message round/replay checks and telemetry attribution an
+// unbatched delivery gets, and the delivery guards are re-checked
+// between entries because OnMessage may halt or stop the peer.
+func (p *Peer) receiveBatch(src wire.NodeID, plaintext []byte) {
+	it, err := wire.IterBatch(plaintext)
+	if err != nil {
+		p.recvFailure(src)
+		return
+	}
+	for {
+		raw, ok, nerr := it.Next()
+		if nerr != nil {
+			p.recvFailure(src)
+			return
+		}
+		if !ok {
+			return
+		}
+		msg := &p.rxMsg
+		if derr := wire.DecodeInto(msg, raw); derr != nil || msg.Sender != src {
+			p.recvFailure(src)
+			return
+		}
+		p.deliverOne(src, msg, raw)
+		if p.Halted() || !p.started || p.finished {
+			return
+		}
+	}
+}
+
+// recvFailure records an envelope (or batch entry) that failed
+// authentication, decoding or sender binding: forged, corrupted,
+// cross-program or mis-addressed input reduces to an omission
+// (Theorem A.2).
+func (p *Peer) recvFailure(src wire.NodeID) {
+	p.stats.AuthFailures++
+	if p.ctr != nil {
+		p.ctr.authFailures.Inc()
+	}
+	if p.trace != nil {
+		p.trace.Record(p.ID(), p.round, telemetry.KindAuthFail, src, 0, "")
+	}
+}
+
+// deliverOne applies the runtime checks to one authenticated message and
+// hands it to the protocol: ACK consumption, the lockstep round check,
+// and delivery bookkeeping — identical whether the message arrived bare
+// or inside a batch. encoded is the message's exact transmitted
+// encoding (a batch entry sub-slice or the whole bare plaintext), so
+// SendAck digests the same bytes in both modes.
+func (p *Peer) deliverOne(src wire.NodeID, msg *wire.Message, encoded []byte) {
 	if msg.Type == wire.TypeAck {
 		p.stats.AcksReceived++
 		if p.ctr != nil {
@@ -723,7 +1026,9 @@ func (p *Peer) receive(src wire.NodeID, payload []byte) {
 		p.trace.Record(p.ID(), p.round, telemetry.KindDeliver, src, uint64(msg.Type), "")
 	}
 	p.delivering, p.deliveringEncoded = msg, encoded
+	p.inCallback = true
 	p.proto.OnMessage(msg)
+	p.inCallback = false
 	p.delivering, p.deliveringEncoded = nil, nil
 }
 

@@ -13,8 +13,10 @@ import (
 // probe is a minimal protocol recording runtime callbacks; behaviour is
 // customized per test through the hook functions.
 type probe struct {
-	peer     *runtime.Peer
-	rounds   []uint32
+	peer   *runtime.Peer
+	rounds []uint32
+	// msgs holds clones: delivered messages are borrowed (valid only
+	// during OnMessage), so a retaining protocol copies what it keeps.
 	msgs     []*wire.Message
 	finished bool
 	onRound  func(rnd uint32)
@@ -29,7 +31,7 @@ func (p *probe) OnRound(rnd uint32) {
 }
 
 func (p *probe) OnMessage(m *wire.Message) {
-	p.msgs = append(p.msgs, m)
+	p.msgs = append(p.msgs, m.Clone())
 	if p.onMsg != nil {
 		p.onMsg(m)
 	}

@@ -3,6 +3,7 @@ package runtime_test
 import (
 	"testing"
 
+	"sgxp2p/internal/deploy"
 	"sgxp2p/internal/runtime"
 	"sgxp2p/internal/wire"
 )
@@ -103,6 +104,122 @@ func TestMulticastDegradesFailuresToOmissions(t *testing.T) {
 	}
 	if len(probes[2].msgs) != 0 {
 		t.Fatalf("peer 2 got %d messages, want 0", len(probes[2].msgs))
+	}
+}
+
+// newDeploymentBatching is newDeployment with the coalescing knob
+// exposed, for tests that pin behaviour in both batching modes.
+func newDeploymentBatching(t *testing.T, n, byz int, disableBatching bool) *deploy.Deployment {
+	t.Helper()
+	d, err := deploy.New(deploy.Options{N: n, T: byz, Seed: 1, DisableBatching: disableBatching})
+	if err != nil {
+		t.Fatalf("deploy.New: %v", err)
+	}
+	return d
+}
+
+// TestRoundBoundaryFlushOrdering pins the flush point of the
+// round-scoped outbox against the lockstep round check: a message
+// multicast from round r's callback is delivered during round r on
+// every receiver, in both batching modes. If a flush ever slipped past
+// the round boundary, the receivers' lockstep check would reject the
+// stale round — so the test asserts full delivery AND zero round
+// mismatches, which together rule out late batches.
+func TestRoundBoundaryFlushOrdering(t *testing.T) {
+	const rounds = 3
+	for _, mode := range []struct {
+		name            string
+		disableBatching bool
+	}{
+		{"batched", false},
+		{"unbatched", true},
+	} {
+		d := newDeploymentBatching(t, 4, 1, mode.disableBatching)
+		probes := startAll(d, rounds)
+		sender := probes[0]
+		sender.onRound = func(rnd uint32) {
+			msg := &wire.Message{
+				Type: wire.TypeChosen, Sender: 0, Initiator: 0,
+				Seq: sender.peer.SeqOf(0), Round: rnd,
+			}
+			if err := sender.peer.Multicast(nil, msg, 0); err != nil {
+				t.Errorf("%s: round %d multicast: %v", mode.name, rnd, err)
+			}
+		}
+		for _, pr := range probes[1:] {
+			pr := pr
+			pr.onMsg = func(m *wire.Message) {
+				if at := pr.peer.Round(); m.Round != at {
+					t.Errorf("%s: peer %d got a round-%d message while in round %d",
+						mode.name, pr.peer.ID(), m.Round, at)
+				}
+			}
+		}
+		if err := d.Run(); err != nil {
+			t.Fatal(err)
+		}
+		for i, pr := range probes[1:] {
+			if got := len(pr.msgs); got != rounds {
+				t.Errorf("%s: peer %d delivered %d messages, want %d (a batch crossed a round boundary and was dropped)",
+					mode.name, i+1, got, rounds)
+			}
+			for j, m := range pr.msgs {
+				if int(m.Round) != j+1 {
+					t.Errorf("%s: peer %d message %d carries round %d, want %d",
+						mode.name, i+1, j, m.Round, j+1)
+				}
+			}
+			if st := pr.peer.Stats(); st.RoundMismatches != 0 {
+				t.Errorf("%s: peer %d counted %d round mismatches, want 0", mode.name, i+1, st.RoundMismatches)
+			}
+		}
+	}
+}
+
+// TestStopMidRoundFlushesOutbox pins the Stop/flush interaction: a peer
+// that multicasts from its round callback and then crashes (Stop)
+// before the callback returns still gets its buffered frame onto the
+// wire — Stop flushes the outbox first, deterministically, in both
+// batching modes — and goes silent afterwards.
+func TestStopMidRoundFlushesOutbox(t *testing.T) {
+	for _, mode := range []struct {
+		name            string
+		disableBatching bool
+	}{
+		{"batched", false},
+		{"unbatched", true},
+	} {
+		d := newDeploymentBatching(t, 4, 1, mode.disableBatching)
+		probes := startAll(d, 3)
+		sender := probes[0]
+		sender.onRound = func(rnd uint32) {
+			if rnd != 2 {
+				return
+			}
+			msg := &wire.Message{
+				Type: wire.TypeChosen, Sender: 0, Initiator: 0,
+				Seq: sender.peer.SeqOf(0), Round: 2,
+			}
+			if err := sender.peer.Multicast(nil, msg, 0); err != nil {
+				t.Errorf("%s: multicast: %v", mode.name, err)
+			}
+			sender.peer.Stop()
+		}
+		if err := d.Run(); err != nil {
+			t.Fatal(err)
+		}
+		for i, pr := range probes[1:] {
+			if got := len(pr.msgs); got != 1 {
+				t.Errorf("%s: peer %d delivered %d messages, want 1 (Stop stranded or duplicated the outbox)",
+					mode.name, i+1, got)
+			}
+		}
+		if got := len(sender.rounds); got != 2 {
+			t.Errorf("%s: stopped sender observed %d rounds (%v), want 2", mode.name, got, sender.rounds)
+		}
+		if sender.finished {
+			t.Errorf("%s: stopped sender ran OnFinish", mode.name)
+		}
 	}
 }
 

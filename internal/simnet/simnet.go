@@ -28,7 +28,9 @@ import (
 	"sgxp2p/internal/wire"
 )
 
-// Handler receives a delivered payload on the destination node.
+// Handler receives a delivered payload on the destination node. The
+// payload buffer belongs to the network and is recycled once the handler
+// returns; a handler that keeps the bytes must copy them.
 type Handler func(src wire.NodeID, payload []byte)
 
 // Config describes the simulated network.
@@ -71,21 +73,76 @@ type Traffic struct {
 // Network is the simulated network. It is single-threaded: all sends and
 // deliveries happen on the event loop of the underlying vclock.Sim.
 type Network struct {
-	sim      *vclock.Sim
-	cfg      Config
-	rng      *rand.Rand
-	handlers []Handler
-	detached []bool
-	// epoch counts a node's detachments. Deliveries capture the
-	// destination epoch at send time and drop if it changed: frames in
-	// flight when a machine crashes are lost even if it reboots before
-	// their arrival time.
-	epoch    []int
+	sim *vclock.Sim
+	cfg Config
+	rng *rand.Rand
+	// nodes packs each node's delivery state (handler, detach flag,
+	// detach epoch) into one slot, so the per-delivery destination
+	// checks are one indexed load instead of three scattered slices.
+	nodes    []nodeSlot
 	linkFree time.Duration
 	traffic  Traffic
 	perNode  []Traffic
 	trace    *telemetry.Tracer
 	ctr      *netCounters
+	// free is the delivery-record free list. A record carries its payload
+	// buffer and a prebound fire closure, so a steady-state send allocates
+	// nothing: the payload is copied into the recycled buffer and the
+	// recycled closure is scheduled. Records return to the list after
+	// their handler ran (the single-threaded event loop guarantees the
+	// handler cannot outlive the delivery event).
+	free []*delivery
+}
+
+// nodeSlot is one node's delivery state. epoch counts the node's
+// detachments: deliveries capture the destination epoch at send time
+// and drop if it changed — frames in flight when a machine crashes are
+// lost even if it reboots before their arrival time.
+type nodeSlot struct {
+	handler  Handler
+	epoch    int
+	detached bool
+}
+
+// delivery is one in-flight frame: destination epoch captured at send
+// time, the payload copy, and the prebound callback handed to the
+// simulator.
+type delivery struct {
+	n        *Network
+	src, dst wire.NodeID
+	ep       int
+	payload  []byte
+	fire     func()
+}
+
+// run delivers (or drops) the frame, then recycles the record.
+func (d *delivery) run() {
+	n := d.n
+	// Only the destination is re-checked at delivery time: envelopes
+	// already in flight when their sender halts still arrive, as they
+	// would on a real network. An epoch change means the destination
+	// crashed after the send — the frame is lost even if it rebooted.
+	if ns := &n.nodes[int(d.dst)]; ns.detached || ns.epoch != d.ep {
+		n.traffic.Dropped++
+		if n.ctr != nil {
+			n.ctr.dropped.Inc()
+		}
+	} else if ns.handler != nil {
+		ns.handler(d.src, d.payload)
+	}
+	n.free = append(n.free, d)
+}
+
+// getDelivery pops a recycled record or builds a fresh one.
+func (n *Network) getDelivery() *delivery {
+	if len(n.free) > 0 {
+		d := n.free[len(n.free)-1]
+		n.free = n.free[:len(n.free)-1]
+		return d
+	}
+	d := &delivery{n: n}
+	d.fire = d.run
+	return d
 }
 
 // netCounters are the transport-level metric handles; nil when the network
@@ -133,14 +190,17 @@ func New(sim *vclock.Sim, cfg Config) (*Network, error) {
 	if cfg.BaseLatency > cfg.Delta {
 		return nil, fmt.Errorf("simnet: base latency %v exceeds delta %v", cfg.BaseLatency, cfg.Delta)
 	}
+	// Every event this network schedules — deliveries (≤ Delta ahead) and
+	// the runtimes' lockstep ticks (2·Delta ahead) — sits within a few
+	// Delta of now, which is exactly the locality the simulator's calendar
+	// tier wants to know about.
+	sim.SetHorizon(cfg.Delta)
 	return &Network{
-		sim:      sim,
-		cfg:      cfg,
-		rng:      rand.New(rand.NewSource(cfg.Seed)),
-		handlers: make([]Handler, cfg.N),
-		detached: make([]bool, cfg.N),
-		epoch:    make([]int, cfg.N),
-		perNode:  make([]Traffic, cfg.N),
+		sim:     sim,
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		nodes:   make([]nodeSlot, cfg.N),
+		perNode: make([]Traffic, cfg.N),
 	}, nil
 }
 
@@ -162,16 +222,14 @@ func (n *Network) After(d time.Duration, fn func()) {
 
 // SetHandler registers the delivery callback for a node.
 func (n *Network) SetHandler(id wire.NodeID, h Handler) {
-	n.handlers[id] = h
+	n.nodes[id].handler = h
 }
 
 // AddNode grows the network by one node and returns its id (dynamic
 // membership, Appendix G).
 func (n *Network) AddNode() wire.NodeID {
-	id := wire.NodeID(len(n.handlers))
-	n.handlers = append(n.handlers, nil)
-	n.detached = append(n.detached, false)
-	n.epoch = append(n.epoch, 0)
+	id := wire.NodeID(len(n.nodes))
+	n.nodes = append(n.nodes, nodeSlot{})
 	n.perNode = append(n.perNode, Traffic{})
 	n.cfg.N++
 	return id
@@ -183,11 +241,11 @@ func (n *Network) AddNode() wire.NodeID {
 // halt-on-divergence and of a machine crash. Out-of-range ids and
 // already-detached nodes are no-ops.
 func (n *Network) Detach(id wire.NodeID) {
-	if int(id) >= len(n.detached) || n.detached[int(id)] {
+	if int(id) >= len(n.nodes) || n.nodes[int(id)].detached {
 		return
 	}
-	n.detached[int(id)] = true
-	n.epoch[int(id)]++
+	n.nodes[int(id)].detached = true
+	n.nodes[int(id)].epoch++
 	if n.trace != nil {
 		n.trace.Record(id, 0, telemetry.KindDetach, wire.NoNode, 0, "")
 	}
@@ -195,7 +253,7 @@ func (n *Network) Detach(id wire.NodeID) {
 
 // Detached reports whether a node has been detached.
 func (n *Network) Detached(id wire.NodeID) bool {
-	return int(id) < len(n.detached) && n.detached[int(id)]
+	return int(id) < len(n.nodes) && n.nodes[int(id)].detached
 }
 
 // Reattach restores a detached node — the transport-level half of a
@@ -204,23 +262,25 @@ func (n *Network) Detached(id wire.NodeID) bool {
 // reboot beats their arrival, exactly like frames lost while a real
 // machine was down. Out-of-range ids are no-ops.
 func (n *Network) Reattach(id wire.NodeID) {
-	if int(id) >= len(n.detached) {
+	if int(id) >= len(n.nodes) {
 		return
 	}
-	n.detached[int(id)] = false
+	n.nodes[int(id)].detached = false
 	if n.trace != nil {
 		n.trace.Record(id, 0, telemetry.KindReattach, wire.NoNode, 0, "")
 	}
 }
 
-// Send transmits payload from src to dst. Ownership of payload passes to
-// the network; callers must not mutate it afterwards. Delivery is
-// scheduled on the simulator after queueing and propagation delay.
+// Send transmits payload from src to dst. The payload is copied into a
+// pooled delivery record before Send returns, so the caller may reuse
+// its buffer immediately — this is what lets the runtime seal every
+// envelope into one per-peer scratch buffer. Delivery is scheduled on
+// the simulator after queueing and propagation delay.
 func (n *Network) Send(src, dst wire.NodeID, payload []byte) {
-	if int(src) >= len(n.handlers) || int(dst) >= len(n.handlers) || src == dst {
+	if int(src) >= len(n.nodes) || int(dst) >= len(n.nodes) || src == dst {
 		return
 	}
-	if n.detached[int(src)] || n.detached[int(dst)] {
+	if n.nodes[int(src)].detached || n.nodes[int(dst)].detached {
 		n.traffic.Dropped++
 		if n.ctr != nil {
 			n.ctr.dropped.Inc()
@@ -262,23 +322,10 @@ func (n *Network) Send(src, dst wire.NodeID, payload []byte) {
 			n.ctr.late.Inc()
 		}
 	}
-	ep := n.epoch[int(dst)]
-	n.sim.Schedule(arrival, func() {
-		// Only the destination is re-checked at delivery time: envelopes
-		// already in flight when their sender halts still arrive, as they
-		// would on a real network. An epoch change means the destination
-		// crashed after the send — the frame is lost even if it rebooted.
-		if n.detached[int(dst)] || n.epoch[int(dst)] != ep {
-			n.traffic.Dropped++
-			if n.ctr != nil {
-				n.ctr.dropped.Inc()
-			}
-			return
-		}
-		if h := n.handlers[int(dst)]; h != nil {
-			h(src, payload)
-		}
-	})
+	d := n.getDelivery()
+	d.src, d.dst, d.ep = src, dst, n.nodes[int(dst)].epoch
+	d.payload = append(d.payload[:0], payload...)
+	n.sim.Schedule(arrival, d.fire)
 }
 
 // Traffic returns a snapshot of the aggregate traffic counters.

@@ -27,8 +27,12 @@ import (
 	"sgxp2p/internal/wire"
 )
 
-// maxFrame bounds accepted payload sizes (defense against garbage input).
-const maxFrame = 1 << 20
+// maxFrame bounds accepted payload sizes (defense against garbage
+// input). With per-round frame coalescing an envelope can carry a whole
+// round's messages to one peer — on a large topology with concurrent
+// initiators that is thousands of batched entries, so the bound is
+// sized for a worst-case batch frame, not a single message.
+const maxFrame = 8 << 20
 
 // loopBuffer is the event-loop queue depth.
 const loopBuffer = 4096

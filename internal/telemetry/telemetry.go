@@ -87,6 +87,11 @@ const (
 	// KindDetach and KindReattach are the transport-level halves of churn.
 	KindDetach
 	KindReattach
+
+	// KindBatchFlush is one coalesced outbox flush: a sealed batch frame
+	// leaving for one peer (Peer is the destination, Arg the number of
+	// messages the frame carries).
+	KindBatchFlush
 )
 
 // kindNames is the stable Kind → JSONL name table.
@@ -114,6 +119,7 @@ var kindNames = [...]string{
 	KindHeal:        "heal",
 	KindDetach:      "detach",
 	KindReattach:    "reattach",
+	KindBatchFlush:  "batch-flush",
 }
 
 // String returns the stable event-kind name used in exports.

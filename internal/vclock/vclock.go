@@ -6,21 +6,24 @@
 // the same virtual durations.
 //
 // The queue is tuned for simulations holding millions of in-flight
-// events: heap entries carry their ordering key inline (no pointer chase
-// in comparisons) and cancellation is lazy (cancelled events are skipped
-// at pop time instead of being removed), so heap operations never write
-// back through event pointers. The heap is hand-rolled rather than
-// container/heap because the interface-based API boxes every pushed and
-// popped entry (two allocations per event); and fire-and-forget
-// callers use Schedule, which skips the *Event handle allocation too —
-// scheduling a delivery then costs no allocations beyond amortized
-// queue growth. Pop order is the total order (time, sequence), so the
-// hand-rolled heap fires events in exactly the order container/heap
-// did and simulation determinism is unaffected.
+// events: entries carry their ordering key inline (no pointer chase in
+// comparisons) and cancellation is lazy (cancelled events are skipped
+// at pop time instead of being removed), so queue operations never write
+// back through event pointers. Fire-and-forget callers use Schedule,
+// which skips the *Event handle allocation too — scheduling a delivery
+// then costs no allocations beyond amortized queue growth. When the
+// simulation owner hints its scheduling horizon (SetHorizon), near-future
+// events go through a calendar tier with O(1) push and pop instead of a
+// heap's O(log n) sift. Pop order is always the total order (time,
+// sequence), so neither the calendar tier nor the hand-rolled fallback
+// heap changes the order events fire in and simulation determinism is
+// unaffected.
 package vclock
 
 import (
+	"cmp"
 	"errors"
+	"slices"
 	"time"
 )
 
@@ -55,6 +58,35 @@ type Sim struct {
 	limit     time.Duration // 0 means no limit
 	fired     uint64
 	trace     uint64
+}
+
+// SetHorizon hints the timescale most events are scheduled on: d should
+// be the typical scheduling distance (a network's delivery bound Δ, say).
+// The hint turns on the queue's calendar tier, which spreads near-future
+// events over time-partitioned buckets so push and pop are O(1) instead
+// of O(log n) — the difference between the event queue dominating a
+// large-topology simulation and disappearing from its profile. The hint
+// is ignored unless the queue is empty (the tier cannot be retrofitted
+// around queued entries). Pop order is unaffected: the calendar is an
+// implementation detail behind the same (time, sequence) total order.
+func (s *Sim) SetHorizon(d time.Duration) {
+	if d <= 0 || s.queue.len() > 0 {
+		return
+	}
+	w := d / bucketsPerHorizon
+	if w <= 0 {
+		w = 1
+	}
+	// Round the bucket width up to a power of two so the hot push path
+	// maps a time to its window with a shift instead of an int64 divide.
+	shift := uint(0)
+	for time.Duration(1)<<shift < w {
+		shift++
+	}
+	s.queue.shift = shift
+	if s.queue.ring == nil {
+		s.queue.ring = make([][]entry, ringBuckets)
+	}
 }
 
 // fnv64Offset and fnv64Prime are the FNV-1a parameters used by the
@@ -131,37 +163,38 @@ func (s *Sim) Cancel(e *Event) {
 func (s *Sim) Stop() { s.stopped = true }
 
 // Pending returns the number of live (non-cancelled) events still queued.
-func (s *Sim) Pending() int { return s.queue.Len() - s.cancelled }
+func (s *Sim) Pending() int { return s.queue.len() - s.cancelled }
 
 // FiredCount returns the number of events fired so far.
 func (s *Sim) FiredCount() uint64 { return s.fired }
 
-// TraceHash returns an FNV-1a fingerprint over the (time, sequence) pair of
-// every event fired so far. Two simulations with equal hashes executed the
-// same event interleaving bit-for-bit; the chaos engine's seed→schedule
-// determinism contract (internal/chaos) is asserted against this value.
+// TraceHash returns an FNV-style fingerprint over the (time, sequence)
+// pair of every event fired so far. Two simulations with equal hashes
+// executed the same event interleaving bit-for-bit; the chaos engine's
+// seed→schedule determinism contract (internal/chaos) is asserted against
+// this value. The fingerprint is compared only against fingerprints from
+// the same binary, so the exact mixing function is an implementation
+// detail; what matters is determinism and sensitivity to any change in
+// the fired sequence.
 func (s *Sim) TraceHash() uint64 { return s.trace }
 
-// traceFire folds one fired event into the interleaving fingerprint.
+// traceFire folds one fired event into the interleaving fingerprint:
+// xor-multiply over the two 64-bit key words. Word granularity keeps the
+// per-event cost at two multiplies; this runs once per fired event, which
+// on large topologies means tens of thousands of times per simulated
+// broadcast.
 func (s *Sim) traceFire(at time.Duration, seq uint64) {
 	s.fired++
 	h := s.trace
-	x := uint64(at)
-	for i := 0; i < 8; i++ {
-		h = (h ^ (x & 0xff)) * fnv64Prime
-		x >>= 8
-	}
-	for i := 0; i < 8; i++ {
-		h = (h ^ (seq & 0xff)) * fnv64Prime
-		seq >>= 8
-	}
+	h = (h ^ uint64(at)) * fnv64Prime
+	h = (h ^ seq) * fnv64Prime
 	s.trace = h
 }
 
 // Step fires the next live event, advancing the clock, and reports
 // whether an event was fired.
 func (s *Sim) Step() bool {
-	for s.queue.Len() > 0 {
+	for s.queue.len() > 0 {
 		en := s.queue.pop()
 		fn := en.fn
 		if en.e != nil {
@@ -181,14 +214,33 @@ func (s *Sim) Step() bool {
 	return false
 }
 
-// skipCancelledHead drops cancelled entries off the queue head so the
-// head's time is that of a live event. Schedule entries (no handle)
-// cannot be cancelled and never match.
-func (s *Sim) skipCancelledHead() {
-	for s.queue.Len() > 0 && s.queue[0].e != nil && s.queue[0].e.fn == nil {
-		s.queue.pop()
+// livePeek returns the next live event entry, dropping cancelled
+// entries off the queue head so the head's time is that of a live
+// event, or nil when the queue is empty. Schedule entries (no handle)
+// cannot be cancelled and never match the cancellation test.
+func (s *Sim) livePeek() *entry {
+	for {
+		head := s.queue.peek()
+		if head == nil || head.e == nil || head.e.fn != nil {
+			return head
+		}
+		s.queue.popKnownHead(head)
 		s.cancelled--
 	}
+}
+
+// fire advances the clock to en and runs its callback. The entry must
+// be live — livePeek filters cancelled ones.
+func (s *Sim) fire(en entry) {
+	fn := en.fn
+	if en.e != nil {
+		fn = en.e.fn
+		en.e.fn = nil
+		en.e.fired = true
+	}
+	s.now = en.at
+	s.traceFire(en.at, en.seq)
+	fn()
 }
 
 // Run fires events until the queue drains, a deadline set with SetDeadline
@@ -197,18 +249,18 @@ func (s *Sim) skipCancelledHead() {
 func (s *Sim) Run() error {
 	s.stopped = false
 	for {
-		s.skipCancelledHead()
-		if s.queue.Len() == 0 {
+		head := s.livePeek()
+		if head == nil {
 			return nil
 		}
 		if s.stopped {
 			return ErrStopped
 		}
-		if s.limit > 0 && s.queue[0].at > s.limit {
+		if s.limit > 0 && head.at > s.limit {
 			s.now = s.limit
 			return nil
 		}
-		s.Step()
+		s.fire(s.queue.popKnownHead(head))
 	}
 }
 
@@ -217,19 +269,19 @@ func (s *Sim) Run() error {
 // never exceeds t.
 func (s *Sim) RunUntil(t time.Duration) {
 	for {
-		s.skipCancelledHead()
-		if s.queue.Len() == 0 || s.queue[0].at > t {
+		head := s.livePeek()
+		if head == nil || head.at > t {
 			break
 		}
-		s.Step()
+		s.fire(s.queue.popKnownHead(head))
 	}
 	if s.now < t {
 		s.now = t
 	}
 }
 
-// entry is a heap element with the ordering key stored inline, so heap
-// comparisons and swaps never dereference the *Event — on multi-million-
+// entry is a queue element with the ordering key stored inline, so
+// comparisons and moves never dereference the *Event — on multi-million-
 // event simulations the pointer chase was the dominant cost. Exactly one
 // of fn (a Schedule entry) and e (an At entry, cancellable through the
 // handle) is set.
@@ -240,57 +292,223 @@ type entry struct {
 	e   *Event
 }
 
-// eventQueue is a binary min-heap of entries ordered by (at, seq). The
-// push/pop pair is hand-rolled instead of container/heap so entries
-// never round-trip through `any` (which heap-allocates a box per call).
-type eventQueue []entry
+// Calendar-tier geometry: the horizon hint is split into
+// bucketsPerHorizon windows (width rounded up to a power of two), and
+// the ring holds ringBuckets of them, so the ring spans at least 8× the
+// hinted horizon — deliveries (≤ 1 horizon out) and lockstep ticks
+// (2 horizons out) both land inside it.
+// bucketsPerHorizon trades bucket occupancy (a bucket is insertion-
+// sorted when its window activates, so sorting is quadratic in it)
+// against ring footprint and empty-bucket skipping; 128 measured best —
+// finer grids lose more to cache misses over the larger ring than they
+// save in sorting.
+const (
+	bucketsPerHorizon = 128
+	ringBuckets       = 1024 // power of two; see ringMask
+	ringMask          = ringBuckets - 1
+)
 
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
+// eventQueue orders entries by the (at, seq) total order. It has two
+// tiers:
+//
+//   - A calendar ring of time-partitioned buckets (active when a
+//     SetHorizon hint set width). A push inside the ring's window is an
+//     O(1) append; a bucket is sorted once, when the clock reaches its
+//     window. This is where the bulk of a simulation's events — message
+//     deliveries and round ticks, all scheduled a bounded distance ahead
+//     — live, replacing the O(log n) sift over one big heap that used to
+//     dominate large-topology profiles.
+//   - A 4-ary min-heap for everything else: events beyond the ring's
+//     span, events landing in the already-sorted active window, and all
+//     events when no horizon hint was given. Hand-rolled instead of
+//     container/heap so entries never round-trip through `any` (which
+//     heap-allocates a box per call).
+//
+// pop merges the two tiers by comparing their heads; each tier yields
+// entries in (at, seq) order, so the merge is the same global order a
+// single heap produced and simulation determinism is unaffected.
+type eventQueue struct {
+	heap []entry
+	ring [][]entry // nil = heap only (no horizon hint)
+	// shift is log2 of the bucket width: a time maps to its absolute
+	// window index with at >> shift. curAbs is the window index of the
+	// active bucket; curIdx is the consume position inside it. count is
+	// the total queued entries across both tiers.
+	shift  uint
+	curAbs int64
+	curIdx int
+	rung   int // live entries in the ring (not yet consumed)
+	count  int
 }
 
+func (q *eventQueue) len() int { return q.count }
+
 func (q *eventQueue) push(en entry) {
-	*q = append(*q, en)
-	h := *q
-	// Sift up.
-	for j := len(h) - 1; j > 0; {
-		i := (j - 1) / 2
-		if !h.less(j, i) {
-			break
+	q.count++
+	if q.ring != nil {
+		abs := int64(en.at) >> q.shift
+		if abs > q.curAbs && abs < q.curAbs+ringBuckets {
+			b := &q.ring[abs&ringMask]
+			*b = append(*b, en)
+			q.rung++
+			return
 		}
-		h[i], h[j] = h[j], h[i]
-		j = i
 	}
+	q.heapPush(en)
+}
+
+// ringHead returns the next unconsumed ring entry, advancing and sorting
+// buckets as their windows are reached, or nil if the ring is empty.
+// Advancing past an empty window is safe even though virtual time has
+// not reached it: entries are only ever pushed at or after the current
+// time, and push routes anything at or before the active window to the
+// heap, so a skipped window can never be populated later.
+func (q *eventQueue) ringHead() *entry {
+	if q.rung == 0 {
+		return nil
+	}
+	b := q.ring[q.curAbs&ringMask]
+	for q.curIdx >= len(b) {
+		q.ring[q.curAbs&ringMask] = b[:0]
+		q.curAbs++
+		q.curIdx = 0
+		b = q.ring[q.curAbs&ringMask]
+		if len(b) > 1 {
+			sortEntries(b)
+		}
+	}
+	return &b[q.curIdx]
+}
+
+// sortEntries sorts a bucket by (at, seq). Small buckets — the common
+// case: a few entries most rounds, several dozen when every node
+// multicasts in the same round — take an allocation-free insertion
+// sort on the inline keys, which beats a generic sort's dispatch at
+// those sizes. Large buckets — saturated-link echo storms (ERNG at
+// N=128 lands ~10^4 deliveries per window) — must not pay insertion
+// sort's quadratic movement, so they go through slices.SortFunc
+// instead. (at, seq) is a strict total order (seq is unique), so the
+// unstable sort still produces one deterministic permutation.
+func sortEntries(b []entry) {
+	if len(b) > 48 {
+		slices.SortFunc(b, func(x, y entry) int {
+			if x.at != y.at {
+				return cmp.Compare(x.at, y.at)
+			}
+			return cmp.Compare(x.seq, y.seq)
+		})
+		return
+	}
+	for i := 1; i < len(b); i++ {
+		en := b[i]
+		j := i
+		for j > 0 && (en.at < b[j-1].at || (en.at == b[j-1].at && en.seq < b[j-1].seq)) {
+			b[j] = b[j-1]
+			j--
+		}
+		b[j] = en
+	}
+}
+
+// peek returns the entry that pop would return next, or nil when empty.
+func (q *eventQueue) peek() *entry {
+	rh := q.ringHead()
+	if len(q.heap) == 0 {
+		return rh // may be nil
+	}
+	hh := &q.heap[0]
+	if rh == nil || hh.at < rh.at || (hh.at == rh.at && hh.seq < rh.seq) {
+		return hh
+	}
+	return rh
 }
 
 func (q *eventQueue) pop() entry {
-	h := *q
+	rh := q.ringHead()
+	if rh != nil {
+		if len(q.heap) == 0 || rh.at < q.heap[0].at || (rh.at == q.heap[0].at && rh.seq < q.heap[0].seq) {
+			en := *rh
+			*rh = entry{}
+			q.curIdx++
+			q.rung--
+			q.count--
+			return en
+		}
+	}
+	q.count--
+	return q.heapPop()
+}
+
+// popKnownHead consumes the entry a peek just returned, skipping the
+// tier comparison pop would redo: the head pointer itself identifies
+// the winning tier. The queue must not have been mutated since the
+// peek.
+func (q *eventQueue) popKnownHead(head *entry) entry {
+	q.count--
+	if len(q.heap) > 0 && head == &q.heap[0] {
+		return q.heapPop()
+	}
+	en := *head
+	*head = entry{}
+	q.curIdx++
+	q.rung--
+	return en
+}
+
+func (q *eventQueue) heapPush(en entry) {
+	h := append(q.heap, en)
+	q.heap = h
+	// Sift up along the hole: parents move down one slot each and the new
+	// entry is written exactly once, halving the copies of a swap chain.
+	j := len(h) - 1
+	for j > 0 {
+		i := (j - 1) / 4
+		if !(en.at < h[i].at || (en.at == h[i].at && en.seq < h[i].seq)) {
+			break
+		}
+		h[j] = h[i]
+		j = i
+	}
+	h[j] = en
+}
+
+func (q *eventQueue) heapPop() entry {
+	h := q.heap
+	en := h[0]
 	n := len(h) - 1
-	h[0], h[n] = h[n], h[0]
-	en := h[n]
+	last := h[n]
 	h[n] = entry{}
 	h = h[:n]
-	*q = h
-	// Sift down from the root.
-	for i := 0; ; {
-		l := 2*i + 1
-		if l >= n {
+	q.heap = h
+	if n == 0 {
+		return en
+	}
+	// Sift the former tail entry down along the min-child path (4-ary:
+	// half the depth of a binary heap), moving children up into the hole
+	// instead of swapping; the tail entry is written exactly once at its
+	// final slot.
+	i := 0
+	for {
+		c := 4*i + 1
+		if c >= n {
 			break
 		}
-		j := l
-		if r := l + 1; r < n && h.less(r, l) {
-			j = r
+		j := c
+		end := c + 4
+		if end > n {
+			end = n
 		}
-		if !h.less(j, i) {
+		for k := c + 1; k < end; k++ {
+			if h[k].at < h[j].at || (h[k].at == h[j].at && h[k].seq < h[j].seq) {
+				j = k
+			}
+		}
+		if !(h[j].at < last.at || (h[j].at == last.at && h[j].seq < last.seq)) {
 			break
 		}
-		h[i], h[j] = h[j], h[i]
+		h[i] = h[j]
 		i = j
 	}
+	h[i] = last
 	return en
 }

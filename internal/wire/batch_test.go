@@ -1,0 +1,184 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// batchOf builds a batch container from the given messages.
+func batchOf(t testing.TB, msgs ...*Message) []byte {
+	t.Helper()
+	var buf []byte
+	for _, m := range msgs {
+		enc, err := m.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = AppendBatchEntry(buf, enc)
+	}
+	return buf
+}
+
+// TestBatchRoundTrip pins the container format: encode N messages,
+// decode the batch, get the same messages back in order.
+func TestBatchRoundTrip(t *testing.T) {
+	msgs := []*Message{
+		sampleMessage(),
+		{Type: TypeAck, Sender: 9, Initiator: 3, Seq: 42, Round: 1, HasValue: true, Value: Value{0xFF}},
+		{Type: TypeFinal, Sender: 2, Initiator: 2, Round: 10,
+			Set: []SetEntry{{Initiator: 1, Value: Value{0xA}}, {Initiator: 5, Value: Value{0xB}}}},
+	}
+	data := batchOf(t, msgs...)
+	if !IsBatch(data) {
+		t.Fatal("batch container not recognized by IsBatch")
+	}
+	got, err := DecodeBatch(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(msgs) {
+		t.Fatalf("decoded %d messages, want %d", len(got), len(msgs))
+	}
+	for i, m := range got {
+		want, _ := msgs[i].Encode()
+		re, err := m.AppendEncode(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(re, want) {
+			t.Fatalf("message %d did not round-trip", i)
+		}
+	}
+}
+
+// TestBatchSingleMessageDistinct pins the framing invariant the runtime
+// relies on: a bare encoded message is never a batch, and a batch of one
+// is not the bare encoding.
+func TestBatchSingleMessageDistinct(t *testing.T) {
+	enc, err := sampleMessage().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if IsBatch(enc) {
+		t.Fatal("bare message misdetected as batch")
+	}
+	b := AppendBatchEntry(nil, enc)
+	if bytes.Equal(b, enc) {
+		t.Fatal("batch of one is byte-identical to the bare message")
+	}
+	if _, err := Decode(b); err == nil {
+		t.Fatal("Decode accepted a batch container")
+	}
+	if _, err := DecodeBatch(enc); !errors.Is(err, ErrNotBatch) {
+		t.Fatalf("DecodeBatch(bare message) = %v, want ErrNotBatch", err)
+	}
+}
+
+// TestBatchAppendReusesScratch pins the outbox buffer contract: resetting
+// with buf[:0] and re-appending rebuilds a fresh container in place.
+func TestBatchAppendReusesScratch(t *testing.T) {
+	enc, _ := sampleMessage().Encode()
+	buf := AppendBatchEntry(nil, enc)
+	first := append([]byte(nil), buf...)
+	buf = AppendBatchEntry(buf[:0], enc)
+	if !bytes.Equal(buf, first) {
+		t.Fatal("rebuilt batch differs after buf[:0] reset")
+	}
+}
+
+// TestDecodeBatchRejects enumerates every non-canonical shape the strict
+// decoder must refuse.
+func TestDecodeBatchRejects(t *testing.T) {
+	enc, _ := sampleMessage().Encode()
+	good := AppendBatchEntry(nil, enc)
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"empty input", nil, ErrNotBatch},
+		{"wrong magic", append([]byte{0x7F}, good[1:]...), ErrNotBatch},
+		{"empty container", []byte{BatchMagic}, ErrEmptyBatch},
+		{"truncated length prefix", good[:3], ErrTruncated},
+		{"length past end", good[:len(good)-1], ErrTruncated},
+		{"trailing garbage", append(append([]byte(nil), good...), 0xEE), ErrTruncated},
+		{"trailing entry-shaped garbage", append(append([]byte(nil), good...), 4, 0, 0, 0, 1, 2, 3, 4), ErrTruncated},
+		{"entry with trailing byte", func() []byte {
+			padded := append(append([]byte(nil), enc...), 0)
+			return AppendBatchEntry(nil, padded)
+		}(), ErrTrailing},
+		{"entry too short", AppendBatchEntry(nil, enc[:headerSize-1]), ErrTruncated},
+		{"zero-length entry", []byte{BatchMagic, 0, 0, 0, 0}, ErrTruncated},
+	}
+	for _, tc := range cases {
+		if _, err := DecodeBatch(tc.data); !errors.Is(err, tc.want) {
+			t.Errorf("%s: DecodeBatch = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestBatchIterRawEntries pins the hot-path contract: the iterator hands
+// back the exact transmitted sub-slices (the bytes ACK digests cover).
+func TestBatchIterRawEntries(t *testing.T) {
+	a, _ := sampleMessage().Encode()
+	b, _ := (&Message{Type: TypeAck, Sender: 1, Round: 2, HasValue: true}).Encode()
+	data := AppendBatchEntry(AppendBatchEntry(nil, a), b)
+	it, err := IterBatch(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range [][]byte{a, b} {
+		raw, ok, err := it.Next()
+		if err != nil || !ok {
+			t.Fatalf("entry %d: ok=%v err=%v", i, ok, err)
+		}
+		if !bytes.Equal(raw, want) {
+			t.Fatalf("entry %d bytes differ from encoded input", i)
+		}
+	}
+	if _, ok, err := it.Next(); ok || err != nil {
+		t.Fatalf("exhausted iterator returned ok=%v err=%v", ok, err)
+	}
+}
+
+// FuzzDecodeBatch feeds arbitrary bytes to the batch decoder: it must
+// never panic, and any accepted batch must re-encode to exactly the
+// input (container canonicality, mirroring FuzzDecode for entries).
+func FuzzDecodeBatch(f *testing.F) {
+	one, _ := sampleMessage().Encode()
+	ack, _ := (&Message{Type: TypeAck, Sender: 1, Initiator: 2, Seq: 3, Round: 4, HasValue: true}).Encode()
+	final, _ := (&Message{Type: TypeFinal, Sender: 2, Initiator: 2, Round: 1,
+		Set: []SetEntry{{Initiator: 0, Value: Value{1}}}}).Encode()
+	single := AppendBatchEntry(nil, one)
+	multi := AppendBatchEntry(AppendBatchEntry(AppendBatchEntry(nil, one), ack), final)
+	f.Add(single)
+	f.Add(multi)
+	f.Add([]byte{BatchMagic})                                        // empty container
+	f.Add(single[:3])                                                // truncated length prefix
+	f.Add(multi[:len(multi)-1])                                      // truncated last entry
+	f.Add(append(append([]byte(nil), single...), 0xEE))              // trailing garbage
+	f.Add(append(append([]byte(nil), single...), 0, 0, 0, 0))        // trailing zero-length entry
+	f.Add(AppendBatchEntry(nil, append(one[:len(one):len(one)], 0))) // entry with trailing byte
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msgs, err := DecodeBatch(data)
+		if err != nil {
+			return
+		}
+		if len(msgs) == 0 {
+			t.Fatal("DecodeBatch accepted input but returned no messages")
+		}
+		var re []byte
+		for _, m := range msgs {
+			enc, err := m.AppendEncode(nil)
+			if err != nil {
+				t.Fatalf("decoded entry failed to re-encode: %v", err)
+			}
+			re = AppendBatchEntry(re, enc)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatalf("batch decode/encode not canonical:\n in  %x\n out %x", data, re)
+		}
+	})
+}
