@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race chaos lint obs-smoke verify bench bench-telemetry bench-coalesce benchsmoke clean
+.PHONY: build test vet race chaos lint obs-smoke verify bench bench-telemetry bench-coalesce bench-mux benchsmoke clean
 
 build:
 	$(GO) build ./...
@@ -81,6 +81,16 @@ bench-telemetry:
 bench-coalesce:
 	$(GO) run ./cmd/p2pbench -count 5 -bench cluster_broadcast \
 		-baseline BENCH_telemetry.json -o BENCH_coalesce.json
+
+# bench-mux re-measures the multiplexed-runtime artifact: aggregate
+# broadcast throughput at N=64 with 1/10/100/1000 concurrent instances
+# over one standing cluster, against three baselines measured in the
+# same window — dedicated deployments (the pre-mux status quo: a fresh
+# cluster per broadcast), serial broadcasts on the standing cluster
+# (stricter: setup amortized away), and the mux with batching disabled
+# (ablation). Best-of-3; the dedicated rows dominate the wall time.
+bench-mux:
+	$(GO) run ./cmd/p2pbench -count 3 -bench cluster_mux -o BENCH_mux.json
 
 clean:
 	$(GO) clean ./...

@@ -88,6 +88,35 @@ func BenchmarkClusterBroadcast(b *testing.B) {
 	}
 }
 
+// BenchmarkClusterBroadcastMany measures the multiplexed runtime: 32
+// concurrent ERB instances over one 16-node cluster, admitted 8 at a
+// time. Small-scale smoke coverage of the mux path; the real sustained
+// throughput artifact is BENCH_mux.json (make bench-mux).
+func BenchmarkClusterBroadcastMany(b *testing.B) {
+	cluster, err := sgxp2p.NewCluster(sgxp2p.Options{N: 16, T: 7, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	reqs := make([]sgxp2p.BroadcastRequest, 32)
+	for j := range reqs {
+		reqs[j] = sgxp2p.BroadcastRequest{
+			Initiator: sgxp2p.NodeID(j % cluster.N()),
+			Value:     sgxp2p.ValueFromString("bench"),
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := cluster.BroadcastMany(reqs, sgxp2p.MuxOptions{MaxInFlight: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(results) != len(reqs) {
+			b.Fatalf("got %d results, want %d", len(results), len(reqs))
+		}
+	}
+}
+
 // BenchmarkClusterRandom measures one full basic-ERNG epoch on a 16-node
 // cluster through the public API.
 func BenchmarkClusterRandom(b *testing.B) {

@@ -45,6 +45,9 @@ type result struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	Seconds     float64 `json:"seconds_per_op"`
+	// Throughput is broadcasts completed per second, reported only by the
+	// multiplexed-runtime benchmarks (one op = many concurrent broadcasts).
+	Throughput float64 `json:"broadcasts_per_sec,omitempty"`
 }
 
 // snapshot is the file layout of BENCH_setup.json.
@@ -91,6 +94,7 @@ func run(args []string) error {
 		baseline   = fs.String("baseline", "", "previous snapshot JSON to diff the new results against")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
 		memprofile = fs.String("memprofile", "", "write a heap profile taken after the run to this file")
+		instances  = fs.Int("instances", 1000, "concurrent broadcasts per op in the headline cluster_mux benchmarks")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -162,6 +166,86 @@ func run(args []string) error {
 			}
 		}
 	}
+	// muxBroadcast measures k concurrent ERB broadcasts multiplexed over a
+	// standing cluster's shared links (one BroadcastMany per op): the
+	// sustained-throughput workload the Mux exists for. Initiators rotate
+	// round-robin so every node both initiates and relays. The nobatch
+	// variant disables cross-instance frame coalescing — on this workload
+	// the ablation is live, because concurrent instances give every link
+	// multiple same-round frames to merge (a single broadcast does not;
+	// see EXPERIMENTS.md).
+	muxBroadcast := func(n, t, k int, disableBatching bool) func(b *testing.B) {
+		return func(b *testing.B) {
+			cluster, err := sgxp2p.NewCluster(sgxp2p.Options{
+				N: n, T: t, Seed: 1, DisableBatching: disableBatching,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			reqs := make([]sgxp2p.BroadcastRequest, k)
+			for j := range reqs {
+				reqs[j] = sgxp2p.BroadcastRequest{
+					Initiator: sgxp2p.NodeID(j % n),
+					Value:     sgxp2p.ValueFromString("bench"),
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := cluster.BroadcastMany(reqs, sgxp2p.MuxOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(k)*float64(b.N)/b.Elapsed().Seconds(), "broadcasts/sec")
+		}
+	}
+	// serialMany is the baseline the mux is judged against: the same k
+	// broadcasts issued one Broadcast epoch at a time over the same
+	// cluster.
+	serialMany := func(n, t, k int) func(b *testing.B) {
+		return func(b *testing.B) {
+			cluster, err := sgxp2p.NewCluster(sgxp2p.Options{N: n, T: t, Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			payload := sgxp2p.ValueFromString("bench")
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < k; j++ {
+					if _, err := cluster.Broadcast(sgxp2p.NodeID(j%n), payload); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ReportMetric(float64(k)*float64(b.N)/b.Elapsed().Seconds(), "broadcasts/sec")
+		}
+	}
+	// dedicatedMany is the pre-mux status quo the Mux replaced: each
+	// broadcast gets its own dedicated deployment — fresh enclaves,
+	// links and peers per instance, so every broadcast re-pays the
+	// O(N^2) channel setup. serialMany is the stricter variant of the
+	// same serial schedule with setup amortized away by a standing
+	// cluster; BENCH_mux.json records the mux against both.
+	dedicatedMany := func(n, t, k int) func(b *testing.B) {
+		return func(b *testing.B) {
+			payload := sgxp2p.ValueFromString("bench")
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < k; j++ {
+					cluster, err := sgxp2p.NewCluster(sgxp2p.Options{N: n, T: t, Seed: 1})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := cluster.Broadcast(sgxp2p.NodeID(j%n), payload); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ReportMetric(float64(k)*float64(b.N)/b.Elapsed().Seconds(), "broadcasts/sec")
+		}
+	}
 	benches := []struct {
 		name string
 		fn   func(b *testing.B)
@@ -179,6 +263,16 @@ func run(args []string) error {
 		{"cluster_broadcast_n64_nobatch", broadcast(64, 31, true)},
 		{"cluster_broadcast_n512", broadcast(512, 255, false)},
 		{"cluster_broadcast_n512_nobatch", broadcast(512, 255, true)},
+		// The instances sweep: same cluster, growing concurrency. The
+		// headline count is -instances; the serial and nobatch rows at that
+		// count are the two comparisons BENCH_mux.json is judged on.
+		{"cluster_mux_n64_i1", muxBroadcast(64, 31, 1, false)},
+		{"cluster_mux_n64_i10", muxBroadcast(64, 31, 10, false)},
+		{"cluster_mux_n64_i100", muxBroadcast(64, 31, 100, false)},
+		{fmt.Sprintf("cluster_mux_n64_i%d", *instances), muxBroadcast(64, 31, *instances, false)},
+		{fmt.Sprintf("cluster_mux_nobatch_n64_i%d", *instances), muxBroadcast(64, 31, *instances, true)},
+		{fmt.Sprintf("cluster_mux_serial_n64_i%d", *instances), serialMany(64, 31, *instances)},
+		{fmt.Sprintf("cluster_mux_dedicated_n64_i%d", *instances), dedicatedMany(64, 31, *instances)},
 		{"sweep_fig2a", sweep("fig2a")},
 		{"sweep_fig2b", sweep("fig2b")},
 	}
@@ -209,6 +303,7 @@ func run(args []string) error {
 			AllocsPerOp: r.AllocsPerOp(),
 			BytesPerOp:  r.AllocedBytesPerOp(),
 			Seconds:     time.Duration(r.NsPerOp()).Seconds(),
+			Throughput:  r.Extra["broadcasts/sec"],
 		})
 	}
 

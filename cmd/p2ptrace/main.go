@@ -4,6 +4,7 @@
 // Usage:
 //
 //	p2ptrace run.jsonl            # pretty-print the per-round timeline
+//	p2ptrace -instance 3 run.jsonl  # timeline of one protocol instance only
 //	p2ptrace -check run.jsonl     # strict schema + monotonicity check
 //	p2ptrace -diff a.jsonl b.jsonl  # first diverging line (exit 1 if any)
 //
@@ -15,6 +16,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"sgxp2p/internal/telemetry"
@@ -30,8 +32,9 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("p2ptrace", flag.ContinueOnError)
 	var (
-		check = fs.Bool("check", false, "validate the trace (schema, kinds, monotone timestamps) and print its event count")
-		diff  = fs.Bool("diff", false, "compare two traces line by line; exit 1 on the first divergence")
+		check    = fs.Bool("check", false, "validate the trace (schema, kinds, monotone timestamps) and print its event count")
+		diff     = fs.Bool("diff", false, "compare two traces line by line; exit 1 on the first divergence")
+		instance = fs.Int("instance", -1, "filter the timeline to one protocol instance id (multiplexed traces)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -48,11 +51,15 @@ func run(args []string) error {
 	if *check {
 		return checkTrace(fs.Arg(0))
 	}
-	return printTimeline(fs.Arg(0))
+	if *instance > 1<<32-1 {
+		return fmt.Errorf("-instance %d out of range", *instance)
+	}
+	return printTimeline(os.Stdout, fs.Arg(0), *instance)
 }
 
-// printTimeline renders a trace as the per-round timeline.
-func printTimeline(path string) error {
+// printTimeline renders a trace as the per-round timeline, optionally
+// filtered to one protocol instance (instance < 0 keeps everything).
+func printTimeline(w io.Writer, path string, instance int) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -62,7 +69,10 @@ func printTimeline(path string) error {
 	if err != nil {
 		return err
 	}
-	return telemetry.WriteTimeline(os.Stdout, events)
+	if instance >= 0 {
+		events = telemetry.FilterInstance(events, uint32(instance))
+	}
+	return telemetry.WriteTimeline(w, events)
 }
 
 // checkTrace validates a trace file and reports its event count.

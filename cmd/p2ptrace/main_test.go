@@ -1,0 +1,62 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sgxp2p/internal/telemetry"
+)
+
+// writeMuxTrace exports a small multiplexed trace (two instances
+// interleaved on one node) to a temp JSONL file.
+func writeMuxTrace(t *testing.T) string {
+	t.Helper()
+	tr := telemetry.New(telemetry.Options{})
+	tr.RecordInst(0, 1, 1, telemetry.KindInit, 0, 0, "")
+	tr.RecordInst(0, 1, 2, telemetry.KindInit, 0, 0, "")
+	tr.RecordInst(0, 2, 1, telemetry.KindDeliver, 1, 0, "")
+	tr.RecordInst(0, 2, 2, telemetry.KindDeliver, 1, 0, "")
+	tr.RecordInst(0, 3, 1, telemetry.KindAccept, 0, 0, "")
+	path := filepath.Join(t.TempDir(), "mux.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := tr.ExportJSONL(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestTimelineInstanceFilter pins the -instance flag: the filtered
+// timeline keeps only the requested instance's events.
+func TestTimelineInstanceFilter(t *testing.T) {
+	path := writeMuxTrace(t)
+	var all, one strings.Builder
+	if err := printTimeline(&all, path, -1); err != nil {
+		t.Fatal(err)
+	}
+	if err := printTimeline(&one, path, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(all.String(), "inst=2") {
+		t.Fatalf("unfiltered timeline lost instance 2:\n%s", all.String())
+	}
+	got := one.String()
+	if strings.Contains(got, "inst=2") {
+		t.Fatalf("-instance 1 timeline still shows instance 2:\n%s", got)
+	}
+	if strings.Count(got, "inst=1") != 3 {
+		t.Fatalf("-instance 1 timeline should keep 3 events:\n%s", got)
+	}
+	var none strings.Builder
+	if err := printTimeline(&none, path, 7); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(none.String(), "inst=") {
+		t.Fatalf("-instance 7 timeline should be empty of events:\n%s", none.String())
+	}
+}

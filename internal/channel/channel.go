@@ -473,3 +473,21 @@ func (l *Link) OpenEncodedAppend(dst, sealed []byte) (*wire.Message, []byte, err
 func (l *Link) SealedMessageSize(msg *wire.Message) int {
 	return l.sealer.SealedSize(msg.EncodedSize())
 }
+
+// FrameTag returns the link-unique identifier of a sealed envelope: the
+// first eight header bytes, which both sealers fill with per-envelope
+// material (the ModelSealer's strictly increasing counter, the
+// RealSealer's random AES-CTR nonce prefix). Sender and receiver read
+// the same bytes off the same envelope, so the tag lets an
+// acknowledgment name a whole sealed frame without hashing it — content
+// binding is inherited from the envelope's own authentication (P2): a
+// receiver can only have opened the exact bytes the tag came from.
+// Counter tags never repeat on a link; random nonce prefixes collide
+// with probability 2^-64 per frame pair, which downstream users accept
+// (a collision merely merges two ACK credits within one round).
+func FrameTag(sealed []byte) uint64 {
+	if len(sealed) < 8 {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(sealed)
+}

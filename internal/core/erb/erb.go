@@ -115,14 +115,23 @@ type instance struct {
 // ids are dense small integers and every one of these structures is hit
 // once or more per delivered message.
 type Engine struct {
-	peer       *runtime.Peer
+	peer       runtime.Host
 	cfg        Config
 	self       wire.NodeID
 	selfMember bool
-	member     []bool // dense Members set
-	nm         int    // number of members
+	member     []bool // dense Members set; nil = full roster (ids 0..nm-1)
+	mcast      []wire.NodeID
+	nm         int // number of members
 	hasExpect  bool
-	expect     []bool // dense ExpectedInitiators set (when hasExpect)
+	expect     []bool // dense ExpectedInitiators set (nil when exactly one is expected)
+
+	// Single-expected-initiator fast path: the shape every multiplexed
+	// broadcast builds (one engine per request, one initiator each), so
+	// thousands of engines per epoch. The instance lives inline and the
+	// dense expect/instances tables stay unallocated.
+	expectOne   wire.NodeID // the initiator, when hasExpect && expect == nil
+	instOne     instance    // its instance storage
+	instOneLive bool        // instOne is tracked
 
 	input     *wire.Value
 	instances []*instance // indexed by initiator, nil until tracked
@@ -131,8 +140,16 @@ type Engine struct {
 	metrics   erbMetrics
 }
 
-// isMember reports whether id is in the broadcast scope.
+// singleExpect reports the single-expected-initiator shape.
+func (e *Engine) singleExpect() bool { return e.hasExpect && e.expect == nil }
+
+// isMember reports whether id is in the broadcast scope. A nil member
+// slice is the full roster: membership is a range check, with no dense
+// set materialized per engine.
 func (e *Engine) isMember(id wire.NodeID) bool {
+	if e.member == nil {
+		return int(id) < e.nm
+	}
 	return int(id) < len(e.member) && e.member[id]
 }
 
@@ -153,19 +170,27 @@ func valueFP(v wire.Value) uint64 {
 var _ runtime.Protocol = (*Engine)(nil)
 
 // NewEngine validates the configuration and builds an engine bound to a
-// peer runtime.
-func NewEngine(peer *runtime.Peer, cfg Config) (*Engine, error) {
+// runtime host — a dedicated *runtime.Peer or a multiplexed
+// *runtime.Instance; the engine is identical either way.
+func NewEngine(peer runtime.Host, cfg Config) (*Engine, error) {
 	if peer == nil {
 		return nil, errors.New("erb: nil peer")
 	}
+	nm := len(cfg.Members)
 	if cfg.Members == nil {
-		cfg.Members = allNodes(peer.N())
+		// Full-roster scope, the default: kept implicit instead of
+		// materializing the identity list. Membership becomes a range
+		// check and multicasts pass nil destinations — the runtime's
+		// all-peers fast path, which also keeps flush windows
+		// frame-ackable. A multiplexed epoch builds thousands of engines,
+		// so the two saved allocations (list + dense set) matter.
+		nm = peer.N()
 	}
-	if len(cfg.Members) < 2 {
-		return nil, fmt.Errorf("erb: need at least 2 members, got %d", len(cfg.Members))
+	if nm < 2 {
+		return nil, fmt.Errorf("erb: need at least 2 members, got %d", nm)
 	}
-	if cfg.T < 0 || 2*cfg.T+1 > len(cfg.Members) {
-		return nil, fmt.Errorf("erb: byzantine bound t=%d violates N_m >= 2t+1 for N_m=%d", cfg.T, len(cfg.Members))
+	if cfg.T < 0 || 2*cfg.T+1 > nm {
+		return nil, fmt.Errorf("erb: byzantine bound t=%d violates N_m >= 2t+1 for N_m=%d", cfg.T, nm)
 	}
 	if cfg.StartRound == 0 {
 		cfg.StartRound = 1
@@ -177,20 +202,24 @@ func NewEngine(peer *runtime.Peer, cfg Config) (*Engine, error) {
 		peer: peer,
 		cfg:  cfg,
 		self: peer.ID(),
-		nm:   len(cfg.Members),
+		nm:   nm,
 	}
-	maxID := wire.NodeID(0)
-	for _, id := range cfg.Members {
-		if id > maxID {
-			maxID = id
+	size := nm // full roster: ids are 0..N-1
+	if cfg.Members != nil {
+		maxID := wire.NodeID(0)
+		for _, id := range cfg.Members {
+			if id > maxID {
+				maxID = id
+			}
 		}
-	}
-	e.member = make([]bool, int(maxID)+1)
-	for _, id := range cfg.Members {
-		e.member[id] = true
+		size = int(maxID) + 1
+		e.member = make([]bool, size)
+		for _, id := range cfg.Members {
+			e.member[id] = true
+		}
+		e.mcast = cfg.Members
 	}
 	e.selfMember = e.isMember(e.self)
-	e.instances = make([]*instance, int(maxID)+1)
 	if m := peer.Metrics(); m != nil {
 		e.metrics = erbMetrics{
 			accepts:     m.Counter("erb_accepts_total"),
@@ -200,23 +229,26 @@ func NewEngine(peer *runtime.Peer, cfg Config) (*Engine, error) {
 	}
 	if cfg.ExpectedInitiators != nil {
 		e.hasExpect = true
-		e.expect = make([]bool, int(maxID)+1)
 		for _, id := range cfg.ExpectedInitiators {
 			if !e.isMember(id) {
 				return nil, fmt.Errorf("erb: expected initiator %d is not a member", id)
 			}
+		}
+		if len(cfg.ExpectedInitiators) == 1 {
+			// The multiplexed-broadcast shape: one engine per request, one
+			// expected initiator each, thousands of engines per epoch. The
+			// expect set, the instance table and the instance itself stay
+			// inline — zero dense tables per engine.
+			e.expectOne = cfg.ExpectedInitiators[0]
+			return e, nil
+		}
+		e.expect = make([]bool, size)
+		for _, id := range cfg.ExpectedInitiators {
 			e.expect[id] = true
 		}
 	}
+	e.instances = make([]*instance, size)
 	return e, nil
-}
-
-func allNodes(n int) []wire.NodeID {
-	out := make([]wire.NodeID, n)
-	for i := range out {
-		out[i] = wire.NodeID(i)
-	}
-	return out
 }
 
 // Rounds returns the number of lockstep rounds the engine needs from
@@ -235,6 +267,12 @@ func (e *Engine) SetInput(v wire.Value) {
 // The boolean reports whether a decision exists (it always does after the
 // engine finished, for expected initiators).
 func (e *Engine) Result(initiator wire.NodeID) (Result, bool) {
+	if e.singleExpect() {
+		if initiator != e.expectOne || !e.instOneLive || !e.instOne.decided {
+			return Result{}, false
+		}
+		return e.instOne.result, true
+	}
 	if int(initiator) >= len(e.instances) {
 		return Result{}, false
 	}
@@ -248,6 +286,12 @@ func (e *Engine) Result(initiator wire.NodeID) (Result, bool) {
 // Results returns all decided instances keyed by initiator.
 func (e *Engine) Results() map[wire.NodeID]Result {
 	out := make(map[wire.NodeID]Result)
+	if e.singleExpect() {
+		if e.instOneLive && e.instOne.decided {
+			out[e.expectOne] = e.instOne.result
+		}
+		return out
+	}
 	for id, inst := range e.instances {
 		if inst != nil && inst.decided {
 			out[wire.NodeID(id)] = inst.result
@@ -302,6 +346,16 @@ func (e *Engine) acceptThreshold() int {
 // the ACK threshold and churning them out. Relays are still only accepted
 // from members, and explicit ExpectedInitiators still filter.
 func (e *Engine) getInstance(initiator wire.NodeID) *instance {
+	if e.singleExpect() {
+		if initiator != e.expectOne {
+			return nil
+		}
+		if !e.instOneLive {
+			e.instOneLive = true
+			e.instOne.initiator = initiator
+		}
+		return &e.instOne
+	}
 	if e.hasExpect && (int(initiator) >= len(e.expect) || !e.expect[initiator]) {
 		return nil
 	}
@@ -366,7 +420,7 @@ func (e *Engine) startBroadcast(rnd uint32) {
 		Value:     inst.value,
 	}
 	e.peer.Trace(telemetry.KindInit, wire.NoNode, valueFP(inst.value))
-	if err := e.peer.Multicast(e.cfg.Members, msg, e.cfg.AckThreshold); err != nil {
+	if err := e.peer.Multicast(e.mcast, msg, e.cfg.AckThreshold); err != nil {
 		// Halted mid-multicast: nothing further to do.
 		return
 	}
@@ -390,7 +444,7 @@ func (e *Engine) multicastEcho(inst *instance, rnd uint32) {
 		HasValue:  true,
 		Value:     inst.value,
 	}
-	_ = e.peer.Multicast(e.cfg.Members, msg, e.cfg.AckThreshold) //lint:allow sealerr a halted or partitioned receiver is recorded by the runtime; the sender has nothing further to do this round
+	_ = e.peer.Multicast(e.mcast, msg, e.cfg.AckThreshold) //lint:allow sealerr a halted or partitioned receiver is recorded by the runtime; the sender has nothing further to do this round
 }
 
 // OnMessage implements runtime.Protocol. The runtime already enforced

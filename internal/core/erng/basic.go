@@ -31,11 +31,12 @@ type Result struct {
 // instance per node, XOR of the accepted set. It implements
 // runtime.Protocol.
 type Basic struct {
-	peer    *runtime.Peer
-	t       int
-	eng     *erb.Engine
-	decided bool
-	result  Result
+	peer       runtime.Host
+	t          int
+	startRound uint32
+	eng        *erb.Engine
+	decided    bool
+	result     Result
 }
 
 var _ runtime.Protocol = (*Basic)(nil)
@@ -43,9 +44,20 @@ var _ runtime.Protocol = (*Basic)(nil)
 // NewBasic builds the unoptimized ERNG for a network tolerating t < N/2.
 // The node's random contribution is drawn inside the enclave (F2) at
 // round 1 — the OS never observes it before it is committed (P3).
-func NewBasic(peer *runtime.Peer, t int) (*Basic, error) {
+func NewBasic(peer runtime.Host, t int) (*Basic, error) {
+	return NewBasicAt(peer, t, 1)
+}
+
+// NewBasicAt is NewBasic with an explicit start round: the embedded ERB
+// launches (and the enclave contribution is drawn) at startRound instead
+// of round 1. A multiplexed instance passes its admission round, so the
+// same protocol runs at any offset of the shared lockstep schedule.
+func NewBasicAt(peer runtime.Host, t int, startRound uint32) (*Basic, error) {
 	if peer == nil {
 		return nil, errors.New("erng: nil peer")
+	}
+	if startRound == 0 {
+		startRound = 1
 	}
 	all := make([]wire.NodeID, peer.N())
 	for i := range all {
@@ -53,15 +65,17 @@ func NewBasic(peer *runtime.Peer, t int) (*Basic, error) {
 	}
 	eng, err := erb.NewEngine(peer, erb.Config{
 		T:                  t,
+		StartRound:         startRound,
 		ExpectedInitiators: all,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("erng: embedded ERB: %w", err)
 	}
-	return &Basic{peer: peer, t: t, eng: eng}, nil
+	return &Basic{peer: peer, t: t, startRound: startRound, eng: eng}, nil
 }
 
-// Rounds returns the lockstep rounds the protocol needs (t+2).
+// Rounds returns the last lockstep round the protocol needs (its start
+// round plus t+1; t+2 total from a round-1 start).
 func (b *Basic) Rounds() int { return b.eng.Rounds() }
 
 // Result returns the node's decision once the protocol finished.
@@ -71,7 +85,7 @@ func (b *Basic) Result() (Result, bool) {
 
 // OnRound implements runtime.Protocol.
 func (b *Basic) OnRound(rnd uint32) {
-	if rnd == 1 {
+	if rnd == b.startRound {
 		v, err := b.peer.Enclave().RandomValue()
 		if err != nil {
 			// Halted enclave: nothing to contribute.

@@ -23,7 +23,7 @@ import (
 //
 // where T_c = Params.MaxClusterT (gamma in the paper's notation).
 type Optimized struct {
-	peer   *runtime.Peer
+	peer   runtime.Host
 	params Params
 
 	chosen   bool
@@ -45,7 +45,7 @@ var _ runtime.Protocol = (*Optimized)(nil)
 // NewOptimized builds the optimized ERNG for a network tolerating
 // t <= N/3. Use ResolveParams (or the zero Mode for auto) to pick the
 // sampling parameters.
-func NewOptimized(peer *runtime.Peer, t int, mode Mode, gammaOverride int) (*Optimized, error) {
+func NewOptimized(peer runtime.Host, t int, mode Mode, gammaOverride int) (*Optimized, error) {
 	if peer == nil {
 		return nil, errors.New("erng: nil peer")
 	}

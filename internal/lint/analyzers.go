@@ -20,7 +20,7 @@ var DeterministicPackages = []string{
 }
 
 // Analyzers returns the full p2plint battery in the order findings are
-// attributed: the five project invariants, then the two general passes
+// attributed: the six project invariants, then the two general passes
 // adopted from x/tools (reimplemented locally — see shadow.go/nilness.go).
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
@@ -29,6 +29,7 @@ func Analyzers() []*Analyzer {
 		SealerrAnalyzer,
 		TelemetryAnalyzer,
 		LockstepAnalyzer,
+		MuxboundaryAnalyzer,
 		ShadowAnalyzer,
 		NilnessAnalyzer,
 	}

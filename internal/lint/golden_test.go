@@ -14,8 +14,13 @@ func TestSealerrGolden(t *testing.T)  { runGolden(t, SealerrAnalyzer, "sealerr")
 
 func TestTelemetryGolden(t *testing.T) { runGolden(t, TelemetryAnalyzer, "telemetry") }
 func TestLockstepGolden(t *testing.T)  { runGolden(t, LockstepAnalyzer, "lockstep") }
-func TestShadowGolden(t *testing.T)    { runGolden(t, ShadowAnalyzer, "shadow") }
-func TestNilnessGolden(t *testing.T)   { runGolden(t, NilnessAnalyzer, "nilness") }
+
+// TestMuxboundaryGolden additionally exercises LoadDir's local-fake
+// importer: the testdata package imports fake internal/runtime,
+// internal/channel and internal/xcrypto subpackages.
+func TestMuxboundaryGolden(t *testing.T) { runGolden(t, MuxboundaryAnalyzer, "muxboundary") }
+func TestShadowGolden(t *testing.T)      { runGolden(t, ShadowAnalyzer, "shadow") }
+func TestNilnessGolden(t *testing.T)     { runGolden(t, NilnessAnalyzer, "nilness") }
 
 // TestDirectiveGolden exercises the suppression machinery itself: reasoned
 // directives silence findings, reasonless or unknown-analyzer directives are

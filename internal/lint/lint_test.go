@@ -29,6 +29,10 @@ func TestScopes(t *testing.T) {
 		{DetrandAnalyzer, "sgxp2p/cmd/p2pnode", false},
 		{LockstepAnalyzer, "sgxp2p/internal/runtime", true},
 		{LockstepAnalyzer, "sgxp2p/internal/deploy", false},
+		{MuxboundaryAnalyzer, "sgxp2p/internal/core/erb", true},
+		{MuxboundaryAnalyzer, "sgxp2p/internal/core/erng", true},
+		{MuxboundaryAnalyzer, "sgxp2p/internal/runtime", false}, // the runtime owns those symbols
+		{MuxboundaryAnalyzer, "sgxp2p/internal/deploy", false},  // node-scoped wiring is its job
 		{SealerrAnalyzer, "sgxp2p/internal/baseline", true},
 		{MaporderAnalyzer, "sgxp2p", true},
 		{ShadowAnalyzer, "sgxp2p/examples/beacon", true},
@@ -44,7 +48,7 @@ func TestScopes(t *testing.T) {
 // TestRegistry pins the battery composition and that names used in
 // //lint:allow directives stay stable.
 func TestRegistry(t *testing.T) {
-	want := []string{"detrand", "maporder", "sealerr", "telemetry", "lockstep", "shadow", "nilness"}
+	want := []string{"detrand", "maporder", "sealerr", "telemetry", "lockstep", "muxboundary", "shadow", "nilness"}
 	got := Analyzers()
 	if len(got) != len(want) {
 		t.Fatalf("Analyzers() returned %d analyzers, want %d", len(got), len(want))

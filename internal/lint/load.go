@@ -68,8 +68,58 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 
 // LoadDir parses and type-checks the .go files of a single directory outside
 // the module (the analysistest harness loads testdata packages this way).
-// Imports resolve against the standard library only.
+// Subdirectories holding .go files are pre-loaded first and made importable
+// by their slash path relative to dir (e.g. "internal/runtime"), so a
+// testdata package can model cross-package boundaries with local fakes;
+// everything else resolves against the standard library.
 func LoadDir(dir string) (*Package, error) {
+	files, err := goFilesIn(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no .go files in %s", dir)
+	}
+	fset := token.NewFileSet()
+	imp := &localImporter{
+		std:  importer.ForCompiler(fset, "source", nil),
+		pkgs: make(map[string]*types.Package),
+	}
+	subs, err := subPackageDirs(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, rel := range subs {
+		subFiles, err := goFilesIn(filepath.Join(dir, rel))
+		if err != nil {
+			return nil, err
+		}
+		path := filepath.ToSlash(rel)
+		pkg, err := check(fset, imp, path, filepath.Join(dir, rel), subFiles)
+		if err != nil {
+			return nil, err
+		}
+		imp.pkgs[path] = pkg.Types
+	}
+	return check(fset, imp, filepath.Base(dir), dir, files)
+}
+
+// localImporter resolves pre-loaded local packages by relative path and
+// defers everything else to the standard source importer.
+type localImporter struct {
+	std  types.Importer
+	pkgs map[string]*types.Package
+}
+
+func (l *localImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+// goFilesIn lists the non-test .go file names directly inside dir, sorted.
+func goFilesIn(dir string) ([]string, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -81,12 +131,37 @@ func LoadDir(dir string) (*Package, error) {
 		}
 	}
 	sort.Strings(files)
-	if len(files) == 0 {
-		return nil, fmt.Errorf("lint: no .go files in %s", dir)
+	return files, nil
+}
+
+// subPackageDirs walks dir's subtree and returns the relative paths of every
+// subdirectory holding .go files, sorted so loading is deterministic.
+// Local fakes must import only the standard library (or subpackages that
+// sort before them).
+func subPackageDirs(dir string) ([]string, error) {
+	var subs []string
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, walkErr error) error {
+		if walkErr != nil || !d.IsDir() || path == dir {
+			return walkErr
+		}
+		files, ferr := goFilesIn(path)
+		if ferr != nil {
+			return ferr
+		}
+		if len(files) > 0 {
+			rel, rerr := filepath.Rel(dir, path)
+			if rerr != nil {
+				return rerr
+			}
+			subs = append(subs, rel)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	fset := token.NewFileSet()
-	imp := importer.ForCompiler(fset, "source", nil)
-	return check(fset, imp, filepath.Base(dir), dir, files)
+	sort.Strings(subs)
+	return subs, nil
 }
 
 // check parses files (named relative to dir) and type-checks them as one

@@ -1,0 +1,12 @@
+// Package channel is a golden-test fake of the link-cipher layer: every
+// symbol here is off-limits to instance-scoped code.
+package channel
+
+// LinkCipher holds a link's AEAD sequence state.
+type LinkCipher struct{}
+
+// New returns a fresh cipher.
+func New() *LinkCipher { return &LinkCipher{} }
+
+// Seal encrypts one frame, advancing the sequence state.
+func (c *LinkCipher) Seal(dst, frame []byte) []byte { return frame }

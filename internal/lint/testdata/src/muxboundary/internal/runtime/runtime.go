@@ -1,0 +1,39 @@
+// Package runtime is a golden-test fake of the node runtime: just enough
+// surface for the muxboundary analyzer to resolve both the node-scoped
+// symbols it must flag and the instance-scoped capability it must allow.
+package runtime
+
+// Peer is node-scoped: it owns the transport and per-link cipher state.
+type Peer struct{}
+
+// NewPeer is node-scoped.
+func NewPeer() *Peer { return &Peer{} }
+
+// Transport is node-scoped.
+type Transport interface {
+	Send(dst uint32, frame []byte) error
+}
+
+// Mux is node-scoped: it schedules instances over one Peer.
+type Mux struct{}
+
+// NewMux is node-scoped.
+func NewMux(p *Peer) *Mux { return &Mux{} }
+
+// Host is the instance-scoped capability surface protocol engines keep.
+type Host interface {
+	ID() uint32
+	Round() uint32
+	Multicast(v byte) error
+}
+
+// Protocol is what an instance implements; referencing it is legal.
+type Protocol interface {
+	OnRound(rnd uint32)
+}
+
+// Instance is the per-instance handle a Mux hands to its build callback.
+type Instance struct{}
+
+// StartRound is part of the legal instance surface.
+func (it *Instance) StartRound() uint32 { return 1 }

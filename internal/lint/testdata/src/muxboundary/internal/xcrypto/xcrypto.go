@@ -1,0 +1,6 @@
+// Package xcrypto is a golden-test fake of the raw sealing primitives:
+// every symbol here is off-limits to instance-scoped code.
+package xcrypto
+
+// Seal encrypts plaintext under key.
+func Seal(key, plaintext []byte) []byte { return plaintext }

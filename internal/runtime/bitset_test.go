@@ -31,6 +31,76 @@ func TestNodeBitsetDedupAndGrowth(t *testing.T) {
 	}
 }
 
+func TestNodeBitsetHasResetIntersect(t *testing.T) {
+	var b nodeBitset
+	for _, id := range []wire.NodeID{1, 5, 64} {
+		b.set(id)
+	}
+	for _, id := range []wire.NodeID{1, 5, 64} {
+		if !b.has(id) {
+			t.Fatalf("has(%d) = false after set", id)
+		}
+	}
+	// Probes past the allocated words must not panic or report membership.
+	for _, id := range []wire.NodeID{0, 2, 63, 65, 1024} {
+		if b.has(id) {
+			t.Fatalf("has(%d) = true, never set", id)
+		}
+	}
+
+	var o nodeBitset
+	for _, id := range []wire.NodeID{5, 63, 64, 200} {
+		o.set(id)
+	}
+	b.intersect(&o)
+	if b.count != 2 || !b.has(5) || !b.has(64) {
+		t.Fatalf("intersect: count = %d, has(5)=%v has(64)=%v, want {5, 64}", b.count, b.has(5), b.has(64))
+	}
+	if b.has(1) || b.has(200) {
+		t.Fatal("intersect kept an id outside the intersection")
+	}
+
+	// Intersecting with a shorter set must drop ids beyond its words.
+	var short nodeBitset
+	short.set(5)
+	b.intersect(&short)
+	if b.count != 1 || !b.has(5) || b.has(64) {
+		t.Fatalf("intersect with shorter set: count = %d, want exactly {5}", b.count)
+	}
+
+	b.reset()
+	if b.count != 0 || b.has(5) {
+		t.Fatal("reset did not clear membership")
+	}
+	if !b.set(5) {
+		t.Fatal("set after reset not reported as new")
+	}
+}
+
+func TestNodeBitsetUnionCount(t *testing.T) {
+	var a, b nodeBitset
+	for _, id := range []wire.NodeID{1, 2, 64} {
+		a.set(id)
+	}
+	for _, id := range []wire.NodeID{2, 3, 200} {
+		b.set(id)
+	}
+	// Overlap on 2 counts once; length mismatch both ways.
+	if got := a.unionCount(&b); got != 5 {
+		t.Fatalf("a.unionCount(b) = %d, want 5", got)
+	}
+	if got := b.unionCount(&a); got != 5 {
+		t.Fatalf("b.unionCount(a) = %d, want 5", got)
+	}
+	var empty nodeBitset
+	if got := a.unionCount(&empty); got != a.count {
+		t.Fatalf("unionCount with empty = %d, want %d", got, a.count)
+	}
+	if got := empty.unionCount(&empty); got != 0 {
+		t.Fatalf("unionCount of two empties = %d, want 0", got)
+	}
+}
+
 func TestDigestEncodedMatchesDigest(t *testing.T) {
 	msg := &wire.Message{
 		Type: wire.TypeInit, Sender: 2, Initiator: 2,

@@ -1,0 +1,228 @@
+package runtime_test
+
+import (
+	"errors"
+	"testing"
+
+	"sgxp2p/internal/runtime"
+	"sgxp2p/internal/wire"
+)
+
+// instProbe is a minimal multiplexed protocol recording its callbacks.
+type instProbe struct {
+	inst     *runtime.Instance
+	rounds   []uint32
+	msgs     []*wire.Message
+	finished bool
+	onRound  func(rnd uint32)
+}
+
+func (p *instProbe) OnRound(rnd uint32) {
+	p.rounds = append(p.rounds, rnd)
+	if p.onRound != nil {
+		p.onRound(rnd)
+	}
+}
+
+func (p *instProbe) OnMessage(m *wire.Message) { p.msgs = append(p.msgs, m.Clone()) }
+
+func (p *instProbe) OnFinish() { p.finished = true }
+
+// spawnProbe spawns one instProbe instance on a mux.
+func spawnProbe(t *testing.T, m *runtime.Mux, window int) *instProbe {
+	t.Helper()
+	pr := &instProbe{}
+	it, err := m.Spawn(window, func(inst *runtime.Instance) (runtime.Protocol, error) {
+		if inst != pr.inst {
+			t.Errorf("build handle differs from Spawn handle")
+		}
+		return pr, nil
+	})
+	if err != nil {
+		t.Fatalf("Spawn: %v", err)
+	}
+	pr.inst = it
+	return pr
+}
+
+func TestMuxSpawnValidation(t *testing.T) {
+	d := newDeployment(t, 3, 1)
+	m := runtime.NewMux(d.Peers[0], runtime.MuxConfig{})
+	if _, err := m.Spawn(0, func(*runtime.Instance) (runtime.Protocol, error) { return nil, nil }); err == nil {
+		t.Error("zero window accepted")
+	}
+	if _, err := m.Spawn(2, nil); err == nil {
+		t.Error("nil build accepted")
+	}
+}
+
+func TestMuxBacklogLimit(t *testing.T) {
+	d := newDeployment(t, 3, 1)
+	m := runtime.NewMux(d.Peers[0], runtime.MuxConfig{MaxBacklog: 1})
+	spawnProbe(t, m, 2)
+	_, err := m.Spawn(2, func(*runtime.Instance) (runtime.Protocol, error) { return nil, nil })
+	if !errors.Is(err, runtime.ErrMuxBacklog) {
+		t.Fatalf("second spawn: %v, want ErrMuxBacklog", err)
+	}
+}
+
+// TestMuxAdmissionSchedule pins the FIFO admission under MaxInFlight: five
+// 2-round windows through two slots occupy rounds 1-2, 3-4 and 5-6, and
+// PlannedRounds predicts exactly that before the run.
+func TestMuxAdmissionSchedule(t *testing.T) {
+	d := newDeployment(t, 3, 1)
+	muxes := make([]*runtime.Mux, 3)
+	probes := make([][]*instProbe, 3)
+	for i, p := range d.Peers {
+		m := runtime.NewMux(p, runtime.MuxConfig{MaxInFlight: 2})
+		muxes[i] = m
+		for k := 0; k < 5; k++ {
+			probes[i] = append(probes[i], spawnProbe(t, m, 2))
+		}
+		if got := m.PlannedRounds(); got != 6 {
+			t.Fatalf("PlannedRounds = %d, want 6", got)
+		}
+		p.Start(m, m.PlannedRounds())
+	}
+	if err := d.Run(); err != nil {
+		t.Fatal(err)
+	}
+	wantStart := []uint32{1, 1, 3, 3, 5}
+	for i := range d.Peers {
+		for k, pr := range probes[i] {
+			if got := pr.inst.StartRound(); got != wantStart[k] {
+				t.Fatalf("node %d instance %d started round %d, want %d", i, k, got, wantStart[k])
+			}
+			if len(pr.rounds) != 2 {
+				t.Fatalf("node %d instance %d saw rounds %v, want 2", i, k, pr.rounds)
+			}
+			if pr.rounds[0] != wantStart[k] || pr.rounds[1] != wantStart[k]+1 {
+				t.Fatalf("node %d instance %d rounds %v", i, k, pr.rounds)
+			}
+			if !pr.finished || !pr.inst.Done() || pr.inst.Err() != nil {
+				t.Fatalf("node %d instance %d not cleanly finished (done=%v err=%v)", i, k, pr.inst.Done(), pr.inst.Err())
+			}
+		}
+	}
+}
+
+// TestMuxRouting checks that deliveries reach exactly the instance whose
+// id the message carries, and that traffic for unknown ids is dropped and
+// counted rather than misrouted.
+func TestMuxRouting(t *testing.T) {
+	d := newDeployment(t, 3, 1)
+	muxes := make([]*runtime.Mux, 3)
+	probes := make([][]*instProbe, 3)
+	for i, p := range d.Peers {
+		m := runtime.NewMux(p, runtime.MuxConfig{})
+		muxes[i] = m
+		for k := 0; k < 2; k++ {
+			probes[i] = append(probes[i], spawnProbe(t, m, 2))
+		}
+	}
+	// Node 0's second instance multicasts in its first round; node 0 also
+	// sends one message with a never-spawned instance id.
+	sender := probes[0][1]
+	sender.onRound = func(rnd uint32) {
+		if rnd != 1 {
+			return
+		}
+		inst := sender.inst
+		msg := &wire.Message{
+			Type: wire.TypeInit, Sender: 0, Initiator: 0,
+			Instance: inst.Instance(), Seq: inst.SeqOf(0), Round: rnd,
+			HasValue: true, Value: wire.Value{0x42},
+		}
+		if err := inst.Multicast(nil, msg, 0); err != nil {
+			t.Errorf("Multicast: %v", err)
+		}
+		ghost := msg.Clone()
+		ghost.Instance = inst.Instance() + 100
+		if err := inst.Multicast(nil, ghost, 0); err != nil {
+			t.Errorf("ghost Multicast: %v", err)
+		}
+	}
+	for i, p := range d.Peers {
+		p.Start(muxes[i], muxes[i].PlannedRounds())
+	}
+	if err := d.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 3; i++ {
+		if len(probes[i][0].msgs) != 0 {
+			t.Fatalf("node %d instance 0 got %d messages, want 0", i, len(probes[i][0].msgs))
+		}
+		if len(probes[i][1].msgs) != 1 {
+			t.Fatalf("node %d instance 1 got %d messages, want 1", i, len(probes[i][1].msgs))
+		}
+		got := probes[i][1].msgs[0]
+		if got.Instance != probes[i][1].inst.Instance() || got.Value != (wire.Value{0x42}) {
+			t.Fatalf("node %d instance 1 got %+v", i, got)
+		}
+		if drops := muxes[i].UnknownDrops(); drops != 1 {
+			t.Fatalf("node %d unknown drops = %d, want 1", i, drops)
+		}
+	}
+}
+
+// TestMuxBuildError checks that a failed build consumes its admission and
+// surfaces on the handle without disturbing its neighbors.
+func TestMuxBuildError(t *testing.T) {
+	d := newDeployment(t, 3, 1)
+	boom := errors.New("boom")
+	muxes := make([]*runtime.Mux, 3)
+	bad := make([]*runtime.Instance, 3)
+	good := make([][]*instProbe, 3)
+	for i, p := range d.Peers {
+		m := runtime.NewMux(p, runtime.MuxConfig{})
+		muxes[i] = m
+		it, err := m.Spawn(2, func(*runtime.Instance) (runtime.Protocol, error) { return nil, boom })
+		if err != nil {
+			t.Fatalf("Spawn: %v", err)
+		}
+		bad[i] = it
+		good[i] = append(good[i], spawnProbe(t, m, 2))
+		p.Start(m, m.PlannedRounds())
+	}
+	if err := d.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range d.Peers {
+		if !bad[i].Done() || !errors.Is(bad[i].Err(), boom) {
+			t.Fatalf("node %d bad instance done=%v err=%v", i, bad[i].Done(), bad[i].Err())
+		}
+		if !good[i][0].finished || good[i][0].inst.Err() != nil {
+			t.Fatalf("node %d good instance did not finish cleanly", i)
+		}
+	}
+}
+
+// TestMuxUnadmitted checks that a run shorter than the plan fails the
+// leftover backlog with ErrMuxUnadmitted instead of leaving it limbo.
+func TestMuxUnadmitted(t *testing.T) {
+	d := newDeployment(t, 3, 1)
+	muxes := make([]*runtime.Mux, 3)
+	probes := make([][]*instProbe, 3)
+	for i, p := range d.Peers {
+		m := runtime.NewMux(p, runtime.MuxConfig{MaxInFlight: 1})
+		muxes[i] = m
+		probes[i] = append(probes[i], spawnProbe(t, m, 2), spawnProbe(t, m, 2))
+		p.Start(m, 2) // plan would be 4
+	}
+	if err := d.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range d.Peers {
+		first, second := probes[i][0], probes[i][1]
+		if !first.finished {
+			t.Fatalf("node %d first instance unfinished", i)
+		}
+		if second.finished {
+			t.Fatalf("node %d second instance ran despite the short plan", i)
+		}
+		if !second.inst.Done() || !errors.Is(second.inst.Err(), runtime.ErrMuxUnadmitted) {
+			t.Fatalf("node %d second instance done=%v err=%v, want ErrMuxUnadmitted",
+				i, second.inst.Done(), second.inst.Err())
+		}
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"crypto/sha256"
 	"errors"
 	"fmt"
+	"math/bits"
 	"time"
 
 	"sgxp2p/internal/channel"
@@ -205,12 +206,122 @@ func (b *nodeBitset) set(id wire.NodeID) bool {
 	return true
 }
 
-// ackTracker tracks acknowledgments for one multicast.
+// has reports whether id is in the set.
+func (b *nodeBitset) has(id wire.NodeID) bool {
+	w := int(id) / 64
+	return w < len(b.words) && b.words[w]&(1<<(uint(id)%64)) != 0
+}
+
+// reset empties the set, keeping the word capacity for reuse.
+func (b *nodeBitset) reset() {
+	clear(b.words)
+	b.count = 0
+}
+
+// intersect replaces b with b ∩ o in place.
+func (b *nodeBitset) intersect(o *nodeBitset) {
+	n := 0
+	for i := range b.words {
+		if i < len(o.words) {
+			b.words[i] &= o.words[i]
+		} else {
+			b.words[i] = 0
+		}
+		n += bits.OnesCount64(b.words[i])
+	}
+	b.count = n
+}
+
+// unionCount returns |b ∪ o| without materializing the union; either
+// side's word slice may be shorter (or nil) than the other.
+func (b *nodeBitset) unionCount(o *nodeBitset) int {
+	long, short := b.words, o.words
+	if len(short) > len(long) {
+		long, short = short, long
+	}
+	n := 0
+	for i, w := range long {
+		if i < len(short) {
+			w |= short[i]
+		}
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// ackTracker tracks acknowledgments for one multicast. Classic digest
+// ACKs land in acked; frame-cumulative ACKs land once in the shared
+// group bitset of the flush window that carried the message, so
+// crediting a merged ACK is O(1) instead of O(window trackers). The
+// effective count is the union of the two (ackCount).
 type ackTracker struct {
 	digest    wire.Value
 	round     uint32
 	threshold int
 	acked     nodeBitset
+	group     *frameGroup
+}
+
+// ackCount is the tracker's effective acknowledgment count: nodes that
+// acknowledged the message individually plus nodes that acknowledged
+// the whole frame window it was flushed in, counted without double-
+// counting a node that somehow did both.
+func (tk *ackTracker) ackCount() int {
+	if tk.group == nil || tk.group.acked.count == 0 {
+		return tk.acked.count
+	}
+	return tk.acked.unionCount(&tk.group.acked)
+}
+
+// frameGroup is the shared acknowledgment state of one flush window's
+// frame-ackable frames. Every tracker in the window points at it, and
+// every frame flushed from the window indexes it in frameIdx; a merged
+// ACK from a destination sets one bit here instead of touching each
+// tracker. next chains groups that collide on a frame key (two
+// byte-identical frames to one destination in one round — impossible
+// under the counter-based model sealer, negligible under random
+// nonces) so neither window starves.
+type frameGroup struct {
+	acked nodeBitset
+	next  *frameGroup
+}
+
+// ackKey identifies a tracker: ACKs carry the digest of the acknowledged
+// message and are only valid within the round of the multicast.
+type ackKey struct {
+	round  uint32
+	digest wire.Value
+}
+
+// ackIndexMin is the tracker count past which handleAck switches from the
+// linear scan to the digest index. A single-instance round registers a
+// handful of trackers and the scan wins; a multiplexed round registers
+// one per in-flight instance, where the scan is O(acks × instances) —
+// four billion comparisons per round at N=64 with 1k instances.
+const ackIndexMin = 16
+
+// frameKey identifies one sealed batch frame a peer sent: the
+// destination it went to, the round it left in, and the envelope tag
+// both ends read off the sealed bytes (channel.FrameTag). A
+// frame-cumulative ACK resolves through this key, so only the frame's
+// actual recipient can credit it — strictly narrower than digest ACKs,
+// which any peer holding the bytes could issue.
+type frameKey struct {
+	dst   wire.NodeID
+	round uint32
+	tag   uint64
+}
+
+// pendAck is one acknowledgment deferred during the delivery of a
+// frame-ackable batch: everything needed to materialize the classic
+// per-message digest ACK if the frame cannot be acknowledged as a unit.
+// enc aliases the frame plaintext in openBuf, which outlives the
+// deferral — pending ACKs never survive their own delivery event.
+type pendAck struct {
+	enc       []byte
+	initiator wire.NodeID
+	instance  uint32
+	seq       uint64
 }
 
 // Peer is one node's runtime.
@@ -228,6 +339,7 @@ type Peer struct {
 	seqs        []uint64
 	instanceID  uint32
 	trackers    []*ackTracker
+	trackerIdx  map[ackKey]*ackTracker
 	startOffset time.Duration
 	stats       Stats
 	trace       *telemetry.Tracer
@@ -292,6 +404,36 @@ type Peer struct {
 	outRefs    [][]byte
 	outDirty   []wire.NodeID
 	batchHist  *telemetry.Histogram
+
+	// Frame-cumulative acknowledgment (the multiplexed-runtime ACK fast
+	// path). Sender side: trackers registered since the last flush form
+	// the current flush window [winStart, len(trackers)), and winCover
+	// is the intersection of the destination sets of the window's
+	// tracked multicasts (winCoverFull: no subset seen yet, the cover is
+	// the whole roster). A destination inside the cover received every
+	// tracked message of the window, so its multi-message frame is
+	// marked frame-ackable and indexed in frameIdx under its envelope
+	// tag: one ACK from the recipient sets one bit in the window's
+	// shared frameGroup, crediting every tracker at closeRound via the
+	// union count. Destinations outside the cover — and every
+	// destination once winMixed records a failed multicast leg — get
+	// ordinary frames and answer with per-message digest ACKs. Receiver
+	// side: while a marked frame is being delivered (frameAckOn),
+	// SendAck calls for its messages are deferred into pendAcks; if
+	// every delivered message was acknowledged, one valueless ACK
+	// carrying the frame tag in Seq replaces them all, otherwise (or on
+	// any mid-frame flush) they materialize as classic digest ACKs.
+	winStart       int
+	winMixed       bool
+	winCoverFull   bool
+	winCover       nodeBitset
+	winScratch     nodeBitset
+	frameIdx       map[frameKey]*frameGroup
+	frameAckOn     bool
+	frameAckSrc    wire.NodeID
+	frameAckTag    uint64
+	frameDelivered int
+	pendAcks       []pendAck
 }
 
 // NewPeer verifies the roster's attestation quotes (F3, property P1),
@@ -374,12 +516,23 @@ func (p *Peer) Stats() Stats { return p.stats }
 // (nil when the deployment runs without one).
 func (p *Peer) Metrics() *telemetry.Metrics { return p.cfg.Metrics }
 
-// Trace records a protocol-layer event against this peer's current round.
-// Protocols call it for their own milestones (INIT/ECHO/accept, cluster
-// sampling, decisions); runtime-level events are recorded internally.
+// Trace records a protocol-layer event against this peer's current round,
+// attributed to the peer's current instance (epoch). Protocols call it
+// for their own milestones (INIT/ECHO/accept, cluster sampling,
+// decisions); runtime-level events are recorded internally.
 func (p *Peer) Trace(kind telemetry.Kind, peer wire.NodeID, arg uint64) {
 	if p.trace != nil {
-		p.trace.Record(p.ID(), p.round, kind, peer, arg, "")
+		p.trace.RecordInst(p.ID(), p.round, p.instanceID, kind, peer, arg, "")
+	}
+}
+
+// traceInst records a protocol-layer event attributed to an explicit
+// instance id — the entry point a Mux's instance handles route their
+// Trace through, so every milestone of a multiplexed run names the
+// instance that produced it.
+func (p *Peer) traceInst(instance uint32, kind telemetry.Kind, peer wire.NodeID, arg uint64) {
+	if p.trace != nil {
+		p.trace.RecordInst(p.ID(), p.round, instance, kind, peer, arg, "")
 	}
 }
 
@@ -477,6 +630,14 @@ func (p *Peer) StartIn(proto Protocol, rounds int, startDelay time.Duration) {
 	p.round = 0
 	p.started = true
 	p.finished = false
+	p.winStart = 0
+	p.winMixed = false
+	p.winCoverFull = true
+	p.frameAckOn = false
+	p.pendAcks = p.pendAcks[:0]
+	if p.frameIdx != nil {
+		clear(p.frameIdx)
+	}
 	p.encl.ResetReference()
 	p.startOffset = startDelay
 	p.scheduleTick(1)
@@ -533,8 +694,17 @@ func (p *Peer) tick(rnd uint32) {
 func (p *Peer) closeRound() {
 	trackers := p.trackers
 	p.trackers = nil
+	if p.trackerIdx != nil {
+		clear(p.trackerIdx)
+	}
+	if p.frameIdx != nil {
+		clear(p.frameIdx)
+	}
+	p.winStart = 0
+	p.winMixed = false
+	p.winCoverFull = true
 	for _, tk := range trackers {
-		if tk.acked.count < tk.threshold {
+		if tk.ackCount() < tk.threshold {
 			p.haltSelf("ack-threshold")
 			return
 		}
@@ -560,6 +730,13 @@ func (p *Peer) Stop() {
 	p.started = false
 	p.proto = nil
 	p.trackers = nil
+	if p.frameIdx != nil {
+		clear(p.frameIdx)
+	}
+	p.winStart = 0
+	p.winMixed = false
+	p.winCoverFull = true
+	p.frameAckOn = false
 }
 
 // HaltSelf executes halt-on-divergence: the enclave state becomes bottom
@@ -632,11 +809,13 @@ func (p *Peer) Multicast(dsts []wire.NodeID, msg *wire.Message, ackThreshold int
 	}
 	p.encodeBuf = encoded
 	if ackThreshold > 0 {
-		p.trackers = append(p.trackers, &ackTracker{
+		tk := &ackTracker{
 			digest:    DigestEncoded(encoded),
 			round:     p.round,
 			threshold: ackThreshold,
-		})
+		}
+		p.trackers = append(p.trackers, tk)
+		p.indexTracker(tk)
 	}
 	if dsts == nil {
 		for id := 0; id < p.cfg.N; id++ {
@@ -649,6 +828,9 @@ func (p *Peer) Multicast(dsts []wire.NodeID, msg *wire.Message, ackThreshold int
 		}
 		return nil
 	}
+	if ackThreshold > 0 {
+		p.narrowCover(dsts)
+	}
 	for _, dst := range dsts {
 		if dst == p.ID() {
 			continue
@@ -658,6 +840,30 @@ func (p *Peer) Multicast(dsts []wire.NodeID, msg *wire.Message, ackThreshold int
 		}
 	}
 	return nil
+}
+
+// narrowCover intersects the flush window's destination cover with the
+// explicit destination list of a tracked multicast: only destinations
+// that received every tracked message of the window may acknowledge a
+// frame cumulatively. An explicit list covering the whole roster
+// narrows the cover to exactly the roster, so it behaves like
+// dsts == nil; disjoint subsets narrow it to nothing and every frame
+// degrades to per-message ACKs. Both bitsets are reused scratch —
+// zero allocations once grown to roster size.
+func (p *Peer) narrowCover(dsts []wire.NodeID) {
+	if p.winCoverFull {
+		p.winCoverFull = false
+		p.winCover.reset()
+		for _, d := range dsts {
+			p.winCover.set(d)
+		}
+		return
+	}
+	p.winScratch.reset()
+	for _, d := range dsts {
+		p.winScratch.set(d)
+	}
+	p.winCover.intersect(&p.winScratch)
 }
 
 // multicastOne seals and sends one multicast leg. A per-destination
@@ -672,12 +878,18 @@ func (p *Peer) multicastOne(dst wire.NodeID, encoded []byte) error {
 	if err == nil || errors.Is(err, ErrHalted) {
 		return err
 	}
+	// The failed leg's destination now sees a frame missing this message:
+	// the window's frames are no longer uniform, so a frame-cumulative
+	// ACK from that destination would over-credit the tracker of a
+	// message it never received. Degrade the window.
+	p.winMixed = true
 	p.stats.SendFailures++
 	if p.ctr != nil {
 		p.ctr.sendFailures.Inc()
 	}
 	if p.trace != nil {
-		p.trace.Record(p.ID(), p.round, telemetry.KindSendFail, dst, 0, "")
+		inst, _ := wire.PeekInstance(encoded)
+		p.trace.RecordInst(p.ID(), p.round, inst, telemetry.KindSendFail, dst, 0, "")
 	}
 	return nil
 }
@@ -797,16 +1009,34 @@ func (p *Peer) Flush() { p.flushOutbox() }
 // order, which is deterministic, keeping trace streams and simulated
 // network schedules bit-reproducible per seed.
 func (p *Peer) flushOutbox() {
+	if len(p.pendAcks) > 0 {
+		// A mid-delivery flush (halt, stop, or a protocol Flush) must put
+		// the deferred acknowledgments on the wire exactly where the
+		// unbatched runtime would have: before anything that follows.
+		p.materializePendAcks()
+	}
 	if len(p.outDirty) == 0 {
+		p.closeWindow()
 		return
 	}
 	dirty := p.outDirty
+	// The flush window's trackers, shared by every frame of this flush:
+	// with no subset-destination multicast in the window, every dirty
+	// destination's frame carries every tracked message registered since
+	// the previous flush. The frameGroup they will share is allocated
+	// lazily, only if a frame is actually marked.
+	var group []*ackTracker
+	if !p.winMixed && p.winStart < len(p.trackers) {
+		group = p.trackers[p.winStart:]
+	}
+	var fg *frameGroup
 	for _, dst := range dirty {
 		n := p.outCounts[dst]
 		p.outCounts[dst] = 0
 		if n == 0 {
 			continue
 		}
+		marked := false
 		plaintext := p.outRefs[dst]
 		if plaintext != nil {
 			// Borrowed singleton: the bare encoded message, still alive
@@ -819,6 +1049,12 @@ func (p *Peer) flushOutbox() {
 			if n == 1 {
 				// Strip the container: magic byte + one length prefix.
 				plaintext = buf[5:]
+			} else if len(group) > 0 && (p.winCoverFull || p.winCover.has(dst)) {
+				// Multi-message frame to a destination inside the window's
+				// cover — it carries every tracked message of the window:
+				// invite one frame-cumulative ACK for the whole frame.
+				wire.MarkBatchAcked(buf)
+				marked = true
 			}
 		}
 		env, err := p.links[dst].SealEncodedAppend(p.sealBuf[:0], plaintext)
@@ -843,11 +1079,52 @@ func (p *Peer) flushOutbox() {
 		if p.batchHist != nil {
 			p.batchHist.Observe(float64(n))
 		}
+		if marked {
+			if fg == nil {
+				fg = &frameGroup{}
+				for _, tk := range group {
+					tk.group = fg
+				}
+			}
+			p.registerFrame(dst, channel.FrameTag(env), fg)
+		}
 		p.sealBuf = env
 		p.tr.Send(dst, env)
 	}
 	p.outDirty = p.outDirty[:0]
 	p.outHasRefs = false
+	p.closeWindow()
+}
+
+// closeWindow ends the current flush window: trackers registered from
+// here on belong to the next window's frames, under a fresh cover.
+func (p *Peer) closeWindow() {
+	p.winStart = len(p.trackers)
+	p.winMixed = false
+	p.winCoverFull = true
+}
+
+// registerFrame indexes one flushed frame-ackable frame under its
+// envelope tag so a frame-cumulative ACK from dst can credit the whole
+// window's trackers through the shared frameGroup. The index lives
+// until closeRound retires the round's trackers. A duplicate key
+// chains the colliding groups (frameGroup.next) so neither window
+// starves.
+func (p *Peer) registerFrame(dst wire.NodeID, tag uint64, fg *frameGroup) {
+	if p.frameIdx == nil {
+		p.frameIdx = make(map[frameKey]*frameGroup, 2*len(p.links))
+	}
+	k := frameKey{dst: dst, round: p.round, tag: tag}
+	if prev, dup := p.frameIdx[k]; dup {
+		for g := prev; g != fg; g = g.next {
+			if g.next == nil {
+				g.next = fg
+				break
+			}
+		}
+		return
+	}
+	p.frameIdx[k] = fg
 }
 
 // SendAck acknowledges a valid received message: ACKs carry the digest
@@ -864,6 +1141,28 @@ func (p *Peer) flushOutbox() {
 func (p *Peer) SendAck(dst wire.NodeID, received *wire.Message) error {
 	if received == nil {
 		return ErrNilMessage
+	}
+	if p.frameAckOn && dst == p.frameAckSrc && received == p.delivering {
+		// The message arrived in a frame-ackable batch and is being
+		// acknowledged to that frame's sender: defer the wire message.
+		// If every delivered message of the frame is acknowledged this
+		// way, one frame-cumulative ACK replaces them all; otherwise the
+		// deferred entries materialize as classic digest ACKs. Stats and
+		// trace record the logical acknowledgment here either way.
+		p.pendAcks = append(p.pendAcks, pendAck{
+			enc:       p.deliveringEncoded,
+			initiator: received.Initiator,
+			instance:  received.Instance,
+			seq:       received.Seq,
+		})
+		p.stats.AcksSent++
+		if p.ctr != nil {
+			p.ctr.acksSent.Inc()
+		}
+		if p.trace != nil {
+			p.trace.RecordInst(p.ID(), p.round, received.Instance, telemetry.KindAckSent, dst, 0, "")
+		}
+		return nil
 	}
 	var digest wire.Value
 	if received == p.delivering {
@@ -890,7 +1189,7 @@ func (p *Peer) SendAck(dst wire.NodeID, received *wire.Message) error {
 		p.ctr.acksSent.Inc()
 	}
 	if p.trace != nil {
-		p.trace.Record(p.ID(), p.round, telemetry.KindAckSent, dst, 0, "")
+		p.trace.RecordInst(p.ID(), p.round, received.Instance, telemetry.KindAckSent, dst, 0, "")
 	}
 	return p.Send(dst, ack)
 }
@@ -920,11 +1219,113 @@ func (p *Peer) receive(src wire.NodeID, payload []byte) {
 	}
 	p.openBuf = plaintext
 	if wire.IsBatch(plaintext) {
-		p.receiveBatch(src, plaintext)
+		if wire.IsAckedBatch(plaintext) {
+			p.beginFrameAcks(src, channel.FrameTag(payload))
+		}
+		clean := p.receiveBatch(src, plaintext)
+		p.finishFrameAcks(clean)
 	} else {
 		p.receiveOne(src, plaintext)
 	}
 	p.flushOutbox()
+}
+
+// beginFrameAcks arms frame-cumulative acknowledgment for one marked
+// batch frame: SendAck calls for its messages are deferred until the
+// frame's delivery completes.
+func (p *Peer) beginFrameAcks(src wire.NodeID, tag uint64) {
+	p.frameAckOn = true
+	p.frameAckSrc = src
+	p.frameAckTag = tag
+	p.frameDelivered = 0
+}
+
+// finishFrameAcks settles the deferred acknowledgments of a marked
+// frame. clean reports that every entry was delivered: only then, and
+// only when the protocol acknowledged every delivered message, does one
+// valueless ACK carrying the frame tag replace the per-message digest
+// ACKs — anything else (a cut-short frame, a selective protocol, a
+// double ACK) falls back to materializing them individually, which is
+// exactly the unbatched wire behaviour.
+func (p *Peer) finishFrameAcks(clean bool) {
+	on := p.frameAckOn
+	p.frameAckOn = false
+	pend := p.pendAcks
+	delivered := p.frameDelivered
+	p.frameDelivered = 0
+	if !on || len(pend) == 0 {
+		return
+	}
+	p.pendAcks = pend[:0]
+	if clean && len(pend) == delivered {
+		wasIn := p.inCallback
+		p.inCallback = true
+		// Instance carries the number of per-message acknowledgments the
+		// frame ACK stands for — frame ACKs span instances by design, so
+		// the field is free. The sender uses it only for accounting
+		// (Stats.AcksReceived stays a count of logical acknowledgments in
+		// every mode); tracker crediting never trusts it.
+		ack := wire.Message{
+			Type:      wire.TypeAck,
+			Sender:    p.ID(),
+			Initiator: wire.NoNode,
+			Instance:  uint32(len(pend)),
+			Seq:       p.frameAckTag,
+			Round:     p.round,
+		}
+		p.ackSendFailed(p.Send(p.frameAckSrc, &ack))
+		p.inCallback = wasIn
+		return
+	}
+	p.emitPendAcks(pend)
+}
+
+// materializePendAcks converts every deferred acknowledgment into its
+// classic per-message digest ACK. It runs when something flushes the
+// outbox mid-frame (halt, stop, protocol Flush): the unbatched runtime
+// would have had those ACKs on the wire already, so they must leave
+// with this flush.
+func (p *Peer) materializePendAcks() {
+	pend := p.pendAcks
+	p.pendAcks = pend[:0]
+	p.frameAckOn = false
+	p.emitPendAcks(pend)
+}
+
+// emitPendAcks sends one digest ACK per deferred entry, in deferral
+// order. inCallback is forced on so the ACKs join the round-scoped
+// outbox and coalesce exactly like ACKs sent from inside OnMessage.
+func (p *Peer) emitPendAcks(pend []pendAck) {
+	wasIn := p.inCallback
+	p.inCallback = true
+	for i := range pend {
+		a := &pend[i]
+		ack := wire.Message{
+			Type:      wire.TypeAck,
+			Sender:    p.ID(),
+			Initiator: a.initiator,
+			Instance:  a.instance,
+			Seq:       a.seq,
+			Round:     p.round,
+			HasValue:  true,
+			Value:     DigestEncoded(a.enc),
+		}
+		p.ackSendFailed(p.Send(p.frameAckSrc, &ack))
+	}
+	p.inCallback = wasIn
+}
+
+// ackSendFailed applies multicastOne's omission accounting to a deferred
+// acknowledgment's send result: a failed ACK is indistinguishable from
+// an omitting network, and a halted sender has already stopped counting.
+func (p *Peer) ackSendFailed(err error) {
+	if err == nil || errors.Is(err, ErrHalted) {
+		return
+	}
+	p.stats.SendFailures++
+	if p.ctr != nil {
+		p.ctr.sendFailures.Inc()
+	}
 }
 
 // receiveOne handles a bare (non-coalesced) frame: one encoded message.
@@ -946,29 +1347,32 @@ func (p *Peer) receiveOne(src wire.NodeID, encoded []byte) {
 // per-message round/replay checks and telemetry attribution an
 // unbatched delivery gets, and the delivery guards are re-checked
 // between entries because OnMessage may halt or stop the peer.
-func (p *Peer) receiveBatch(src wire.NodeID, plaintext []byte) {
+// It reports whether the frame was delivered clean — every entry parsed
+// and handed through deliverOne without the peer halting, stopping or
+// finishing mid-frame — which is what a frame-cumulative ACK certifies.
+func (p *Peer) receiveBatch(src wire.NodeID, plaintext []byte) bool {
 	it, err := wire.IterBatch(plaintext)
 	if err != nil {
 		p.recvFailure(src)
-		return
+		return false
 	}
 	for {
 		raw, ok, nerr := it.Next()
 		if nerr != nil {
 			p.recvFailure(src)
-			return
+			return false
 		}
 		if !ok {
-			return
+			return true
 		}
 		msg := &p.rxMsg
 		if derr := wire.DecodeInto(msg, raw); derr != nil || msg.Sender != src {
 			p.recvFailure(src)
-			return
+			return false
 		}
 		p.deliverOne(src, msg, raw)
 		if p.Halted() || !p.started || p.finished {
-			return
+			return false
 		}
 	}
 }
@@ -995,12 +1399,21 @@ func (p *Peer) recvFailure(src wire.NodeID) {
 // SendAck digests the same bytes in both modes.
 func (p *Peer) deliverOne(src wire.NodeID, msg *wire.Message, encoded []byte) {
 	if msg.Type == wire.TypeAck {
-		p.stats.AcksReceived++
+		// A frame-cumulative ACK (valueless) stands for msg.Instance
+		// logical acknowledgments; count them so Stats.AcksReceived means
+		// "acknowledgments received" identically in every batching mode.
+		// The count is sender-asserted and purely diagnostic — tracker
+		// crediting below is one bit per (frame, recipient) regardless.
+		n := uint64(1)
+		if !msg.HasValue && msg.Instance > 1 {
+			n = uint64(msg.Instance)
+		}
+		p.stats.AcksReceived += n
 		if p.ctr != nil {
-			p.ctr.acksReceived.Inc()
+			p.ctr.acksReceived.Add(n)
 		}
 		if p.trace != nil {
-			p.trace.Record(p.ID(), p.round, telemetry.KindAckRecv, src, 0, "")
+			p.trace.RecordInst(p.ID(), p.round, msg.Instance, telemetry.KindAckRecv, src, n, "")
 		}
 		p.handleAck(src, msg)
 		return
@@ -1014,7 +1427,7 @@ func (p *Peer) deliverOne(src wire.NodeID, msg *wire.Message, encoded []byte) {
 			p.ctr.roundMismatches.Inc()
 		}
 		if p.trace != nil {
-			p.trace.Record(p.ID(), p.round, telemetry.KindStale, src, uint64(msg.Round), "")
+			p.trace.RecordInst(p.ID(), p.round, msg.Instance, telemetry.KindStale, src, uint64(msg.Round), "")
 		}
 		return
 	}
@@ -1023,7 +1436,10 @@ func (p *Peer) deliverOne(src wire.NodeID, msg *wire.Message, encoded []byte) {
 		p.ctr.delivered.Inc()
 	}
 	if p.trace != nil {
-		p.trace.Record(p.ID(), p.round, telemetry.KindDeliver, src, uint64(msg.Type), "")
+		p.trace.RecordInst(p.ID(), p.round, msg.Instance, telemetry.KindDeliver, src, uint64(msg.Type), "")
+	}
+	if p.frameAckOn {
+		p.frameDelivered++
 	}
 	p.delivering, p.deliveringEncoded = msg, encoded
 	p.inCallback = true
@@ -1032,10 +1448,55 @@ func (p *Peer) deliverOne(src wire.NodeID, msg *wire.Message, encoded []byte) {
 	p.delivering, p.deliveringEncoded = nil, nil
 }
 
+// indexTracker adds a freshly registered tracker to the digest index once
+// the round holds enough trackers for the linear scan to lose. The index
+// is first-insert-wins: should two multicasts of one round share a digest
+// (identical re-broadcasts), the linear scan credits only the first — the
+// map keeps the same winner, so both lookup paths starve the duplicate
+// identically and halt-on-divergence fires in both.
+func (p *Peer) indexTracker(tk *ackTracker) {
+	if p.trackerIdx == nil {
+		if len(p.trackers) <= ackIndexMin {
+			return
+		}
+		p.trackerIdx = make(map[ackKey]*ackTracker, 2*len(p.trackers))
+		for _, prev := range p.trackers {
+			k := ackKey{round: prev.round, digest: prev.digest}
+			if _, dup := p.trackerIdx[k]; !dup {
+				p.trackerIdx[k] = prev
+			}
+		}
+		return
+	}
+	k := ackKey{round: tk.round, digest: tk.digest}
+	if _, dup := p.trackerIdx[k]; !dup {
+		p.trackerIdx[k] = tk
+	}
+}
+
 // handleAck credits an acknowledgment to the matching tracker. ACKs are
-// only valid within the round of the multicast they acknowledge.
+// only valid within the round of the multicast they acknowledge. Rounds
+// with few trackers scan linearly; a multiplexed round past ackIndexMin
+// trackers resolves through the digest index instead, turning the per-ACK
+// cost from O(instances) to O(1).
 func (p *Peer) handleAck(src wire.NodeID, ack *wire.Message) {
 	if !ack.HasValue {
+		// Frame-cumulative ACK: Seq names a sealed frame this peer sent
+		// to src (channel.FrameTag); one bit in the window's shared
+		// frameGroup credits every tracker whose message the frame
+		// carried. The key binds the crediting peer, so only the frame's
+		// actual recipient can credit it.
+		if fg, ok := p.frameIdx[frameKey{dst: src, round: ack.Round, tag: ack.Seq}]; ok {
+			for g := fg; g != nil; g = g.next {
+				g.acked.set(src)
+			}
+		}
+		return
+	}
+	if p.trackerIdx != nil {
+		if tk, ok := p.trackerIdx[ackKey{round: ack.Round, digest: ack.Value}]; ok {
+			tk.acked.set(src)
+		}
 		return
 	}
 	for _, tk := range p.trackers {

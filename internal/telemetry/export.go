@@ -17,11 +17,14 @@ import (
 
 // jsonEvent is the JSONL line layout. Field order is the struct order —
 // encoding/json preserves it — so exports of equal event streams are
-// byte-identical. Peer is -1 when the event has no counterparty.
+// byte-identical. Peer is -1 when the event has no counterparty. Inst is
+// the instance attribution, omitted when zero, so single-instance traces
+// keep their pre-multiplexing byte layout and old traces still parse.
 type jsonEvent struct {
 	At    int64  `json:"at"`
 	Node  int64  `json:"node"`
 	Round uint32 `json:"round"`
+	Inst  uint32 `json:"inst,omitempty"`
 	Kind  string `json:"kind"`
 	Peer  int64  `json:"peer"`
 	Arg   uint64 `json:"arg"`
@@ -57,6 +60,7 @@ func (t *Tracer) ExportJSONL(w io.Writer) error {
 			At:    int64(ev.At),
 			Node:  nodeJSON(ev.Node),
 			Round: ev.Round,
+			Inst:  ev.Instance,
 			Kind:  ev.Kind.String(),
 			Peer:  nodeJSON(ev.Peer),
 			Arg:   ev.Arg,
@@ -99,13 +103,14 @@ func decodeLine(line []byte, lineNo int) (Event, error) {
 		return Event{}, fmt.Errorf("telemetry: line %d: %w", lineNo, err)
 	}
 	return Event{
-		At:    time.Duration(je.At),
-		Node:  node,
-		Round: je.Round,
-		Kind:  kind,
-		Peer:  peer,
-		Arg:   je.Arg,
-		Note:  je.Note,
+		At:       time.Duration(je.At),
+		Node:     node,
+		Round:    je.Round,
+		Kind:     kind,
+		Peer:     peer,
+		Arg:      je.Arg,
+		Note:     je.Note,
+		Instance: je.Inst,
 	}, nil
 }
 
@@ -201,6 +206,9 @@ func formatEvent(ev Event) string {
 		fmt.Fprintf(&b, "n%-5d ", ev.Node)
 	}
 	fmt.Fprintf(&b, "%-12s", ev.Kind)
+	if ev.Instance != 0 {
+		fmt.Fprintf(&b, " inst=%d", ev.Instance)
+	}
 	if ev.Peer != wire.NoNode {
 		fmt.Fprintf(&b, " peer=%d", ev.Peer)
 	}
@@ -242,6 +250,25 @@ func (t *Tracer) ExportTimeline(w io.Writer) error {
 // the tracer is nil or the node recorded nothing.
 func (t *Tracer) FlightString(node wire.NodeID, max int) string {
 	events := t.Flight(node)
+	if len(events) == 0 {
+		return ""
+	}
+	if max > 0 && len(events) > max {
+		events = events[len(events)-max:]
+	}
+	lines := make([]string, len(events))
+	for i, ev := range events {
+		lines[i] = "  r" + strconv.FormatUint(uint64(ev.Round), 10) + " " + formatEvent(ev)
+	}
+	return strings.Join(lines, "\n")
+}
+
+// FlightInstanceString renders a node's flight-recorder contents filtered
+// to one protocol instance (at most max lines, newest events kept) — the
+// attribution dump a multiplexed chaos violation embeds so the evidence
+// names only the offending instance's events, not its thousand neighbors.
+func (t *Tracer) FlightInstanceString(node wire.NodeID, instance uint32, max int) string {
+	events := t.FlightInstance(node, instance)
 	if len(events) == 0 {
 		return ""
 	}

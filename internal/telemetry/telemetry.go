@@ -153,4 +153,11 @@ type Event struct {
 	Peer  wire.NodeID
 	Arg   uint64
 	Note  string
+	// Instance attributes the event to the protocol instance it belongs
+	// to: the wire.Message instance id for deliveries and ACK traffic, the
+	// hosting instance for protocol milestones. 0 is "instance-less" —
+	// runtime-wide events (round ticks, halts, batch flushes) and every
+	// event of a pre-multiplexing single-instance run, so legacy traces
+	// export unchanged (the JSONL field is omitempty).
+	Instance uint32
 }

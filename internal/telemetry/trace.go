@@ -58,11 +58,19 @@ func (t *Tracer) SetClock(clock func() time.Duration) {
 // kind-specific detail. Events flow into the full stream, the node's
 // flight ring, and — for KindRound — the per-node round high-water mark.
 func (t *Tracer) Record(node wire.NodeID, round uint32, kind Kind, peer wire.NodeID, arg uint64, note string) {
+	t.RecordInst(node, round, 0, kind, peer, arg, note)
+}
+
+// RecordInst is Record with an instance attribution: the protocol
+// instance the event belongs to (0 = instance-less). The multiplexed
+// runtime records every per-message event through this entry point so a
+// trace of a thousand concurrent instances can be filtered back apart.
+func (t *Tracer) RecordInst(node wire.NodeID, round uint32, instance uint32, kind Kind, peer wire.NodeID, arg uint64, note string) {
 	if t == nil {
 		return
 	}
 	t.mu.Lock()
-	ev := Event{Node: node, Round: round, Kind: kind, Peer: peer, Arg: arg, Note: note}
+	ev := Event{Node: node, Round: round, Kind: kind, Peer: peer, Arg: arg, Note: note, Instance: instance}
 	if t.clock != nil {
 		ev.At = t.clock()
 	}
@@ -148,6 +156,24 @@ func (t *Tracer) Flight(node wire.NodeID) []Event {
 	return t.rings[int(node)].snapshot()
 }
 
+// FlightInstance returns the node's flight-recorder events attributed to
+// one protocol instance, oldest first: the per-instance view a chaos
+// violation dumps when a multiplexed run goes wrong.
+func (t *Tracer) FlightInstance(node wire.NodeID, instance uint32) []Event {
+	return FilterInstance(t.Flight(node), instance)
+}
+
+// FilterInstance returns the events attributed to one instance, in order.
+func FilterInstance(events []Event, instance uint32) []Event {
+	var out []Event
+	for _, ev := range events {
+		if ev.Instance == instance {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
 // foldEvent mixes one event into an FNV-1a accumulator.
 func foldEvent(h uint64, ev Event) uint64 {
 	if h == 0 {
@@ -156,6 +182,7 @@ func foldEvent(h uint64, ev Event) uint64 {
 	h = foldUint64(h, uint64(ev.At))
 	h = foldUint64(h, uint64(ev.Node))
 	h = foldUint64(h, uint64(ev.Round))
+	h = foldUint64(h, uint64(ev.Instance))
 	h = foldUint64(h, uint64(ev.Kind))
 	h = foldUint64(h, uint64(ev.Peer))
 	h = foldUint64(h, ev.Arg)

@@ -20,6 +20,16 @@ import (
 // trailing bytes after the last entry — is rejected.
 const BatchMagic = 0xFF
 
+// BatchAckedMagic marks a batch container whose sender accepts a
+// frame-cumulative acknowledgment: instead of one digest ACK per entry,
+// the receiver may answer with a single ACK naming the sealed frame (by
+// its envelope tag) that covers every message it carried. 0xFE is not a
+// valid message Type either, so the dispatch stays a one-byte check.
+// Senders set the marker at flush time (wire.MarkBatchAcked); everything
+// else about the container — entry framing, canonicality, iteration —
+// is identical to a BatchMagic container.
+const BatchAckedMagic = 0xFE
+
 // Errors returned by the batch decoder, alongside the Decode errors
 // entries can fail with.
 var (
@@ -28,9 +38,26 @@ var (
 )
 
 // IsBatch reports whether a plaintext frame is a batch container (as
-// opposed to a single encoded message).
+// opposed to a single encoded message), with either magic byte.
 func IsBatch(data []byte) bool {
-	return len(data) > 0 && data[0] == BatchMagic
+	return len(data) > 0 && (data[0] == BatchMagic || data[0] == BatchAckedMagic)
+}
+
+// IsAckedBatch reports whether a batch container invites a
+// frame-cumulative acknowledgment (BatchAckedMagic).
+func IsAckedBatch(data []byte) bool {
+	return len(data) > 0 && data[0] == BatchAckedMagic
+}
+
+// MarkBatchAcked rewrites a container built by AppendBatchEntry to carry
+// the frame-acknowledgment marker. The sender decides at flush time —
+// after the container is fully built — whether it can credit the frame's
+// acknowledgment as a unit, so the marker is a one-byte rewrite instead
+// of an AppendBatchEntry parameter.
+func MarkBatchAcked(buf []byte) {
+	if len(buf) > 0 && buf[0] == BatchMagic {
+		buf[0] = BatchAckedMagic
+	}
 }
 
 // AppendBatchEntry appends one encoded message to a batch under

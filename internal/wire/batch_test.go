@@ -160,6 +160,19 @@ func FuzzDecodeBatch(f *testing.F) {
 	f.Add(append(append([]byte(nil), single...), 0xEE))              // trailing garbage
 	f.Add(append(append([]byte(nil), single...), 0, 0, 0, 0))        // trailing zero-length entry
 	f.Add(AppendBatchEntry(nil, append(one[:len(one):len(one)], 0))) // entry with trailing byte
+	// Multi-instance frame: the coalesced shape a mux produces, entries
+	// of one round interleaving several instance ids toward one link.
+	var muxed []byte
+	for inst := uint32(1); inst <= 4; inst++ {
+		e, _ := (&Message{Type: TypeEcho, Sender: 1, Initiator: 2, Instance: inst,
+			Seq: 9, Round: 2, HasValue: true, Value: Value{byte(inst)}}).Encode()
+		muxed = AppendBatchEntry(muxed, e)
+		a, _ := (&Message{Type: TypeAck, Sender: 1, Initiator: 2, Instance: inst,
+			Seq: 9, Round: 2, HasValue: true}).Encode()
+		muxed = AppendBatchEntry(muxed, a)
+	}
+	f.Add(muxed)
+	f.Add(muxed[:len(muxed)-3]) // truncated mid-entry
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		msgs, err := DecodeBatch(data)

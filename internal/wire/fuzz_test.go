@@ -54,6 +54,10 @@ func FuzzDecode(f *testing.F) {
 			Set: []SetEntry{{Initiator: 0, Value: Value{1}}}},
 		{Type: TypeSigRelay, Sender: 0, Initiator: 0, Round: 2,
 			Sigs: []SigEntry{{Signer: 3, Signature: []byte{9, 9}}}},
+		// Multiplexed-runtime ids: high instance numbers must round-trip
+		// like any other header field.
+		{Type: TypeEcho, Sender: 4, Initiator: 1, Instance: 100, Seq: 7, Round: 3, HasValue: true, Value: Value{5}},
+		{Type: TypeAck, Sender: 2, Initiator: 0, Instance: 1<<32 - 1, Seq: 1, Round: 2, HasValue: true},
 	} {
 		enc, err := msg.Encode()
 		if err != nil {

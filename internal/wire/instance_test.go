@@ -1,0 +1,33 @@
+package wire
+
+import "testing"
+
+// TestPeekInstance pins the zero-decode instance peek used by the
+// runtime's telemetry attribution: the instance id read straight out of
+// an encoded header must match the decoded message, for every type.
+func TestPeekInstance(t *testing.T) {
+	msgs := []*Message{
+		sampleMessage(),
+		{Type: TypeAck, Sender: 1, Initiator: 2, Instance: 0, Seq: 3, Round: 4, HasValue: true},
+		{Type: TypeEcho, Sender: 4, Initiator: 1, Instance: 1<<32 - 1, Seq: 7, Round: 3, HasValue: true},
+		{Type: TypeFinal, Sender: 2, Initiator: 2, Instance: 12, Round: 1,
+			Set: []SetEntry{{Initiator: 0, Value: Value{1}}}},
+	}
+	for i, msg := range msgs {
+		enc, err := msg.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, ok := PeekInstance(enc)
+		if !ok || got != msg.Instance {
+			t.Fatalf("msg %d: PeekInstance = (%d, %v), want (%d, true)", i, got, ok, msg.Instance)
+		}
+	}
+	if _, ok := PeekInstance(nil); ok {
+		t.Fatal("PeekInstance accepted nil")
+	}
+	short, _ := sampleMessage().Encode()
+	if _, ok := PeekInstance(short[:8]); ok {
+		t.Fatal("PeekInstance accepted a truncated header")
+	}
+}

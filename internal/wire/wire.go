@@ -336,6 +336,22 @@ func DecodeInto(m *Message, data []byte) error {
 	return nil
 }
 
+// instanceOffset is the byte offset of the Instance field in an encoded
+// message: type(1) + sender(4) + initiator(4).
+const instanceOffset = 1 + 4 + 4
+
+// PeekInstance reads the instance id out of an encoded message without
+// decoding it. The multiplexed runtime uses it to attribute telemetry for
+// already-encoded frames (e.g. a multicast leg that degraded to an
+// omission) without paying a full decode. ok is false when the bytes are
+// too short to be a message.
+func PeekInstance(encoded []byte) (instance uint32, ok bool) {
+	if len(encoded) < headerSize {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint32(encoded[instanceOffset:]), true
+}
+
 // String implements fmt.Stringer for logs and test failures.
 func (m *Message) String() string {
 	return fmt.Sprintf("%s{sender=%d init=%d inst=%d seq=%d rnd=%d val=%s}",

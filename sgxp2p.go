@@ -36,6 +36,7 @@ import (
 	"sgxp2p/internal/core/erb"
 	"sgxp2p/internal/core/erng"
 	"sgxp2p/internal/deploy"
+	"sgxp2p/internal/runtime"
 	"sgxp2p/internal/simnet"
 	"sgxp2p/internal/wire"
 )
@@ -187,6 +188,109 @@ func (c *Cluster) Broadcast(initiator NodeID, v Value) (map[NodeID]BroadcastResu
 		}
 	}
 	for _, p := range c.d.Peers {
+		p.BumpSeqs()
+	}
+	return out, nil
+}
+
+// BroadcastRequest names one broadcast of a multiplexed batch: the
+// initiating node and the value it broadcasts.
+type BroadcastRequest struct {
+	Initiator NodeID
+	Value     Value
+}
+
+// MuxOptions bounds the multiplexed runtime of BroadcastMany.
+type MuxOptions struct {
+	// MaxInFlight caps the broadcasts running concurrently on every node;
+	// excess requests queue and are admitted FIFO as running windows
+	// retire. Zero runs everything concurrently.
+	MaxInFlight int
+	// MaxBacklog caps the admission queue; requests past it fail the call
+	// (runtime.ErrMuxBacklog). Zero means unbounded.
+	MaxBacklog int
+}
+
+// BroadcastMany runs many ERB instances concurrently over one multiplexed
+// runtime: every node hosts one lightweight engine per request behind a
+// shared runtime.Mux, so all same-round traffic to a peer — across every
+// in-flight broadcast — leaves in a single sealed batch frame. The i-th
+// returned map holds every live node's decision for reqs[i], exactly as
+// the i-th call of a serial Broadcast sequence would (same engines, same
+// lockstep semantics; only the framing and the wall-clock change).
+func (c *Cluster) BroadcastMany(reqs []BroadcastRequest, opts MuxOptions) ([]map[NodeID]BroadcastResult, error) {
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	for j, r := range reqs {
+		if int(r.Initiator) >= c.N() {
+			return nil, fmt.Errorf("sgxp2p: request %d initiator %d out of range", j, r.Initiator)
+		}
+	}
+	n := c.N()
+	muxes := make([]*runtime.Mux, n)
+	engines := make([][]*erb.Engine, n)
+	for i, p := range c.d.Peers {
+		if p.Halted() {
+			continue
+		}
+		m := runtime.NewMux(p, runtime.MuxConfig{MaxInFlight: opts.MaxInFlight, MaxBacklog: opts.MaxBacklog})
+		muxes[i] = m
+		engines[i] = make([]*erb.Engine, len(reqs))
+		self := p.ID()
+		engs := engines[i]
+		for j, req := range reqs {
+			// An ERB window is T+2 rounds: admission round (INIT) through
+			// the acceptance deadline StartRound+T+1.
+			if _, err := m.Spawn(c.t+2, func(inst *runtime.Instance) (runtime.Protocol, error) {
+				eng, buildErr := erb.NewEngine(inst, erb.Config{
+					T:                  c.t,
+					StartRound:         inst.StartRound(),
+					ExpectedInitiators: []NodeID{req.Initiator},
+				})
+				if buildErr != nil {
+					return nil, buildErr
+				}
+				if self == req.Initiator {
+					eng.SetInput(req.Value)
+				}
+				engs[j] = eng
+				return eng, nil
+			}); err != nil {
+				return nil, fmt.Errorf("sgxp2p: spawn broadcast %d: %w", j, err)
+			}
+		}
+	}
+	var nextID uint32
+	for i, p := range c.d.Peers {
+		if muxes[i] == nil {
+			continue
+		}
+		nextID = muxes[i].NextID()
+		p.Start(muxes[i], muxes[i].PlannedRounds())
+	}
+	if err := c.d.Run(); err != nil {
+		return nil, err
+	}
+	out := make([]map[NodeID]BroadcastResult, len(reqs))
+	for j, req := range reqs {
+		res := make(map[NodeID]BroadcastResult, n)
+		for i := range c.d.Peers {
+			if engines[i] == nil || engines[i][j] == nil || c.d.Peers[i].Halted() {
+				continue
+			}
+			if r, ok := engines[i][j].Result(req.Initiator); ok {
+				res[NodeID(i)] = r
+			}
+		}
+		out[j] = res
+	}
+	for i, p := range c.d.Peers {
+		// The mux consumed one instance id per request; re-align the epoch
+		// counter past them so a later epoch never reuses a multiplexed id.
+		if muxes[i] != nil {
+			p.AlignInstance(nextID)
+		}
 		p.BumpSeqs()
 	}
 	return out, nil

@@ -220,3 +220,61 @@ func TestClusterJoin(t *testing.T) {
 		}
 	}
 }
+
+func TestClusterBroadcastMany(t *testing.T) {
+	c, err := sgxp2p.NewCluster(sgxp2p.Options{N: 7, T: 3, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := make([]sgxp2p.BroadcastRequest, 20)
+	for j := range reqs {
+		reqs[j] = sgxp2p.BroadcastRequest{
+			Initiator: sgxp2p.NodeID(j % 7),
+			Value:     sgxp2p.ValueFromString("mux payload"),
+		}
+	}
+	results, err := c.BroadcastMany(reqs, sgxp2p.MuxOptions{MaxInFlight: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(reqs) {
+		t.Fatalf("got %d result sets, want %d", len(results), len(reqs))
+	}
+	for j, res := range results {
+		if len(res) != 7 {
+			t.Fatalf("request %d decided at %d nodes, want 7", j, len(res))
+		}
+		for id, r := range res {
+			if !r.Accepted || r.Value != reqs[j].Value {
+				t.Fatalf("request %d node %d: %+v", j, id, r)
+			}
+		}
+	}
+	// The cluster stays usable for ordinary epochs afterwards.
+	after, err := c.Broadcast(0, sgxp2p.ValueFromString("after"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, r := range after {
+		if !r.Accepted {
+			t.Fatalf("post-mux broadcast rejected at node %d", id)
+		}
+	}
+}
+
+func TestClusterBroadcastManyValidation(t *testing.T) {
+	c, err := sgxp2p.NewCluster(sgxp2p.Options{N: 5, T: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out, err := c.BroadcastMany(nil, sgxp2p.MuxOptions{}); err != nil || out != nil {
+		t.Fatalf("empty request list: out=%v err=%v", out, err)
+	}
+	if _, err := c.BroadcastMany([]sgxp2p.BroadcastRequest{{Initiator: 9}}, sgxp2p.MuxOptions{}); err == nil {
+		t.Fatal("out-of-range initiator accepted")
+	}
+	reqs := []sgxp2p.BroadcastRequest{{Initiator: 0}, {Initiator: 1}}
+	if _, err := c.BroadcastMany(reqs, sgxp2p.MuxOptions{MaxBacklog: 1}); err == nil {
+		t.Fatal("backlog overflow accepted")
+	}
+}
