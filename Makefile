@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race chaos lint obs-smoke verify bench bench-telemetry bench-coalesce bench-mux benchsmoke clean
+.PHONY: build test vet race chaos lint obs-smoke scenario-smoke verify bench bench-telemetry bench-coalesce bench-mux benchsmoke clean
 
 build:
 	$(GO) build ./...
@@ -54,10 +54,29 @@ obs-smoke:
 	$(GO) run ./cmd/p2ptrace -check "$$dir/a.jsonl" && \
 	$(GO) run ./cmd/p2ptrace -diff "$$dir/a.jsonl" "$$dir/b.jsonl"
 
+# scenario-smoke is the multi-process end-to-end check (DESIGN.md §13):
+# build the real node binary once, run two small manifests — honest ERB
+# at n=4 and the ERNG slow-link profile — as actual TCP process fleets
+# via cmd/p2pscenario, then validate every run's merged cross-process
+# telemetry with p2ptrace -check. The generous Δ override keeps the
+# round windows safe on loaded CI hosts; the invariants (agreement,
+# acceptance, round bounds) are asserted by the runner itself.
+scenario-smoke:
+	@dir=$$(mktemp -d) && trap 'rm -rf "$$dir"' EXIT && \
+	$(GO) build -o "$$dir/p2pnode" ./cmd/p2pnode && \
+	$(GO) run ./cmd/p2pscenario -node-bin "$$dir/p2pnode" -out "$$dir" -keep \
+		-testcase erb-honest -instances 4 -param delta=300ms \
+		scenarios/honest-sweep.toml && \
+	$(GO) run ./cmd/p2pscenario -node-bin "$$dir/p2pnode" -out "$$dir" -keep \
+		-param delta=300ms scenarios/slow-link.toml && \
+	for f in "$$dir"/*/merged.jsonl; do \
+		$(GO) run ./cmd/p2ptrace -check "$$f" || exit 1; done
+
 # verify is the tier-1 gate: build, vet, full test suite, race subset,
 # chaos fault-injection suite, one-iteration benchmark smoke run, the
-# project lint battery, and the traced-replay determinism smoke.
-verify: build vet test race chaos benchsmoke lint obs-smoke
+# project lint battery, the traced-replay determinism smoke, and the
+# multi-process scenario smoke.
+verify: build vet test race chaos benchsmoke lint obs-smoke scenario-smoke
 
 # bench regenerates BENCH_setup.json: setup/broadcast microbenchmarks plus
 # the fig2a/fig2b sweeps (ns/op and allocs/op) via cmd/p2pbench.

@@ -7,6 +7,7 @@
 //	p2ptrace -instance 3 run.jsonl  # timeline of one protocol instance only
 //	p2ptrace -check run.jsonl     # strict schema + monotonicity check
 //	p2ptrace -diff a.jsonl b.jsonl  # first diverging line (exit 1 if any)
+//	p2ptrace -merge n0.jsonl n1.jsonl ...  # time-ordered merge to stdout
 //
 // -diff is the determinism witness: two traced runs of the same seed must
 // be byte-identical, so any reported divergence is a reproducibility bug
@@ -34,10 +35,17 @@ func run(args []string) error {
 	var (
 		check    = fs.Bool("check", false, "validate the trace (schema, kinds, monotone timestamps) and print its event count")
 		diff     = fs.Bool("diff", false, "compare two traces line by line; exit 1 on the first divergence")
+		merge    = fs.Bool("merge", false, "merge per-process traces into one time-ordered JSONL stream on stdout")
 		instance = fs.Int("instance", -1, "filter the timeline to one protocol instance id (multiplexed traces)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *merge {
+		if fs.NArg() < 1 {
+			return fmt.Errorf("-merge needs at least one trace file")
+		}
+		return mergeTraces(os.Stdout, fs.Args())
 	}
 	if *diff {
 		if fs.NArg() != 2 {
@@ -73,6 +81,26 @@ func printTimeline(w io.Writer, path string, instance int) error {
 		events = telemetry.FilterInstance(events, uint32(instance))
 	}
 	return telemetry.WriteTimeline(w, events)
+}
+
+// mergeTraces interleaves per-process traces into one globally
+// time-ordered stream — the form the scenario runner archives so a
+// multi-process run can be read (and -check'ed) as a single timeline.
+func mergeTraces(w io.Writer, paths []string) error {
+	streams := make([][]telemetry.Event, 0, len(paths))
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		events, err := telemetry.ReadJSONL(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		streams = append(streams, events)
+	}
+	return telemetry.WriteJSONL(w, telemetry.MergeEvents(streams...))
 }
 
 // checkTrace validates a trace file and reports its event count.

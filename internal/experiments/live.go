@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+)
+
+// LiveReference is a simnet data point the live scenario runner compares
+// its real-TCP measurements against: the fig2a honest-ERB termination at
+// one network size, under the same paper-faithful per-message wire
+// accounting the figures use.
+type LiveReference struct {
+	// N is the network size of the point.
+	N int
+	// Rounds is the latest honest decision round (fig2a's "rounds").
+	Rounds int
+	// Termination is the virtual time of the last honest decision.
+	Termination time.Duration
+	// OneRound is the simnet's round length 2Δ after bandwidth
+	// adjustment, for normalizing the termination across Δ choices.
+	OneRound time.Duration
+}
+
+// SimnetERBReference runs the fig2a simnet point at n (honest initiator,
+// no adversary) and returns the reference the live cross-check records
+// in BENCH_scenario.json. The decision-round count is the comparable
+// quantity: wall-clock termination scales with each side's Δ, but both
+// stacks run the identical protocol code, so their decision rounds must
+// match exactly for the live deployment to count as faithful.
+func SimnetERBReference(cfg Config, n int) (LiveReference, error) {
+	run, err := runERB(cfg, n, 0)
+	if err != nil {
+		return LiveReference{}, err
+	}
+	if !run.Accepted {
+		return LiveReference{}, fmt.Errorf("simnet reference N=%d: honest run did not accept", n)
+	}
+	return LiveReference{
+		N:           n,
+		Rounds:      int(run.MaxRound),
+		Termination: run.Termination,
+		OneRound:    run.OneRound,
+	}, nil
+}

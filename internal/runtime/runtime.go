@@ -131,6 +131,12 @@ type Stats struct {
 	// RoundMismatches counts authenticated messages dropped by the
 	// lockstep check (delay/replay attacks surfacing as stale rounds).
 	RoundMismatches uint64
+	// EarlyBuffered counts authenticated messages that arrived stamped
+	// one round ahead of the receiver's clock and were buffered until
+	// the round ticked. Live (TCP) deployments tick on wall clocks that
+	// skew by fractions of a round across processes; in the virtual-time
+	// simnet this stays zero.
+	EarlyBuffered uint64
 	// AcksSent and AcksReceived count the P4 acknowledgment traffic.
 	AcksSent     uint64
 	AcksReceived uint64
@@ -150,6 +156,7 @@ type counters struct {
 	delivered       *telemetry.Counter
 	authFailures    *telemetry.Counter
 	roundMismatches *telemetry.Counter
+	earlyBuffered   *telemetry.Counter
 	acksSent        *telemetry.Counter
 	acksReceived    *telemetry.Counter
 	halts           *telemetry.Counter
@@ -165,6 +172,7 @@ func newCounters(m *telemetry.Metrics) *counters {
 		delivered:       m.Counter("runtime_delivered_total"),
 		authFailures:    m.Counter("runtime_auth_failures_total"),
 		roundMismatches: m.Counter("runtime_round_mismatches_total"),
+		earlyBuffered:   m.Counter("runtime_early_buffered_total"),
 		acksSent:        m.Counter("runtime_acks_sent_total"),
 		acksReceived:    m.Counter("runtime_acks_received_total"),
 		halts:           m.Counter("runtime_halts_total"),
@@ -351,6 +359,11 @@ type Peer struct {
 	// so acknowledging a received message costs zero extra Encodes.
 	delivering        *wire.Message
 	deliveringEncoded []byte
+
+	// early holds authenticated messages stamped round+1, parked until
+	// the tick catches up (see deliverOne). Entries own copies of their
+	// encoding: the receive scratch they arrived in is reused per frame.
+	early []earlyMsg
 
 	// rxMsg is the scratch Message every delivery is decoded into
 	// (wire.DecodeInto): messages are borrowed by OnMessage, never owned,
@@ -635,6 +648,7 @@ func (p *Peer) StartIn(proto Protocol, rounds int, startDelay time.Duration) {
 	p.winCoverFull = true
 	p.frameAckOn = false
 	p.pendAcks = p.pendAcks[:0]
+	p.early = nil
 	if p.frameIdx != nil {
 		clear(p.frameIdx)
 	}
@@ -677,6 +691,7 @@ func (p *Peer) tick(rnd uint32) {
 	p.inCallback = true
 	p.proto.OnRound(rnd)
 	p.inCallback = false
+	p.replayEarly()
 	// Flush the callback's coalesced frames at the same virtual instant
 	// the unbatched runtime would have sent them: still inside the tick
 	// event, before any 2Δ of the round has elapsed, so the lockstep
@@ -730,6 +745,7 @@ func (p *Peer) Stop() {
 	p.started = false
 	p.proto = nil
 	p.trackers = nil
+	p.early = nil
 	if p.frameIdx != nil {
 		clear(p.frameIdx)
 	}
@@ -1377,6 +1393,43 @@ func (p *Peer) receiveBatch(src wire.NodeID, plaintext []byte) bool {
 	}
 }
 
+// earlyMsg is one parked early arrival: the decoded message by value
+// (the shared rxMsg scratch is overwritten by the next delivery) and its
+// exact transmitted encoding, copied out of the reused open scratch so
+// SendAck digests the same bytes a live delivery would.
+type earlyMsg struct {
+	src wire.NodeID
+	msg wire.Message
+	enc []byte
+}
+
+// earlyPerPeer bounds the early buffer at earlyPerPeer*N messages —
+// comfortably one round of multiplexed traffic, far below what a
+// flooding peer would need to matter.
+const earlyPerPeer = 64
+
+// replayEarly delivers the messages parked for the round that just
+// ticked. It runs inside the tick event after the protocol's OnRound, so
+// a replayed message is processed at the same lockstep point as one
+// arriving over the wire moments later; acknowledgments it triggers join
+// the tick's outbox flush. Entries from a previous instance (the peer
+// restarted while they were parked) no longer match the current round
+// and fall through deliverOne's stale drop.
+func (p *Peer) replayEarly() {
+	if len(p.early) == 0 {
+		return
+	}
+	parked := p.early
+	p.early = nil
+	for i := range parked {
+		if p.Halted() || !p.started || p.finished {
+			return
+		}
+		e := &parked[i]
+		p.deliverOne(e.src, &e.msg, e.enc)
+	}
+}
+
 // recvFailure records an envelope (or batch entry) that failed
 // authentication, decoding or sender binding: forged, corrupted,
 // cross-program or mis-addressed input reduces to an omission
@@ -1416,6 +1469,29 @@ func (p *Peer) deliverOne(src wire.NodeID, msg *wire.Message, encoded []byte) {
 			p.trace.RecordInst(p.ID(), p.round, msg.Instance, telemetry.KindAckRecv, src, n, "")
 		}
 		p.handleAck(src, msg)
+		return
+	}
+	// A message stamped exactly one round ahead arrived from a peer
+	// whose wall clock ticked marginally earlier — inevitable when the
+	// lockstep schedule runs on real clocks across processes, impossible
+	// in the virtual-time simnet. Park it until our own tick catches up:
+	// delivering it during round+1 is exactly when the lockstep model
+	// says it arrives, so the buffer grants a byzantine sender no power
+	// it lacks (it could as well have sent the message next round). The
+	// buffer is bounded; overflow degrades to the stale-drop omission.
+	if msg.Round == p.round+1 && msg.Round <= p.rounds && len(p.early) < earlyPerPeer*p.cfg.N {
+		p.stats.EarlyBuffered++
+		if p.ctr != nil {
+			p.ctr.earlyBuffered.Inc()
+		}
+		if p.trace != nil {
+			p.trace.RecordInst(p.ID(), p.round, msg.Instance, telemetry.KindEarly, src, uint64(msg.Round), "")
+		}
+		p.early = append(p.early, earlyMsg{
+			src: src,
+			msg: *msg,
+			enc: append([]byte(nil), encoded...),
+		})
 		return
 	}
 	// Lockstep execution (P5): a message stamped with a different round

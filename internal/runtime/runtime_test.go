@@ -265,6 +265,80 @@ func TestRoundMismatchDropped(t *testing.T) {
 	}
 }
 
+// TestEarlyMessageBufferedOneRound pins the live-clock skew tolerance: a
+// message stamped one round ahead of the receiver is not an omission —
+// it parks in the early buffer and is delivered when the round ticks,
+// exactly as if it had arrived over the wire a moment later.
+func TestEarlyMessageBufferedOneRound(t *testing.T) {
+	d := newDeployment(t, 3, 1)
+	probes := startAll(d, 3)
+	sender := probes[0]
+	sender.onRound = func(rnd uint32) {
+		if rnd != 1 {
+			return
+		}
+		// Receivers are still in round 1; the message claims round 2 —
+		// the shape a marginally faster peer's tick produces over TCP.
+		msg := &wire.Message{
+			Type: wire.TypeEcho, Sender: 0, Initiator: 0,
+			Seq: sender.peer.SeqOf(0), Round: 2, HasValue: true, Value: wire.Value{7},
+		}
+		if err := sender.peer.Multicast(nil, msg, 0); err != nil {
+			t.Errorf("Multicast: %v", err)
+		}
+	}
+	if err := d.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 3; i++ {
+		pr := probes[i]
+		if len(pr.msgs) != 1 || pr.msgs[0].Round != 2 || pr.msgs[0].Value != (wire.Value{7}) {
+			t.Fatalf("peer %d delivered %v, want the round-2 message once", i, pr.msgs)
+		}
+		st := pr.peer.Stats()
+		if st.EarlyBuffered != 1 {
+			t.Fatalf("peer %d early-buffered = %d, want 1", i, st.EarlyBuffered)
+		}
+		if st.RoundMismatches != 0 {
+			t.Fatalf("peer %d counted %d round mismatches, want 0", i, st.RoundMismatches)
+		}
+	}
+}
+
+// TestEarlyMessageBeyondOneRoundStillDropped pins the buffer's scope: two
+// or more rounds ahead is outside any honest clock skew and stays a
+// stale-drop omission (the existing TestRoundMismatchDropped covers the
+// delayed/replayed direction).
+func TestEarlyMessageBeyondOneRoundStillDropped(t *testing.T) {
+	d := newDeployment(t, 3, 1)
+	probes := startAll(d, 4)
+	sender := probes[0]
+	sender.onRound = func(rnd uint32) {
+		if rnd != 1 {
+			return
+		}
+		msg := &wire.Message{
+			Type: wire.TypeEcho, Sender: 0, Initiator: 0,
+			Seq: sender.peer.SeqOf(0), Round: 3, HasValue: true, Value: wire.Value{9},
+		}
+		if err := sender.peer.Multicast(nil, msg, 0); err != nil {
+			t.Errorf("Multicast: %v", err)
+		}
+	}
+	if err := d.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 3; i++ {
+		pr := probes[i]
+		if len(pr.msgs) != 0 {
+			t.Fatalf("peer %d delivered a message stamped two rounds ahead", i)
+		}
+		if st := pr.peer.Stats(); st.RoundMismatches != 1 || st.EarlyBuffered != 0 {
+			t.Fatalf("peer %d stats = %+v, want one stale drop, no buffering", i, st)
+		}
+	}
+}
+
 func TestSeqTableConsistentAfterSetup(t *testing.T) {
 	d := newDeployment(t, 4, 1)
 	for id := wire.NodeID(0); id < 4; id++ {

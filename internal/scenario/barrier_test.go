@@ -1,0 +1,158 @@
+package scenario
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeNode is a minimal stand-in for p2pnode's control client.
+type fakeNode struct {
+	conn net.Conn
+	rd   *bufio.Reader
+}
+
+func dialFake(t *testing.T, addr string, id int, listen string) *fakeNode {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(conn, "READY %d %s\n", id, listen)
+	return &fakeNode{conn: conn, rd: bufio.NewReader(conn)}
+}
+
+func (f *fakeNode) line(t *testing.T) string {
+	t.Helper()
+	f.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	line, err := f.rd.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	return strings.TrimSpace(line)
+}
+
+// TestBarrierHandshake pins the READY→PEERS+START→DONE conversation.
+func TestBarrierHandshake(t *testing.T) {
+	b, err := NewBarrier(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	nodes := make([]*fakeNode, 3)
+	for i := 0; i < 3; i++ {
+		nodes[i] = dialFake(t, b.Addr(), i, fmt.Sprintf("127.0.0.1:9%02d0", i))
+		defer nodes[i].conn.Close()
+	}
+	if err := b.AwaitReady(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now().Add(500 * time.Millisecond)
+	if err := b.Release(start); err != nil {
+		t.Fatal(err)
+	}
+	for i, node := range nodes {
+		peers := node.line(t)
+		want := "PEERS 0=127.0.0.1:9000,1=127.0.0.1:9010,2=127.0.0.1:9020"
+		if peers != want {
+			t.Fatalf("node %d got %q, want %q", i, peers, want)
+		}
+		startLine := node.line(t)
+		if startLine != fmt.Sprintf("START %d", start.UnixMilli()) {
+			t.Fatalf("node %d got %q", i, startLine)
+		}
+	}
+
+	fmt.Fprintf(nodes[0].conn, "DONE\n")
+	fmt.Fprintf(nodes[1].conn, "FAIL boom\n")
+	nodes[2].conn.Close()
+
+	got := map[string]int{}
+	deadline := time.After(5 * time.Second)
+	for len(got) < 3 {
+		select {
+		case ev := <-b.Events():
+			if ev.Kind != "ready" {
+				got[fmt.Sprintf("%d:%s", ev.ID, ev.Kind)] = 1
+				if ev.Kind == "fail" && ev.Detail != "boom" {
+					t.Fatalf("fail detail %q", ev.Detail)
+				}
+			}
+		case <-deadline:
+			t.Fatalf("events so far: %v", got)
+		}
+	}
+	for _, want := range []string{"0:done", "1:fail", "2:disconnect"} {
+		if got[want] == 0 {
+			t.Fatalf("missing event %s in %v", want, got)
+		}
+	}
+}
+
+// TestBarrierLateJoiner pins the restart path: a READY arriving after
+// the release gets the same PEERS table and START instant immediately.
+func TestBarrierLateJoiner(t *testing.T) {
+	b, err := NewBarrier(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	n0 := dialFake(t, b.Addr(), 0, "127.0.0.1:9100")
+	defer n0.conn.Close()
+	n1 := dialFake(t, b.Addr(), 1, "127.0.0.1:9110")
+	if err := b.AwaitReady(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now().Add(time.Second)
+	if err := b.Release(start); err != nil {
+		t.Fatal(err)
+	}
+	n0.line(t)
+	n0.line(t)
+	n1.line(t)
+	n1.line(t)
+
+	// Node 1 "crashes" and a new incarnation checks in late.
+	n1.conn.Close()
+	n1b := dialFake(t, b.Addr(), 1, "127.0.0.1:9110")
+	defer n1b.conn.Close()
+	peers := n1b.line(t)
+	if peers != "PEERS 0=127.0.0.1:9100,1=127.0.0.1:9110" {
+		t.Fatalf("late joiner peers %q", peers)
+	}
+	startLine := n1b.line(t)
+	if startLine != fmt.Sprintf("START %d", start.UnixMilli()) {
+		t.Fatalf("late joiner start %q (want the original instant)", startLine)
+	}
+	if addr, ok := b.NodeAddr(1); !ok || addr != "127.0.0.1:9110" {
+		t.Fatalf("NodeAddr(1) = %q, %v", addr, ok)
+	}
+}
+
+// TestBarrierAwaitReadyTimeout pins the actionable timeout message.
+func TestBarrierAwaitReadyTimeout(t *testing.T) {
+	b, err := NewBarrier(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	n0 := dialFake(t, b.Addr(), 0, "127.0.0.1:9200")
+	defer n0.conn.Close()
+	// Give the barrier a moment to register node 0.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, ok := b.NodeAddr(0); ok || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	err = b.AwaitReady(50 * time.Millisecond)
+	if err == nil || !strings.Contains(err.Error(), "missing [1 2]") {
+		t.Fatalf("err = %v, want missing [1 2]", err)
+	}
+}

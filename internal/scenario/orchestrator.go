@@ -1,0 +1,446 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// protocolRounds is the lockstep round count of both live protocols for
+// a byzantine bound t: ERB runs t+2 rounds from a round-1 start, and
+// basic ERNG embeds an ERB engine with the same window (erb.Engine.Rounds
+// and erng.Basic.Rounds — the runner must agree with p2pnode on this so
+// both compute the same epoch schedule).
+func protocolRounds(t int) int { return t + 2 }
+
+// epochWindow mirrors p2pnode's epoch slot: protocol rounds plus two
+// rounds of slack, each round 2Δ long.
+func epochWindow(rounds int, delta time.Duration) time.Duration {
+	return time.Duration(rounds+2) * 2 * delta
+}
+
+// NodeResult mirrors p2pnode's -result-out JSON document.
+type NodeResult struct {
+	ID     int           `json:"id"`
+	Mode   string        `json:"mode"`
+	N      int           `json:"n"`
+	T      int           `json:"t"`
+	Byz    bool          `json:"byz"`
+	Epochs []EpochResult `json:"epochs"`
+}
+
+// EpochResult is one epoch's outcome at one node.
+type EpochResult struct {
+	Epoch    int    `json:"epoch"`
+	OK       bool   `json:"ok"`
+	Accepted bool   `json:"accepted"`
+	Value    string `json:"value,omitempty"`
+	Round    uint32 `json:"round,omitempty"`
+	Note     string `json:"note,omitempty"`
+}
+
+// NodeOutcome is everything the runner learned about one node.
+type NodeOutcome struct {
+	// ID is the node id; Byz marks a byzantine role (chain member).
+	ID  int
+	Byz bool
+	// Crashed marks a node a churn phase killed; Restarted that a new
+	// incarnation rejoined.
+	Crashed   bool
+	Restarted bool
+	// Result is the (final incarnation's) parsed result document, nil if
+	// the node never wrote one.
+	Result *NodeResult
+	// TracePaths are the JSONL traces the node's incarnations dumped.
+	TracePaths []string
+	// FailDetail is the FAIL reason the node reported, empty otherwise.
+	FailDetail string
+}
+
+// InvariantResult is one centrally asserted cross-process invariant.
+type InvariantResult struct {
+	Name   string `json:"name"`
+	OK     bool   `json:"ok"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// RunReport is the outcome of one orchestrated testcase run.
+type RunReport struct {
+	Testcase   string            `json:"testcase"`
+	N          int               `json:"n"`
+	Params     RunParams         `json:"params"`
+	Window     time.Duration     `json:"window_ns"`
+	WallTime   time.Duration     `json:"wall_time_ns"`
+	Nodes      []*NodeOutcome    `json:"-"`
+	Invariants []InvariantResult `json:"invariants"`
+	MergedPath string            `json:"merged_trace,omitempty"`
+	Passed     bool              `json:"passed"`
+}
+
+// RunConfig configures one orchestrated run.
+type RunConfig struct {
+	// NodeBin is the p2pnode binary (see BuildNodeBin).
+	NodeBin string
+	// Testcase and the resolved Params drive the fleet.
+	Testcase *Testcase
+	Params   RunParams
+	// Instances is the process count (0 = the testcase default).
+	Instances int
+	// OutDir receives traces, results, logs and the merged trace.
+	OutDir string
+	// StartDelay is the gap between barrier release and round 1; 0
+	// picks a default scaled to the fleet size.
+	StartDelay time.Duration
+	// Log, when non-nil, receives run narration.
+	Log io.Writer
+}
+
+// Run orchestrates one testcase: spawn the fleet, run the barrier
+// handshake, fire churn phases, collect traces and results, assert the
+// invariants.
+func Run(cfg RunConfig) (*RunReport, error) {
+	n := cfg.Instances
+	if n == 0 {
+		n = cfg.Testcase.Instances.Default
+	}
+	if err := cfg.Testcase.Validate(n, cfg.Params); err != nil {
+		return nil, err
+	}
+	if cfg.NodeBin == "" {
+		return nil, fmt.Errorf("scenario: no node binary")
+	}
+	if err := os.MkdirAll(cfg.OutDir, 0o755); err != nil {
+		return nil, err
+	}
+	logf := func(format string, args ...any) {
+		if cfg.Log != nil {
+			fmt.Fprintf(cfg.Log, format+"\n", args...)
+		}
+	}
+
+	rounds := protocolRounds(cfg.Params.T)
+	window := epochWindow(rounds, cfg.Params.Delta)
+	report := &RunReport{Testcase: cfg.Testcase.Name, N: n, Params: cfg.Params, Window: window}
+	began := time.Now()
+
+	barrier, err := NewBarrier(n)
+	if err != nil {
+		return nil, err
+	}
+	defer barrier.Close()
+
+	fleet := &fleet{
+		cfg: cfg, n: n, barrier: barrier,
+		outcomes: make([]*NodeOutcome, n),
+	}
+	for id := 0; id < n; id++ {
+		fleet.outcomes[id] = &NodeOutcome{ID: id, Byz: id < cfg.Params.ChainLen}
+	}
+	defer fleet.killAll()
+
+	for id := 0; id < n; id++ {
+		if err := fleet.spawn(id, 0, 0, "127.0.0.1:0"); err != nil {
+			return nil, err
+		}
+	}
+	logf("scenario %s: %d processes spawned, waiting at barrier", cfg.Testcase.Name, n)
+
+	readyTimeout := 30*time.Second + time.Duration(n)*200*time.Millisecond
+	if err := barrier.AwaitReady(readyTimeout); err != nil {
+		return nil, err
+	}
+	startDelay := cfg.StartDelay
+	if startDelay == 0 {
+		startDelay = 3*time.Second + time.Duration(n)*15*time.Millisecond
+	}
+	start := time.Now().Add(startDelay)
+	if err := barrier.Release(start); err != nil {
+		return nil, err
+	}
+	logf("scenario %s: barrier released, round 1 in %v, window %v", cfg.Testcase.Name, startDelay, window)
+
+	// Churn phases: kill mid-window; a crash-restart relaunches the node
+	// immediately with -resume-epoch so it rejoins at the next boundary.
+	var churnWG sync.WaitGroup
+	for _, phase := range cfg.Testcase.Churn {
+		killAt := start.Add(time.Duration(phase.Epoch)*window + window/2)
+		churnWG.Add(1)
+		go func() {
+			defer churnWG.Done()
+			time.Sleep(time.Until(killAt))
+			fleet.kill(phase.Node)
+			fleet.outcomes[phase.Node].Crashed = true
+			logf("scenario %s: churn: killed node %d mid-epoch %d", cfg.Testcase.Name, phase.Node, phase.Epoch)
+			if phase.Action != "crash-restart" {
+				return
+			}
+			addr, ok := barrier.NodeAddr(phase.Node)
+			if !ok {
+				logf("scenario %s: churn: node %d has no recorded address", cfg.Testcase.Name, phase.Node)
+				return
+			}
+			fleet.outcomes[phase.Node].Restarted = true
+			if err := fleet.spawn(phase.Node, 1, phase.Epoch+1, addr); err != nil {
+				logf("scenario %s: churn: relaunch of node %d failed: %v", cfg.Testcase.Name, phase.Node, err)
+			} else {
+				logf("scenario %s: churn: relaunched node %d for epoch %d", cfg.Testcase.Name, phase.Node, phase.Epoch+1)
+			}
+		}()
+	}
+
+	// Every node is expected to report DONE except pure-crash victims.
+	expectDone := make(map[int]bool, n)
+	for id := 0; id < n; id++ {
+		expectDone[id] = true
+	}
+	for _, phase := range cfg.Testcase.Churn {
+		if phase.Action == "crash" {
+			expectDone[phase.Node] = false
+		}
+	}
+	pending := 0
+	for id := 0; id < n; id++ {
+		if expectDone[id] {
+			pending++
+		}
+	}
+
+	deadline := time.Until(start) + time.Duration(cfg.Params.Epochs)*window + 2*window + 30*time.Second
+	timeout := time.After(deadline)
+	terminal := make(map[int]bool, n)
+collect:
+	for pending > 0 {
+		select {
+		case ev := <-barrier.Events():
+			switch ev.Kind {
+			case "done":
+				if expectDone[ev.ID] && !terminal[ev.ID] {
+					terminal[ev.ID] = true
+					pending--
+				}
+			case "fail":
+				fleet.outcomes[ev.ID].FailDetail = ev.Detail
+				if expectDone[ev.ID] && !terminal[ev.ID] {
+					terminal[ev.ID] = true
+					pending--
+				}
+				logf("scenario %s: node %d failed: %s", cfg.Testcase.Name, ev.ID, ev.Detail)
+			}
+		case <-timeout:
+			logf("scenario %s: run deadline hit with %d nodes pending", cfg.Testcase.Name, pending)
+			break collect
+		}
+	}
+	churnWG.Wait()
+	fleet.killAll()
+	fleet.reap()
+	report.WallTime = time.Since(began)
+
+	// Collect results and traces from whatever each node dumped.
+	for id := 0; id < n; id++ {
+		out := fleet.outcomes[id]
+		for inc := 0; inc <= 1; inc++ {
+			resPath := filepath.Join(cfg.OutDir, resultName(id, inc))
+			if doc, rerr := readResult(resPath); rerr == nil {
+				out.Result = doc
+			}
+			tracePath := filepath.Join(cfg.OutDir, traceName(id, inc))
+			if st, serr := os.Stat(tracePath); serr == nil && st.Size() >= 0 {
+				out.TracePaths = append(out.TracePaths, tracePath)
+			}
+		}
+	}
+	report.Nodes = fleet.outcomes
+
+	merged, mergeRes := mergeTraces(cfg.OutDir, fleet.outcomes)
+	report.MergedPath = merged
+	report.Invariants = append(report.Invariants, mergeRes)
+	report.Invariants = append(report.Invariants, checkCompletion(fleet.outcomes, expectDone, cfg.Params)...)
+	report.Invariants = append(report.Invariants, checkDecisions(fleet.outcomes, cfg.Testcase, cfg.Params)...)
+
+	report.Passed = true
+	for _, inv := range report.Invariants {
+		if !inv.OK {
+			report.Passed = false
+		}
+	}
+	logf("scenario %s: %s in %v", cfg.Testcase.Name, passFail(report.Passed), report.WallTime.Round(time.Millisecond))
+	return report, nil
+}
+
+func passFail(ok bool) string {
+	if ok {
+		return "PASS"
+	}
+	return "FAIL"
+}
+
+// traceName and resultName fix the per-incarnation artifact layout.
+func traceName(id, incarnation int) string {
+	return fmt.Sprintf("trace-%d-%d.jsonl", id, incarnation)
+}
+func resultName(id, incarnation int) string {
+	return fmt.Sprintf("result-%d-%d.json", id, incarnation)
+}
+
+// readResult parses one node result document.
+func readResult(path string) (*NodeResult, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	doc := &NodeResult{}
+	if err := json.Unmarshal(data, doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return doc, nil
+}
+
+// fleet manages the node processes of one run.
+type fleet struct {
+	cfg     RunConfig
+	n       int
+	barrier *Barrier
+
+	mu       sync.Mutex
+	procs    map[int]*exec.Cmd
+	logs     []*os.File
+	outcomes []*NodeOutcome
+}
+
+// spawn launches one node process (incarnation 0 = original, 1 =
+// churn relaunch) and leaves it running.
+func (f *fleet) spawn(id, incarnation, resumeEpoch int, listen string) error {
+	p := f.cfg.Params
+	args := []string{
+		"-id", strconv.Itoa(id),
+		"-n", strconv.Itoa(f.n),
+		"-t", strconv.Itoa(p.T),
+		"-delta", p.Delta.String(),
+		"-mode", p.Mode,
+		"-epochs", strconv.Itoa(p.Epochs),
+		"-control", f.barrier.Addr(),
+		"-listen", listen,
+		"-message", p.Message,
+		"-trace", filepath.Join(f.cfg.OutDir, traceName(id, incarnation)),
+		"-result-out", filepath.Join(f.cfg.OutDir, resultName(id, incarnation)),
+	}
+	if resumeEpoch > 0 {
+		args = append(args, "-resume-epoch", strconv.Itoa(resumeEpoch))
+	}
+	if p.ChainLen > 0 {
+		args = append(args, "-chain-len", strconv.Itoa(p.ChainLen))
+	}
+	if p.Slow != "" && (p.SlowNode < 0 || p.SlowNode == id) {
+		args = append(args, "-slow", p.Slow)
+	}
+	if p.NoBatch {
+		args = append(args, "-nobatch")
+	}
+	cmd := exec.Command(f.cfg.NodeBin, args...)
+	logPath := filepath.Join(f.cfg.OutDir, fmt.Sprintf("node-%d-%d.log", id, incarnation))
+	logFile, err := os.Create(logPath)
+	if err != nil {
+		return err
+	}
+	cmd.Stdout = logFile
+	cmd.Stderr = logFile
+	if err := cmd.Start(); err != nil {
+		logFile.Close()
+		return fmt.Errorf("spawn node %d: %w", id, err)
+	}
+	f.mu.Lock()
+	if f.procs == nil {
+		f.procs = make(map[int]*exec.Cmd, f.n)
+	}
+	f.procs[id] = cmd
+	f.logs = append(f.logs, logFile)
+	f.mu.Unlock()
+	return nil
+}
+
+// kill SIGKILLs one node process — the crash half of a churn phase.
+func (f *fleet) kill(id int) {
+	f.mu.Lock()
+	cmd := f.procs[id]
+	delete(f.procs, id)
+	f.mu.Unlock()
+	if cmd != nil && cmd.Process != nil {
+		_ = cmd.Process.Kill()
+		_, _ = cmd.Process.Wait()
+	}
+}
+
+// killAll terminates every still-running process.
+func (f *fleet) killAll() {
+	f.mu.Lock()
+	ids := make([]int, 0, len(f.procs))
+	for id := range f.procs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	cmds := make([]*exec.Cmd, 0, len(ids))
+	for _, id := range ids {
+		cmds = append(cmds, f.procs[id])
+	}
+	f.procs = map[int]*exec.Cmd{}
+	f.mu.Unlock()
+	for _, cmd := range cmds {
+		if cmd.Process != nil {
+			_ = cmd.Process.Kill()
+			_, _ = cmd.Process.Wait()
+		}
+	}
+}
+
+// reap closes the per-node log files.
+func (f *fleet) reap() {
+	f.mu.Lock()
+	logs := f.logs
+	f.logs = nil
+	f.mu.Unlock()
+	for _, lf := range logs {
+		lf.Close()
+	}
+}
+
+// BuildNodeBin compiles cmd/p2pnode into dir and returns the binary
+// path — the auto-build the runner and the e2e tests share.
+func BuildNodeBin(dir string) (string, error) {
+	root, err := moduleRoot()
+	if err != nil {
+		return "", err
+	}
+	out := filepath.Join(dir, "p2pnode")
+	cmd := exec.Command("go", "build", "-o", out, "./cmd/p2pnode")
+	cmd.Dir = root
+	if msg, err := cmd.CombinedOutput(); err != nil {
+		return "", fmt.Errorf("building p2pnode: %v\n%s", err, msg)
+	}
+	return out, nil
+}
+
+// moduleRoot locates the repository root by walking up to go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,290 @@
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseTOML parses the subset of TOML the scenario manifests use into a
+// tree of map[string]any / []any / string / int64 / float64 / bool.
+//
+// Supported syntax — deliberately the slice of the language the
+// testground/lotus-soup composition files exercise, nothing more:
+//
+//   - comments (# to end of line) and blank lines
+//   - [table] and [dotted.table] headers
+//   - [[array.of.tables]] headers
+//   - key = value with bare or dotted keys
+//   - values: "strings", integers, floats, booleans,
+//     [arrays, of, values], and { inline = "tables" }
+//
+// Durations travel as strings ("250ms") and are parsed by the schema
+// layer; TOML datetimes, multi-line strings and literal strings are not
+// part of the subset and are rejected with a line-numbered error.
+func ParseTOML(src string) (map[string]any, error) {
+	root := map[string]any{}
+	cur := root
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := stripComment(raw)
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "[["):
+			if !strings.HasSuffix(line, "]]") {
+				return nil, fmt.Errorf("toml line %d: malformed array-of-tables header %q", lineNo+1, line)
+			}
+			path := strings.TrimSpace(line[2 : len(line)-2])
+			tbl, err := appendTable(root, path)
+			if err != nil {
+				return nil, fmt.Errorf("toml line %d: %w", lineNo+1, err)
+			}
+			cur = tbl
+		case strings.HasPrefix(line, "["):
+			if !strings.HasSuffix(line, "]") {
+				return nil, fmt.Errorf("toml line %d: malformed table header %q", lineNo+1, line)
+			}
+			path := strings.TrimSpace(line[1 : len(line)-1])
+			tbl, err := descendTable(root, path)
+			if err != nil {
+				return nil, fmt.Errorf("toml line %d: %w", lineNo+1, err)
+			}
+			cur = tbl
+		default:
+			key, rest, found := strings.Cut(line, "=")
+			if !found {
+				return nil, fmt.Errorf("toml line %d: expected key = value, got %q", lineNo+1, line)
+			}
+			val, trailing, err := parseValue(strings.TrimSpace(rest))
+			if err != nil {
+				return nil, fmt.Errorf("toml line %d: %w", lineNo+1, err)
+			}
+			if strings.TrimSpace(trailing) != "" {
+				return nil, fmt.Errorf("toml line %d: trailing data %q after value", lineNo+1, trailing)
+			}
+			if err := setKey(cur, strings.TrimSpace(key), val); err != nil {
+				return nil, fmt.Errorf("toml line %d: %w", lineNo+1, err)
+			}
+		}
+	}
+	return root, nil
+}
+
+// stripComment removes a # comment, respecting quoted strings.
+func stripComment(line string) string {
+	inStr := false
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case '"':
+			if i == 0 || line[i-1] != '\\' {
+				inStr = !inStr
+			}
+		case '#':
+			if !inStr {
+				return line[:i]
+			}
+		}
+	}
+	return line
+}
+
+// descendTable walks (creating) nested tables along a dotted path.
+func descendTable(root map[string]any, path string) (map[string]any, error) {
+	cur := root
+	for _, part := range strings.Split(path, ".") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, fmt.Errorf("empty table path segment in %q", path)
+		}
+		switch node := cur[part].(type) {
+		case nil:
+			next := map[string]any{}
+			cur[part] = next
+			cur = next
+		case map[string]any:
+			cur = node
+		case []any:
+			// [a.b] under [[a]] attaches to the latest array element.
+			if len(node) == 0 {
+				return nil, fmt.Errorf("table path %q crosses empty array", path)
+			}
+			last, ok := node[len(node)-1].(map[string]any)
+			if !ok {
+				return nil, fmt.Errorf("table path %q crosses non-table array", path)
+			}
+			cur = last
+		default:
+			return nil, fmt.Errorf("key %q already holds a value, not a table", part)
+		}
+	}
+	return cur, nil
+}
+
+// appendTable appends a fresh table to the array-of-tables at path.
+func appendTable(root map[string]any, path string) (map[string]any, error) {
+	parent := root
+	parts := strings.Split(path, ".")
+	if len(parts) > 1 {
+		var err error
+		parent, err = descendTable(root, strings.Join(parts[:len(parts)-1], "."))
+		if err != nil {
+			return nil, err
+		}
+	}
+	key := strings.TrimSpace(parts[len(parts)-1])
+	tbl := map[string]any{}
+	switch node := parent[key].(type) {
+	case nil:
+		parent[key] = []any{tbl}
+	case []any:
+		parent[key] = append(node, tbl)
+	default:
+		return nil, fmt.Errorf("key %q already holds a non-array value", key)
+	}
+	return tbl, nil
+}
+
+// setKey stores a value under a bare or dotted key.
+func setKey(tbl map[string]any, key string, val any) error {
+	parts := strings.Split(key, ".")
+	for i, part := range parts[:len(parts)-1] {
+		part = strings.TrimSpace(part)
+		sub, err := descendTable(tbl, part)
+		if err != nil {
+			return fmt.Errorf("dotted key %q segment %d: %w", key, i, err)
+		}
+		tbl = sub
+	}
+	last := strings.TrimSpace(parts[len(parts)-1])
+	if last == "" {
+		return fmt.Errorf("empty key")
+	}
+	if _, exists := tbl[last]; exists {
+		return fmt.Errorf("duplicate key %q", last)
+	}
+	tbl[last] = val
+	return nil
+}
+
+// parseValue parses one TOML value from the front of s, returning the
+// value and whatever follows it.
+func parseValue(s string) (any, string, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, "", fmt.Errorf("missing value")
+	}
+	switch s[0] {
+	case '"':
+		return parseString(s)
+	case '[':
+		return parseArray(s)
+	case '{':
+		return parseInlineTable(s)
+	}
+	// Bare scalar: runs to the next delimiter.
+	end := len(s)
+	for i := 0; i < len(s); i++ {
+		if s[i] == ',' || s[i] == ']' || s[i] == '}' {
+			end = i
+			break
+		}
+	}
+	tok := strings.TrimSpace(s[:end])
+	rest := s[end:]
+	switch tok {
+	case "true":
+		return true, rest, nil
+	case "false":
+		return false, rest, nil
+	}
+	if i, err := strconv.ParseInt(tok, 10, 64); err == nil {
+		return i, rest, nil
+	}
+	if f, err := strconv.ParseFloat(tok, 64); err == nil {
+		return f, rest, nil
+	}
+	return nil, "", fmt.Errorf("unrecognized value %q", tok)
+}
+
+// parseString parses a basic "..." string with \-escapes.
+func parseString(s string) (any, string, error) {
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if i+1 >= len(s) {
+				return nil, "", fmt.Errorf("dangling escape in string")
+			}
+			i++
+			switch s[i] {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case '"', '\\':
+				b.WriteByte(s[i])
+			default:
+				return nil, "", fmt.Errorf("unsupported escape \\%c", s[i])
+			}
+		case '"':
+			return b.String(), s[i+1:], nil
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return nil, "", fmt.Errorf("unterminated string")
+}
+
+// parseArray parses [v, v, ...].
+func parseArray(s string) (any, string, error) {
+	out := []any{}
+	rest := strings.TrimSpace(s[1:])
+	for {
+		if rest == "" {
+			return nil, "", fmt.Errorf("unterminated array")
+		}
+		if rest[0] == ']' {
+			return out, rest[1:], nil
+		}
+		val, r, err := parseValue(rest)
+		if err != nil {
+			return nil, "", err
+		}
+		out = append(out, val)
+		rest = strings.TrimSpace(r)
+		if rest != "" && rest[0] == ',' {
+			rest = strings.TrimSpace(rest[1:])
+		}
+	}
+}
+
+// parseInlineTable parses { k = v, ... }.
+func parseInlineTable(s string) (any, string, error) {
+	out := map[string]any{}
+	rest := strings.TrimSpace(s[1:])
+	for {
+		if rest == "" {
+			return nil, "", fmt.Errorf("unterminated inline table")
+		}
+		if rest[0] == '}' {
+			return out, rest[1:], nil
+		}
+		key, r, found := strings.Cut(rest, "=")
+		if !found {
+			return nil, "", fmt.Errorf("inline table: expected key = value in %q", rest)
+		}
+		val, r2, err := parseValue(strings.TrimSpace(r))
+		if err != nil {
+			return nil, "", err
+		}
+		if err := setKey(out, strings.TrimSpace(key), val); err != nil {
+			return nil, "", err
+		}
+		rest = strings.TrimSpace(r2)
+		if rest != "" && rest[0] == ',' {
+			rest = strings.TrimSpace(rest[1:])
+		}
+	}
+}

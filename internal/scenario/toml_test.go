@@ -1,0 +1,114 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseTOMLManifestShape pins the subset the manifests use: tables,
+// array-of-tables, inline tables, typed params, arrays, comments.
+func TestParseTOMLManifestShape(t *testing.T) {
+	src := `
+# a comment
+name = "demo"   # trailing comment
+
+[[testcases]]
+name = "case-a"
+instances = { min = 4, max = 512, default = 8 }
+
+[testcases.params]
+mode  = { type = "enum", values = ["erb", "erng"], default = "erb" }
+t     = { type = "int", default = 3 }
+delta = { type = "duration", default = "250ms" }
+
+[[testcases.churn]]
+action = "crash-restart"
+node = 4
+epoch = 1
+
+[testcases.sweep]
+instances = [4, 8, 16]
+
+[[testcases]]
+name = "case-b"
+instances = { min = 2, max = 2, default = 2 }
+`
+	tree, err := ParseTOML(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree["name"] != "demo" {
+		t.Fatalf("name = %v", tree["name"])
+	}
+	cases, ok := tree["testcases"].([]any)
+	if !ok || len(cases) != 2 {
+		t.Fatalf("testcases = %#v", tree["testcases"])
+	}
+	caseA := cases[0].(map[string]any)
+	if caseA["name"] != "case-a" {
+		t.Fatalf("case-a name = %v", caseA["name"])
+	}
+	inst := caseA["instances"].(map[string]any)
+	if inst["min"] != int64(4) || inst["max"] != int64(512) || inst["default"] != int64(8) {
+		t.Fatalf("instances = %#v", inst)
+	}
+	params := caseA["params"].(map[string]any)
+	mode := params["mode"].(map[string]any)
+	if vals := mode["values"].([]any); len(vals) != 2 || vals[1] != "erng" {
+		t.Fatalf("mode values = %#v", mode["values"])
+	}
+	churn := caseA["churn"].([]any)
+	if phase := churn[0].(map[string]any); phase["action"] != "crash-restart" || phase["node"] != int64(4) {
+		t.Fatalf("churn = %#v", churn)
+	}
+	sweep := caseA["sweep"].(map[string]any)
+	if list := sweep["instances"].([]any); len(list) != 3 || list[2] != int64(16) {
+		t.Fatalf("sweep = %#v", sweep)
+	}
+	caseB := cases[1].(map[string]any)
+	if caseB["name"] != "case-b" {
+		t.Fatalf("case-b = %#v", caseB)
+	}
+}
+
+// TestParseTOMLErrors pins line-numbered rejection of what the subset
+// does not support.
+func TestParseTOMLErrors(t *testing.T) {
+	cases := []struct {
+		src, wantSub string
+	}{
+		{"key", "expected key = value"},
+		{"a = 1\na = 2", "duplicate key"},
+		{"[broken", "malformed table header"},
+		{"a = \"unterminated", "unterminated string"},
+		{"a = [1, 2", "unterminated array"},
+		{"a = { b = 1", "unterminated inline table"},
+		{"a = 1999-01-01T00:00:00Z", "unrecognized value"},
+		{"a = 1 trailing", "unrecognized value"},
+	}
+	for _, tc := range cases {
+		if _, err := ParseTOML(tc.src); err == nil || !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("ParseTOML(%q) err = %v, want substring %q", tc.src, err, tc.wantSub)
+		}
+	}
+}
+
+// TestParseTOMLValueTypes pins scalar decoding: strings with escapes,
+// ints, floats, bools, and # inside strings.
+func TestParseTOMLValueTypes(t *testing.T) {
+	tree, err := ParseTOML(`
+s = "with \"quote\" and # hash"
+i = -42
+f = 2.5
+b = true
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree["s"] != `with "quote" and # hash` {
+		t.Fatalf("s = %q", tree["s"])
+	}
+	if tree["i"] != int64(-42) || tree["f"] != 2.5 || tree["b"] != true {
+		t.Fatalf("scalars = %v %v %v", tree["i"], tree["f"], tree["b"])
+	}
+}

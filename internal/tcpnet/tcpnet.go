@@ -10,6 +10,14 @@
 // Each Port owns one event loop goroutine; message deliveries and timer
 // callbacks are serialized onto it, giving protocols the same
 // single-threaded execution model they have in the simulator.
+//
+// Connections are dialed asynchronously and re-dialed after failures: a
+// peer process that crashes and restarts on the same address is picked up
+// transparently (frames lost in between are omissions, which the lockstep
+// protocols already tolerate), and a peer that never comes up costs
+// nothing but a bounded dial backoff — Send never blocks the event loop.
+// Per-destination send delays (SetSendDelay) shape individual links for
+// slow-network scenarios the simulator cannot express end-to-end.
 package tcpnet
 
 import (
@@ -18,6 +26,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -37,18 +46,31 @@ const maxFrame = 8 << 20
 // loopBuffer is the event-loop queue depth.
 const loopBuffer = 4096
 
+// dialTimeout bounds one connection attempt.
+const dialTimeout = 5 * time.Second
+
+// redialBackoff is how long a destination stays marked down after a
+// failed dial or a broken connection before Send tries again. It bounds
+// the dial rate toward a crashed peer without stalling anything: sends
+// during the backoff are dropped as omissions.
+const redialBackoff = 200 * time.Millisecond
+
 // Port is a TCP-backed transport for one node.
 type Port struct {
 	self   wire.NodeID
 	ln     net.Listener
 	origin time.Time
 
-	mu      sync.Mutex
-	addrs   map[wire.NodeID]string
-	conns   map[wire.NodeID]*outConn
-	inbound map[net.Conn]struct{}
-	handler func(src wire.NodeID, payload []byte)
-	closed  bool
+	mu        sync.Mutex
+	addrs     map[wire.NodeID]string
+	conns     map[wire.NodeID]*outConn
+	downUntil map[wire.NodeID]time.Time
+	delays    map[wire.NodeID]time.Duration
+	delayAll  time.Duration
+	outSocks  map[net.Conn]struct{}
+	inbound   map[net.Conn]struct{}
+	handler   func(src wire.NodeID, payload []byte)
+	closed    bool
 
 	loop chan func()
 	done chan struct{}
@@ -67,6 +89,7 @@ type portCounters struct {
 	framesReceived *telemetry.Counter
 	bytesSent      *telemetry.Counter
 	bytesReceived  *telemetry.Counter
+	reconnects     *telemetry.Counter
 }
 
 // SetMetrics registers the transport counters in m and attaches them to
@@ -82,15 +105,24 @@ func (p *Port) SetMetrics(m *telemetry.Metrics) {
 		framesReceived: m.Counter("tcp_frames_received_total"),
 		bytesSent:      m.Counter("tcp_bytes_sent_total"),
 		bytesReceived:  m.Counter("tcp_bytes_received_total"),
+		reconnects:     m.Counter("tcp_reconnects_total"),
 	})
 }
 
 var _ runtime.Transport = (*Port)(nil)
 
-// outConn is an outbound connection with an async writer.
+// outConn is an outbound connection with an async writer. The dial
+// happens on the writer goroutine, so Send never blocks the caller:
+// frames queued while the dial is in flight go out as soon as the
+// connection is up, and a failed dial drops them as omissions. dead is
+// closed (once) when the connection is retired — by a write failure or
+// by the peer-death monitor spotting the remote FIN/RST — and tells the
+// writer to stop.
 type outConn struct {
-	conn net.Conn
+	dst  wire.NodeID
 	ch   chan *frame
+	dead chan struct{}
+	once sync.Once
 }
 
 // frame is one pooled outbound wire frame (header + payload). Send
@@ -128,14 +160,17 @@ func Listen(self wire.NodeID, addr string) (*Port, error) {
 		return nil, fmt.Errorf("tcpnet: listen %s: %w", addr, err)
 	}
 	p := &Port{
-		self:    self,
-		ln:      ln,
-		origin:  time.Now(), //lint:allow detrand tcpnet is the real-network transport; rounds are anchored to a wall-clock origin by design
-		addrs:   make(map[wire.NodeID]string),
-		conns:   make(map[wire.NodeID]*outConn),
-		inbound: make(map[net.Conn]struct{}),
-		loop:    make(chan func(), loopBuffer),
-		done:    make(chan struct{}),
+		self:      self,
+		ln:        ln,
+		origin:    time.Now(), //lint:allow detrand tcpnet is the real-network transport; rounds are anchored to a wall-clock origin by design
+		addrs:     make(map[wire.NodeID]string),
+		conns:     make(map[wire.NodeID]*outConn),
+		downUntil: make(map[wire.NodeID]time.Time),
+		delays:    make(map[wire.NodeID]time.Duration),
+		outSocks:  make(map[net.Conn]struct{}),
+		inbound:   make(map[net.Conn]struct{}),
+		loop:      make(chan func(), loopBuffer),
+		done:      make(chan struct{}),
 	}
 	p.wg.Add(2)
 	go p.acceptLoop()
@@ -146,13 +181,66 @@ func Listen(self wire.NodeID, addr string) (*Port, error) {
 // Addr returns the bound listen address.
 func (p *Port) Addr() string { return p.ln.Addr().String() }
 
-// Connect installs the peer address table.
+// Connect installs the peer address table and eagerly establishes the
+// outbound connections. Without the pre-dial, every link is first dialed
+// by the first Send toward it — at scale that lands all N*(N-1) dials of
+// a fleet inside one round window (the whole network echoes in the same
+// round), and the dial burst alone can blow the Δ delivery bound. Dialing
+// at Connect time moves that cost into setup, where the synchronized
+// start instant leaves room for it. Failed dials are not fatal here:
+// the connection record retires through the usual dropConn path and the
+// first Send re-dials.
 func (p *Port) Connect(addrs map[wire.NodeID]string) {
+	ids := make([]int, 0, len(addrs))
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	for id, a := range addrs {
 		p.addrs[id] = a
+		ids = append(ids, int(id))
 	}
+	p.mu.Unlock()
+	sort.Ints(ids)
+	for _, id := range ids {
+		if wire.NodeID(id) == p.self {
+			continue
+		}
+		_, _ = p.outbound(wire.NodeID(id))
+	}
+}
+
+// SetSendDelay shapes the outbound link to one destination: every frame
+// toward dst waits d on the writer goroutine before hitting the socket,
+// adding one-way latency and capping the link's frame rate — the
+// slow-link hook of the scenario runner. Zero removes the shaping.
+// Inbound traffic and other destinations are unaffected.
+func (p *Port) SetSendDelay(dst wire.NodeID, d time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if d <= 0 {
+		delete(p.delays, dst)
+		return
+	}
+	p.delays[dst] = d
+}
+
+// SetSendDelayAll shapes every outbound link of this node at once (a
+// "slow node" rather than a slow link). Zero removes the shaping.
+func (p *Port) SetSendDelayAll(d time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if d < 0 {
+		d = 0
+	}
+	p.delayAll = d
+}
+
+// sendDelay returns the shaping delay toward dst.
+func (p *Port) sendDelay(dst wire.NodeID) time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if d, ok := p.delays[dst]; ok && d > p.delayAll {
+		return d
+	}
+	return p.delayAll
 }
 
 // SetOrigin re-anchors the transport clock, letting multiple processes
@@ -210,7 +298,10 @@ func (p *Port) runLoop() {
 // Send implements runtime.Transport. The payload is copied into a pooled
 // frame, so the caller's envelope buffer is released as soon as Send
 // returns, and frames cycle between Send and the writer goroutines
-// through framePool instead of allocating per envelope.
+// through framePool instead of allocating per envelope. Send never
+// blocks: an unconnected destination gets an asynchronous dial, an
+// unreachable one a bounded backoff during which frames drop as
+// omissions.
 func (p *Port) Send(dst wire.NodeID, payload []byte) {
 	ctr := p.ctr.Load()
 	oc, err := p.outbound(dst)
@@ -241,7 +332,10 @@ func (p *Port) Send(dst wire.NodeID, payload []byte) {
 	}
 }
 
-// outbound returns (dialing if necessary) the connection to dst.
+// outbound returns the connection record for dst, creating it (and
+// kicking off an asynchronous dial on the writer goroutine) if none is
+// live. During the post-failure backoff window it returns an error and
+// the caller drops the frame.
 func (p *Port) outbound(dst wire.NodeID) (*outConn, error) {
 	p.mu.Lock()
 	if p.closed {
@@ -252,42 +346,114 @@ func (p *Port) outbound(dst wire.NodeID) (*outConn, error) {
 		p.mu.Unlock()
 		return oc, nil
 	}
+	if until, ok := p.downUntil[dst]; ok {
+		if time.Now().Before(until) { //lint:allow detrand redial backoff on the real transport is wall-clock by nature
+			p.mu.Unlock()
+			return nil, fmt.Errorf("tcpnet: peer %d in redial backoff", dst)
+		}
+		delete(p.downUntil, dst)
+	}
 	addr, ok := p.addrs[dst]
-	p.mu.Unlock()
 	if !ok {
+		p.mu.Unlock()
 		return nil, fmt.Errorf("tcpnet: no address for peer %d", dst)
 	}
-	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
-	if err != nil {
-		return nil, fmt.Errorf("tcpnet: dial %d@%s: %w", dst, addr, err)
-	}
-	oc := &outConn{conn: conn, ch: make(chan *frame, 1024)}
-	p.mu.Lock()
-	if existing, ok := p.conns[dst]; ok {
-		p.mu.Unlock()
-		_ = conn.Close()
-		return existing, nil
-	}
+	oc := &outConn{dst: dst, ch: make(chan *frame, 1024), dead: make(chan struct{})}
 	p.conns[dst] = oc
-	p.mu.Unlock()
 	p.wg.Add(1)
-	go p.writeLoop(oc)
+	p.mu.Unlock()
+	go p.writeLoop(oc, addr)
 	return oc, nil
 }
 
-// writeLoop drains an outbound queue onto its connection, returning each
-// frame to the pool once the socket write completes.
-func (p *Port) writeLoop(oc *outConn) {
+// dropConn retires a connection record after a dial failure, a write
+// failure or a detected peer death: the record leaves the table so the
+// next Send re-dials (after the backoff), and any frames still queued
+// behind the failure return to the pool.
+func (p *Port) dropConn(oc *outConn) {
+	oc.once.Do(func() { close(oc.dead) })
+	p.mu.Lock()
+	if p.conns[oc.dst] == oc {
+		delete(p.conns, oc.dst)
+		p.downUntil[oc.dst] = time.Now().Add(redialBackoff) //lint:allow detrand redial backoff on the real transport is wall-clock by nature
+	}
+	p.mu.Unlock()
+	for {
+		select {
+		case f := <-oc.ch:
+			framePool.Put(f)
+		default:
+			return
+		}
+	}
+}
+
+// writeLoop dials the destination, then drains the outbound queue onto
+// the connection, returning each frame to the pool once the socket write
+// completes. On any failure the record is dropped so a later Send
+// re-dials — the reconnect path a peer restart takes.
+func (p *Port) writeLoop(oc *outConn, addr string) {
 	defer p.wg.Done()
-	defer oc.conn.Close()
+	d := net.Dialer{Timeout: dialTimeout, Cancel: p.done}
+	conn, err := d.Dial("tcp", addr)
+	if err != nil {
+		p.dropConn(oc)
+		return
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		_ = conn.Close()
+		return
+	}
+	p.outSocks[conn] = struct{}{}
+	p.mu.Unlock()
+	defer func() {
+		_ = conn.Close()
+		p.mu.Lock()
+		delete(p.outSocks, conn)
+		p.mu.Unlock()
+	}()
+	// Peer-death monitor: nothing is ever received on an outbound
+	// connection, so a returning read means the remote side closed (its
+	// process died or restarted). Detecting it eagerly — instead of on
+	// the next failing write, which on a freshly dead socket can be one
+	// buffered write too late — retires the record at crash time, so the
+	// very next Send re-dials the restarted peer.
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		one := make([]byte, 1)
+		_, _ = conn.Read(one)
+		p.dropConn(oc)
+		_ = conn.Close()
+	}()
 	for {
 		select {
 		case <-p.done:
 			return
+		case <-oc.dead:
+			return
 		case f := <-oc.ch:
-			_, err := oc.conn.Write(f.buf)
+			if delay := p.sendDelay(oc.dst); delay > 0 {
+				select {
+				case <-p.done:
+					framePool.Put(f)
+					return
+				case <-oc.dead:
+					framePool.Put(f)
+					return
+				//lint:allow lockstep link shaping delays the wall-clock wire, not protocol rounds
+				case <-time.After(delay):
+				}
+			}
+			_, werr := conn.Write(f.buf)
 			framePool.Put(f)
-			if err != nil {
+			if werr != nil {
+				p.dropConn(oc)
+				if ctr := p.ctr.Load(); ctr != nil {
+					ctr.reconnects.Inc()
+				}
 				return
 			}
 		}
@@ -366,19 +532,18 @@ func (p *Port) Close() {
 		return
 	}
 	p.closed = true
-	conns := p.conns
 	p.conns = make(map[wire.NodeID]*outConn)
-	inbound := make([]net.Conn, 0, len(p.inbound))
+	socks := make([]net.Conn, 0, len(p.outSocks)+len(p.inbound))
+	for c := range p.outSocks {
+		socks = append(socks, c) //lint:allow maporder connection close order is irrelevant; the set is drained, not serialized
+	}
 	for c := range p.inbound {
-		inbound = append(inbound, c) //lint:allow maporder connection close order is irrelevant; the set is drained, not serialized
+		socks = append(socks, c) //lint:allow maporder connection close order is irrelevant; the set is drained, not serialized
 	}
 	p.mu.Unlock()
 	close(p.done)
 	_ = p.ln.Close()
-	for _, oc := range conns {
-		_ = oc.conn.Close()
-	}
-	for _, c := range inbound {
+	for _, c := range socks {
 		_ = c.Close()
 	}
 	p.wg.Wait()

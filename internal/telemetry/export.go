@@ -50,12 +50,12 @@ func nodeFromJSON(v int64) (wire.NodeID, error) {
 	return wire.NodeID(v), nil
 }
 
-// ExportJSONL writes the full event stream as one JSON object per line.
-// Two runs of the same deterministic seed export byte-identical files
-// (the obs-smoke target and the chaos determinism tests pin this).
-func (t *Tracer) ExportJSONL(w io.Writer) error {
+// WriteJSONL writes an event slice as one JSON object per line, in the
+// exact byte layout ExportJSONL uses. It is the standalone form the
+// scenario runner needs to re-serialize merged multi-process streams.
+func WriteJSONL(w io.Writer, events []Event) error {
 	bw := bufio.NewWriter(w)
-	for _, ev := range t.Events() {
+	for _, ev := range events {
 		line, err := json.Marshal(jsonEvent{
 			At:    int64(ev.At),
 			Node:  nodeJSON(ev.Node),
@@ -77,6 +77,31 @@ func (t *Tracer) ExportJSONL(w io.Writer) error {
 		}
 	}
 	return bw.Flush()
+}
+
+// ExportJSONL writes the full event stream as one JSON object per line.
+// Two runs of the same deterministic seed export byte-identical files
+// (the obs-smoke target and the chaos determinism tests pin this).
+func (t *Tracer) ExportJSONL(w io.Writer) error {
+	return WriteJSONL(w, t.Events())
+}
+
+// MergeEvents interleaves per-process event streams into one globally
+// time-ordered stream. Each input must itself be time-ordered (the
+// ValidateJSONL invariant every exported trace satisfies); the merge is
+// stable, so ties keep within-stream order and prefer earlier streams —
+// two merges of the same inputs are byte-identical when re-serialized.
+func MergeEvents(streams ...[]Event) []Event {
+	total := 0
+	for _, s := range streams {
+		total += len(s)
+	}
+	merged := make([]Event, 0, total)
+	for _, s := range streams {
+		merged = append(merged, s...)
+	}
+	sort.SliceStable(merged, func(i, j int) bool { return merged[i].At < merged[j].At })
+	return merged
 }
 
 // decodeLine strictly parses one JSONL line into an Event.

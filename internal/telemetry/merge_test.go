@@ -1,0 +1,97 @@
+package telemetry
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"sgxp2p/internal/wire"
+)
+
+// mkEv builds a minimal event for merge tests.
+func mkEv(at time.Duration, node wire.NodeID, round uint32, kind Kind) Event {
+	return Event{At: at, Node: node, Round: round, Kind: kind, Peer: wire.NoNode}
+}
+
+// TestMergeEventsOrdersByTime pins the scenario runner's merge contract:
+// per-process streams interleave into one globally time-ordered stream,
+// and the result validates (monotone timestamps) when re-serialized.
+func TestMergeEventsOrdersByTime(t *testing.T) {
+	a := []Event{
+		mkEv(10, 0, 1, KindInit),
+		mkEv(30, 0, 2, KindDeliver),
+		mkEv(50, 0, 3, KindAccept),
+	}
+	b := []Event{
+		mkEv(20, 1, 1, KindDeliver),
+		mkEv(40, 1, 2, KindDeliver),
+	}
+	merged := MergeEvents(a, b)
+	if len(merged) != 5 {
+		t.Fatalf("merged %d events, want 5", len(merged))
+	}
+	for i := 1; i < len(merged); i++ {
+		if merged[i].At < merged[i-1].At {
+			t.Fatalf("merge not time-ordered at %d: %v after %v", i, merged[i].At, merged[i-1].At)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, merged); err != nil {
+		t.Fatal(err)
+	}
+	count, err := ValidateJSONL(&buf)
+	if err != nil {
+		t.Fatalf("merged trace does not validate: %v", err)
+	}
+	if count != 5 {
+		t.Fatalf("validated %d events, want 5", count)
+	}
+}
+
+// TestMergeEventsStable pins tie-breaking: equal timestamps keep
+// within-stream order and prefer earlier streams, so two merges of the
+// same inputs serialize byte-identically.
+func TestMergeEventsStable(t *testing.T) {
+	a := []Event{
+		mkEv(10, 0, 1, KindInit),
+		mkEv(10, 0, 1, KindEcho),
+	}
+	b := []Event{
+		mkEv(10, 1, 1, KindDeliver),
+	}
+	merged := MergeEvents(a, b)
+	want := []Kind{KindInit, KindEcho, KindDeliver}
+	for i, k := range want {
+		if merged[i].Kind != k {
+			t.Fatalf("position %d: got %v, want %v (stable tie-break violated)", i, merged[i].Kind, k)
+		}
+	}
+	var first, second bytes.Buffer
+	if err := WriteJSONL(&first, MergeEvents(a, b)); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSONL(&second, MergeEvents(a, b)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatal("two merges of the same inputs serialized differently")
+	}
+}
+
+// TestWriteJSONLMatchesExport pins that the standalone writer produces
+// the exact bytes Tracer.ExportJSONL does for the same events.
+func TestWriteJSONLMatchesExport(t *testing.T) {
+	tr := New(Options{})
+	tr.Record(0, 1, KindInit, wire.NoNode, 7, "start")
+	tr.RecordInst(1, 2, 3, KindDeliver, 0, 0, "")
+	var viaTracer, viaSlice bytes.Buffer
+	if err := tr.ExportJSONL(&viaTracer); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSONL(&viaSlice, tr.Events()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(viaTracer.Bytes(), viaSlice.Bytes()) {
+		t.Fatalf("WriteJSONL diverges from ExportJSONL:\n%s\nvs\n%s", viaSlice.String(), viaTracer.String())
+	}
+}

@@ -92,6 +92,12 @@ const (
 	// leaving for one peer (Peer is the destination, Arg the number of
 	// messages the frame carries).
 	KindBatchFlush
+
+	// KindEarly is an authenticated message stamped one round ahead of
+	// the receiver's lockstep clock — live processes tick on wall clocks
+	// that skew by fractions of a round — buffered and delivered when
+	// the receiver's round catches up (Arg is the message's round).
+	KindEarly
 )
 
 // kindNames is the stable Kind → JSONL name table.
@@ -120,6 +126,7 @@ var kindNames = [...]string{
 	KindDetach:      "detach",
 	KindReattach:    "reattach",
 	KindBatchFlush:  "batch-flush",
+	KindEarly:       "early",
 }
 
 // String returns the stable event-kind name used in exports.

@@ -296,6 +296,78 @@ func (c *Cluster) BroadcastMany(reqs []BroadcastRequest, opts MuxOptions) ([]map
 	return out, nil
 }
 
+// GenerateRandomMany runs count basic-ERNG epochs concurrently over one
+// multiplexed runtime: every node hosts one lightweight ERNG instance
+// per epoch behind a shared runtime.Mux, exactly as BroadcastMany hosts
+// ERB engines. Each epoch's contribution is drawn inside the enclave at
+// that instance's admission round, so concurrent epochs stay independent
+// and unbiased. The i-th returned map holds every live node's decision
+// for epoch i, indexed by node id.
+func (c *Cluster) GenerateRandomMany(count int, opts MuxOptions) ([]map[NodeID]RandomResult, error) {
+	if count <= 0 {
+		return nil, nil
+	}
+	n := c.N()
+	muxes := make([]*runtime.Mux, n)
+	rngs := make([][]*erng.Basic, n)
+	for i, p := range c.d.Peers {
+		if p.Halted() {
+			continue
+		}
+		m := runtime.NewMux(p, runtime.MuxConfig{MaxInFlight: opts.MaxInFlight, MaxBacklog: opts.MaxBacklog})
+		muxes[i] = m
+		rngs[i] = make([]*erng.Basic, count)
+		rs := rngs[i]
+		for j := 0; j < count; j++ {
+			// A basic-ERNG window is T+2 rounds: the embedded all-initiator
+			// ERB's admission round through its acceptance deadline.
+			if _, err := m.Spawn(c.t+2, func(inst *runtime.Instance) (runtime.Protocol, error) {
+				b, buildErr := erng.NewBasicAt(inst, c.t, inst.StartRound())
+				if buildErr != nil {
+					return nil, buildErr
+				}
+				rs[j] = b
+				return b, nil
+			}); err != nil {
+				return nil, fmt.Errorf("sgxp2p: spawn erng epoch %d: %w", j, err)
+			}
+		}
+	}
+	var nextID uint32
+	for i, p := range c.d.Peers {
+		if muxes[i] == nil {
+			continue
+		}
+		nextID = muxes[i].NextID()
+		p.Start(muxes[i], muxes[i].PlannedRounds())
+	}
+	if err := c.d.Run(); err != nil {
+		return nil, err
+	}
+	out := make([]map[NodeID]RandomResult, count)
+	for j := 0; j < count; j++ {
+		res := make(map[NodeID]RandomResult, n)
+		for i := range c.d.Peers {
+			if rngs[i] == nil || rngs[i][j] == nil || c.d.Peers[i].Halted() {
+				continue
+			}
+			if r, ok := rngs[i][j].Result(); ok {
+				res[NodeID(i)] = r
+			}
+		}
+		out[j] = res
+	}
+	for i, p := range c.d.Peers {
+		// The mux consumed one instance id per epoch; re-align the epoch
+		// counter past them so a later epoch never reuses a multiplexed id.
+		if muxes[i] != nil {
+			p.AlignInstance(nextID)
+		}
+		p.BumpSeqs()
+	}
+	return out, nil
+}
+
 // BeaconMode selects the ERNG protocol behind a beacon.
 type BeaconMode = beacon.Mode
 

@@ -262,6 +262,57 @@ func TestClusterBroadcastMany(t *testing.T) {
 	}
 }
 
+// TestClusterGenerateRandomMany drives concurrent basic-ERNG epochs
+// through the multiplexed runtime end-to-end via the public API: every
+// epoch must reach an identical, OK decision with all N contributors at
+// every node, distinct epochs must emit distinct values (each instance
+// draws its contributions at its own admission round), and the cluster
+// must stay usable for ordinary single-epoch runs afterwards.
+func TestClusterGenerateRandomMany(t *testing.T) {
+	const n, epochs = 5, 12
+	c, err := sgxp2p.NewCluster(sgxp2p.Options{N: n, T: 2, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := c.GenerateRandomMany(epochs, sgxp2p.MuxOptions{MaxInFlight: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != epochs {
+		t.Fatalf("got %d epochs, want %d", len(results), epochs)
+	}
+	seen := make(map[sgxp2p.Value]int, epochs)
+	for j, res := range results {
+		if len(res) != n {
+			t.Fatalf("epoch %d decided at %d nodes, want %d", j, len(res), n)
+		}
+		first := res[0]
+		if !first.OK || len(first.Contributors) != n {
+			t.Fatalf("epoch %d node 0: %+v", j, first)
+		}
+		for id, r := range res {
+			if !r.OK || r.Value != first.Value || len(r.Contributors) != n {
+				t.Fatalf("epoch %d node %d diverged: %+v vs %+v", j, id, r, first)
+			}
+		}
+		if prev, dup := seen[first.Value]; dup {
+			t.Fatalf("epochs %d and %d emitted the same value", prev, j)
+		}
+		seen[first.Value] = j
+	}
+	// The cluster stays usable for ordinary epochs afterwards.
+	after, err := c.GenerateRandom()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !after.OK {
+		t.Fatalf("post-mux epoch not OK: %+v", after)
+	}
+	if _, dup := seen[after.Value]; dup {
+		t.Fatal("post-mux epoch repeated a multiplexed value")
+	}
+}
+
 func TestClusterBroadcastManyValidation(t *testing.T) {
 	c, err := sgxp2p.NewCluster(sgxp2p.Options{N: 5, T: 2, Seed: 5})
 	if err != nil {
