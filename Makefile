@@ -14,10 +14,11 @@ vet:
 	$(GO) vet ./...
 
 # Race-check the packages with real concurrency: the parallel deployment
-# builder, the sweep engine, the peer runtime underneath both, and the
-# TCP transport with its pooled frame handoff.
+# builder, the sweep engine, the peer runtime underneath both, the TCP
+# transport with its pooled frame handoff, the multi-process scenario
+# orchestrator, and the chaos suite's schedule driver.
 race:
-	$(GO) test -race ./internal/deploy/... ./internal/experiments/... ./internal/runtime/... ./internal/tcpnet/...
+	$(GO) test -race ./internal/deploy/... ./internal/experiments/... ./internal/runtime/... ./internal/tcpnet/... ./internal/scenario/... ./internal/chaos/...
 
 # chaos runs the deterministic fault-injection suite under the race
 # detector: fixed-seed schedules (crash-restart, partitions, flips)
@@ -32,9 +33,11 @@ benchsmoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
 # lint runs the project analyzers (cmd/p2plint: determinism, map-order,
-# enclave-boundary error handling, lockstep, shadow, nilness — see
-# DESIGN.md §9) over the whole module and fails on gofmt drift.
-# Suppressions require `//lint:allow <analyzer> <reason>`.
+# enclave-boundary error handling, lockstep, shadow, nilness, plus the
+# interprocedural seal-boundary battery sealflow/keyleak/lockorder — see
+# DESIGN.md §9 and §14) over the whole module and fails on gofmt drift.
+# Suppressions require `//lint:allow <analyzer> <reason>`; stale
+# suppressions are findings themselves.
 lint:
 	$(GO) run ./cmd/p2plint ./...
 	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \

@@ -47,6 +47,8 @@ type Deployment struct {
 }
 
 // NewDeployment builds a baseline deployment over the simulated network.
+//
+//lint:allow keyleak the baseline is the paper's non-TEE comparison; signing keys live outside any enclave by definition
 func NewDeployment(opts DeployOptions) (*Deployment, error) {
 	if opts.Delta <= 0 {
 		opts.Delta = time.Second

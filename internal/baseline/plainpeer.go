@@ -66,6 +66,8 @@ type Peer struct {
 }
 
 // NewPeer builds a baseline peer. sk may be nil for unsigned protocols.
+//
+//lint:allow keyleak the baseline is the paper's non-TEE comparison; signing keys live outside any enclave by definition
 func NewPeer(id wire.NodeID, n, t int, delta time.Duration, tr runtime.Transport, roster Roster, sk *xcrypto.SigningKey) (*Peer, error) {
 	if tr == nil {
 		return nil, errors.New("baseline: nil transport")
@@ -149,6 +151,7 @@ func (p *Peer) Send(dst wire.NodeID, msg *wire.Message) error {
 	if err != nil {
 		return err
 	}
+	//lint:allow sealflow the baseline peer sends unsealed plaintext by design — it models the paper's non-TEE comparison point
 	p.tr.Send(dst, data)
 	return nil
 }

@@ -96,6 +96,8 @@ var _ Proto = (*LookAheadAttacker)(nil)
 
 // NewLookAheadAttacker builds the attacker; colKey is the colluding
 // node's signing key (byzantine nodes share keys).
+//
+//lint:allow keyleak the baseline attacker colludes with leaked signing keys on purpose — that leak is the attack being modeled
 func NewLookAheadAttacker(peer *Peer, colluder wire.NodeID, colKey *xcrypto.SigningKey, target wire.Value) *LookAheadAttacker {
 	return &LookAheadAttacker{
 		peer:     peer,

@@ -27,6 +27,8 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+
+	"sgxp2p/internal/lint/flow"
 )
 
 // Analyzer describes one static check, mirroring analysis.Analyzer.
@@ -41,8 +43,13 @@ type Analyzer struct {
 	// analyzer applies module-wide.
 	Packages []string
 	// Run performs the analysis on one package and reports findings via
-	// pass.Reportf.
+	// pass.Reportf. Nil for module-level analyzers.
 	Run func(*Pass) error
+	// RunModule performs a whole-module analysis over every loaded package
+	// at once (the interprocedural battery — sealflow, keyleak, lockorder).
+	// Module analyzers only run under LintModule; per-package RunAnalyzers
+	// skips them. Nil for per-package analyzers.
+	RunModule func(*ModulePass) error
 }
 
 // AppliesTo reports whether the analyzer's package scope covers path.
@@ -120,6 +127,117 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	}
 	dirs, dirDiags := collectDirectives(pkg.Fset, pkg.Files)
 	diags = append(filterSuppressed(diags, dirs), dirDiags...)
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+// ModulePass carries a module analyzer's view of every loaded package at
+// once. The interprocedural analyzers share one lazily built call graph per
+// LintModule invocation.
+type ModulePass struct {
+	Analyzer *Analyzer
+	// Fset is the file set shared by all loaded packages (Load and
+	// LoadDirAll use a single one).
+	Fset *token.FileSet
+	Pkgs []*Package
+
+	shared *moduleShared
+	diags  []Diagnostic
+}
+
+// moduleShared holds state built once and reused by every module analyzer
+// in the same LintModule run.
+type moduleShared struct {
+	graph *flow.Graph
+}
+
+// Graph returns the module-wide call graph, building it on first use.
+func (p *ModulePass) Graph() *flow.Graph {
+	if p.shared.graph == nil {
+		infos := make([]*flow.PackageInfo, len(p.Pkgs))
+		for i, pkg := range p.Pkgs {
+			infos[i] = &flow.PackageInfo{
+				Path:  pkg.Path,
+				Fset:  pkg.Fset,
+				Files: pkg.Files,
+				Types: pkg.Types,
+				Info:  pkg.Info,
+			}
+		}
+		p.shared.graph = flow.BuildGraph(infos)
+	}
+	return p.shared.graph
+}
+
+// Reportf records a finding at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      pos,
+		Position: p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// LintModule runs the full battery — per-package analyzers on each package,
+// module analyzers once over everything — applies suppression directives,
+// reports malformed and stale directives, and returns the surviving
+// diagnostics sorted by position. All packages must share one FileSet
+// (Load and LoadDirAll guarantee this).
+func LintModule(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	if len(pkgs) == 0 {
+		return nil, nil
+	}
+	fset := pkgs[0].Fset
+	var raw []Diagnostic
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+		if a.Run == nil {
+			continue
+		}
+		for _, pkg := range pkgs {
+			if !a.AppliesTo(pkg.Path) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				Path:      pkg.Path,
+				TypesInfo: pkg.Info,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+			raw = append(raw, pass.diags...)
+		}
+	}
+	shared := &moduleShared{}
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		mp := &ModulePass{Analyzer: a, Fset: fset, Pkgs: pkgs, shared: shared}
+		if err := a.RunModule(mp); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+		raw = append(raw, mp.diags...)
+	}
+	var dirs []directive
+	var dirDiags []Diagnostic
+	for _, pkg := range pkgs {
+		ds, dd := collectDirectives(pkg.Fset, pkg.Files)
+		dirs = append(dirs, ds...)
+		dirDiags = append(dirDiags, dd...)
+	}
+	// Stale detection reads raw before filterSuppressed compacts the slice
+	// in place.
+	stale := staleDirectives(fset, dirs, raw, ran)
+	diags := filterSuppressed(raw, dirs)
+	diags = append(diags, dirDiags...)
+	diags = append(diags, stale...)
 	sortDiagnostics(diags)
 	return diags, nil
 }

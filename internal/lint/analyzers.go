@@ -17,11 +17,15 @@ var DeterministicPackages = []string{
 	"sgxp2p/internal/telemetry",
 	"sgxp2p/internal/wire",
 	"sgxp2p/internal/channel",
+	"sgxp2p/internal/scenario",
+	"sgxp2p/internal/beacon",
 }
 
 // Analyzers returns the full p2plint battery in the order findings are
-// attributed: the six project invariants, then the two general passes
-// adopted from x/tools (reimplemented locally — see shadow.go/nilness.go).
+// attributed: the six per-package project invariants, the two general
+// passes adopted from x/tools (reimplemented locally — see
+// shadow.go/nilness.go), then the three interprocedural analyzers built on
+// internal/lint/flow (module-wide; they only run under LintModule).
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		DetrandAnalyzer,
@@ -32,5 +36,8 @@ func Analyzers() []*Analyzer {
 		MuxboundaryAnalyzer,
 		ShadowAnalyzer,
 		NilnessAnalyzer,
+		SealflowAnalyzer,
+		KeyleakAnalyzer,
+		LockorderAnalyzer,
 	}
 }

@@ -1,0 +1,192 @@
+package flow
+
+// Edge-case tests for call-graph construction: the resolution rules that are
+// easy to get subtly wrong — closures capturing receivers, method values
+// used as callbacks, interface dispatch over multiple implementers, and
+// recursive components in the bottom-up SCC order.
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// buildTestGraph typechecks a single import-free source file and builds the
+// call graph over it as a one-package module.
+func buildTestGraph(t *testing.T, src string) (*Graph, *PackageInfo) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var conf types.Config
+	tpkg, err := conf.Check("edge", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	pkg := &PackageInfo{Path: "edge", Fset: fset, Files: []*ast.File{f}, Types: tpkg, Info: info}
+	return BuildGraph([]*PackageInfo{pkg}), pkg
+}
+
+// nodeNamed finds the graph node with the exact diagnostic name.
+func nodeNamed(t *testing.T, g *Graph, name string) *FuncNode {
+	t.Helper()
+	for _, n := range g.Nodes {
+		if n.Name == name {
+			return n
+		}
+	}
+	var all []string
+	for _, n := range g.Nodes {
+		all = append(all, n.Name)
+	}
+	t.Fatalf("no node named %q among %v", name, all)
+	return nil
+}
+
+func calleeNames(n *FuncNode) []string {
+	var names []string
+	for _, c := range n.Callees {
+		names = append(names, c.Name)
+	}
+	return names
+}
+
+func hasCallee(n *FuncNode, name string) bool {
+	for _, c := range n.Callees {
+		if strings.Contains(c.Name, name) {
+			return true
+		}
+	}
+	return false
+}
+
+// A closure capturing its enclosing method's receiver must produce a call
+// edge from the literal's node to the method it invokes on the captured
+// receiver, and the enclosing method's Callees must absorb it so bottom-up
+// summary order sees the callee first.
+func TestClosureCapturingReceiver(t *testing.T) {
+	g, _ := buildTestGraph(t, `package edge
+type T struct{ n int }
+func (t *T) helper() int { return t.n }
+func (t *T) outer() func() int {
+	return func() int { return t.helper() }
+}
+`)
+	lit := nodeNamed(t, g, "edge.(T).outer$1")
+	if !hasCallee(lit, "helper") {
+		t.Errorf("closure node callees = %v, want edge to helper", calleeNames(lit))
+	}
+	outer := nodeNamed(t, g, "edge.(T).outer")
+	if !hasCallee(outer, "helper") {
+		t.Errorf("outer callees = %v, want nested literal's helper edge absorbed", calleeNames(outer))
+	}
+}
+
+// A method value bound to a variable and later invoked is a call through a
+// function-typed value: resolution falls back to the address-taken set with
+// a matching receiver-stripped signature.
+func TestMethodValueAsCallback(t *testing.T) {
+	g, _ := buildTestGraph(t, `package edge
+type T struct{ n int }
+func (t *T) M() int { return t.n }
+func direct(t *T) int {
+	f := t.M
+	return f()
+}
+func run(cb func() int) int { return cb() }
+func indirect(t *T) int { return run(t.M) }
+`)
+	direct := nodeNamed(t, g, "edge.direct")
+	if !hasCallee(direct, ".M") {
+		t.Errorf("direct callees = %v, want method value f() resolved to T.M", calleeNames(direct))
+	}
+	run := nodeNamed(t, g, "edge.run")
+	if !hasCallee(run, ".M") {
+		t.Errorf("run callees = %v, want callback cb() resolved to address-taken T.M", calleeNames(run))
+	}
+}
+
+// A call through an interface must fan out to every in-module implementing
+// type's method — and only to implementers.
+func TestInterfaceDispatchMultipleImplementers(t *testing.T) {
+	g, _ := buildTestGraph(t, `package edge
+type I interface{ Do() int }
+type A struct{}
+func (A) Do() int { return 1 }
+type B struct{}
+func (*B) Do() int { return 2 }
+type C struct{}
+func (C) Other() int { return 3 }
+func dispatch(i I) int { return i.Do() }
+`)
+	dispatch := nodeNamed(t, g, "edge.dispatch")
+	var sites []*FuncNode
+	for _, targets := range dispatch.Sites {
+		sites = targets
+	}
+	if len(sites) != 2 {
+		t.Fatalf("i.Do() resolved to %v, want exactly A.Do and B.Do", sites)
+	}
+	got := map[string]bool{}
+	for _, n := range sites {
+		got[n.Name] = true
+	}
+	for _, want := range []string{"edge.(A).Do", "edge.(B).Do"} {
+		if !got[want] {
+			t.Errorf("i.Do() candidates %v missing %s", sites, want)
+		}
+	}
+}
+
+// Mutually recursive functions form one SCC, and SCCOrder is bottom-up: the
+// component of a callee appears no later than its caller's.
+func TestRecursiveSCCOrder(t *testing.T) {
+	g, _ := buildTestGraph(t, `package edge
+func leaf() int { return 1 }
+func even(n int) bool {
+	if n == 0 {
+		return leaf() == 1
+	}
+	return odd(n - 1)
+}
+func odd(n int) bool {
+	if n == 0 {
+		return false
+	}
+	return even(n - 1)
+}
+func top(n int) bool { return even(n) }
+`)
+	order := g.SCCOrder()
+	compOf := map[*FuncNode]int{}
+	for i, comp := range order {
+		for _, n := range comp {
+			compOf[n] = i
+		}
+	}
+	leaf := nodeNamed(t, g, "edge.leaf")
+	even := nodeNamed(t, g, "edge.even")
+	odd := nodeNamed(t, g, "edge.odd")
+	top := nodeNamed(t, g, "edge.top")
+	if compOf[even] != compOf[odd] {
+		t.Errorf("even and odd are mutually recursive but landed in components %d and %d", compOf[even], compOf[odd])
+	}
+	if len(order[compOf[even]]) != 2 {
+		t.Errorf("recursive component has %d members, want 2", len(order[compOf[even]]))
+	}
+	if !(compOf[leaf] < compOf[even] && compOf[even] < compOf[top]) {
+		t.Errorf("SCC order not bottom-up: leaf=%d even/odd=%d top=%d", compOf[leaf], compOf[even], compOf[top])
+	}
+}

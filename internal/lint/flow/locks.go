@@ -1,0 +1,418 @@
+package flow
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder builds the module-wide lock-acquisition graph — an edge A→B for
+// every point where lock B is acquired (directly or through a call chain)
+// while lock A is held — and reports every cycle as a potential deadlock.
+//
+// A "lock" is identified structurally: a sync.Mutex or sync.RWMutex reached
+// as a field of a named struct type ("tcpnet.Port.mu") or as a package-level
+// variable ("scenario.stateMu"). All instances of one field share an
+// identity, which is the usual conservative choice for order analysis.
+func LockOrder(g *Graph) []Finding {
+	la := &lockAnalysis{
+		g:        g,
+		acquires: make(map[*FuncNode]map[string]token.Pos),
+		edges:    make(map[lockEdge]edgeInfo),
+	}
+	for _, comp := range g.SCCOrder() {
+		// Transitive acquire sets first (fixpoint within the SCC), then the
+		// held-set walk that records ordering edges.
+		for iter := 0; iter < 16; iter++ {
+			changed := false
+			for _, n := range comp {
+				if la.collectAcquires(n) {
+					changed = true
+				}
+			}
+			if !changed {
+				break
+			}
+		}
+		for _, n := range comp {
+			la.walkHeld(n)
+		}
+	}
+	return la.cycles()
+}
+
+type lockEdge struct {
+	from, to string
+}
+
+type edgeInfo struct {
+	pos token.Pos
+	fn  string // function where the inner acquisition happens or is called
+}
+
+type lockAnalysis struct {
+	g        *Graph
+	acquires map[*FuncNode]map[string]token.Pos
+	edges    map[lockEdge]edgeInfo
+}
+
+// lockCall classifies a call as acquiring or releasing a lock, returning the
+// lock identity.
+func lockCall(pkg *PackageInfo, call *ast.CallExpr) (id string, acquire, release bool) {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		acquire = true
+	case "Unlock", "RUnlock":
+		release = true
+	default:
+		return "", false, false
+	}
+	recv := unparen(sel.X)
+	tv, ok := pkg.Info.Types[recv]
+	if !ok || !isSyncLock(tv.Type) {
+		return "", false, false
+	}
+	id = lockIdent(pkg, recv)
+	if id == "" {
+		return "", false, false
+	}
+	return id, acquire, release
+}
+
+func isSyncLock(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil || n.Obj().Pkg().Path() != "sync" {
+		return false
+	}
+	return n.Obj().Name() == "Mutex" || n.Obj().Name() == "RWMutex"
+}
+
+// lockIdent names the lock: Type.field for struct fields, pkg.var for
+// package-level mutex variables, "" when the expression is too dynamic to
+// identify (local mutex values, map entries).
+func lockIdent(pkg *PackageInfo, recv ast.Expr) string {
+	switch e := unparen(recv).(type) {
+	case *ast.SelectorExpr:
+		// x.mu — identify by the named type of x.
+		if tv, ok := pkg.Info.Types[e.X]; ok {
+			if tn := typeName(tv.Type); tn != "" {
+				return lastSegment(typePkgPath(tv.Type)) + "." + tn + "." + e.Sel.Name
+			}
+		}
+		// pkg.muVar qualified reference.
+		if obj, ok := pkg.Info.Uses[e.Sel].(*types.Var); ok && obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+			return lastSegment(obj.Pkg().Path()) + "." + obj.Name()
+		}
+	case *ast.Ident:
+		if obj, ok := pkg.Info.Uses[e].(*types.Var); ok && obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+			return lastSegment(obj.Pkg().Path()) + "." + obj.Name()
+		}
+	}
+	return ""
+}
+
+// collectAcquires computes the transitive set of locks a function may
+// acquire, for use at call sites under a held lock.
+func (la *lockAnalysis) collectAcquires(n *FuncNode) bool {
+	if n.Body == nil {
+		return false
+	}
+	set := la.acquires[n]
+	if set == nil {
+		set = make(map[string]token.Pos)
+		la.acquires[n] = set
+	}
+	before := len(set)
+	ast.Inspect(n.Body, func(nd ast.Node) bool {
+		if lit, ok := nd.(*ast.FuncLit); ok && nd != n.Body {
+			_ = lit
+			return false // nested literals have their own nodes
+		}
+		call, ok := nd.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, acq, _ := lockCall(n.Pkg, call); acq {
+			if _, seen := set[id]; !seen {
+				set[id] = call.Pos()
+			}
+		}
+		for _, callee := range la.g.ResolveSite(call) {
+			for id := range la.acquires[callee] {
+				if _, seen := set[id]; !seen {
+					set[id] = call.Pos()
+				}
+			}
+		}
+		return true
+	})
+	return len(set) != before
+}
+
+// walkHeld runs the ordered held-set walk over a function body, recording an
+// edge held→acquired for every nested acquisition.
+func (la *lockAnalysis) walkHeld(n *FuncNode) {
+	if n.Body == nil {
+		return
+	}
+	la.walkStmts(n, n.Body.List, map[string]bool{})
+}
+
+// walkStmts processes a statement sequence in order; held mutates through
+// the sequence, while branch bodies work on copies (a lock acquired inside a
+// branch is conservatively not considered held after it).
+func (la *lockAnalysis) walkStmts(n *FuncNode, stmts []ast.Stmt, held map[string]bool) {
+	for _, s := range stmts {
+		la.walkStmt(n, s, held)
+	}
+}
+
+func copyHeld(held map[string]bool) map[string]bool {
+	c := make(map[string]bool, len(held))
+	for k := range held {
+		c[k] = true
+	}
+	return c
+}
+
+func (la *lockAnalysis) walkStmt(n *FuncNode, s ast.Stmt, held map[string]bool) {
+	switch st := s.(type) {
+	case *ast.ExprStmt:
+		la.walkExpr(n, st.X, held, true)
+	case *ast.DeferStmt:
+		if id, _, rel := lockCall(n.Pkg, st.Call); rel {
+			_ = id
+			// defer mu.Unlock(): the lock stays held for the rest of the
+			// function, which the sequential walk models by simply not
+			// releasing it here.
+			return
+		}
+		la.walkExpr(n, st.Call, held, true)
+	case *ast.AssignStmt:
+		for _, e := range st.Rhs {
+			la.walkExpr(n, e, held, false)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						la.walkExpr(n, v, held, false)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			la.walkExpr(n, e, held, false)
+		}
+	case *ast.GoStmt:
+		// The goroutine runs with an empty held set of its own.
+		la.walkExpr(n, st.Call, held, false)
+	case *ast.BlockStmt:
+		la.walkStmts(n, st.List, held)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			la.walkStmt(n, st.Init, held)
+		}
+		la.walkExpr(n, st.Cond, held, false)
+		la.walkStmts(n, st.Body.List, copyHeld(held))
+		if st.Else != nil {
+			la.walkStmt(n, st.Else, copyHeld(held))
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			la.walkStmt(n, st.Init, held)
+		}
+		if st.Cond != nil {
+			la.walkExpr(n, st.Cond, held, false)
+		}
+		la.walkStmts(n, st.Body.List, copyHeld(held))
+	case *ast.RangeStmt:
+		la.walkExpr(n, st.X, held, false)
+		la.walkStmts(n, st.Body.List, copyHeld(held))
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			la.walkStmt(n, st.Init, held)
+		}
+		if st.Tag != nil {
+			la.walkExpr(n, st.Tag, held, false)
+		}
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				la.walkStmts(n, cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				la.walkStmts(n, cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				la.walkStmts(n, cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.LabeledStmt:
+		la.walkStmt(n, st.Stmt, held)
+	case *ast.SendStmt:
+		la.walkExpr(n, st.Value, held, false)
+	}
+}
+
+// walkExpr scans an expression for lock operations and calls. top marks the
+// expression of an ExprStmt, where Lock/Unlock mutate the held set.
+func (la *lockAnalysis) walkExpr(n *FuncNode, e ast.Expr, held map[string]bool, top bool) {
+	ast.Inspect(e, func(nd ast.Node) bool {
+		if _, ok := nd.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := nd.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, acq, rel := lockCall(n.Pkg, call); acq || rel {
+			if acq {
+				la.acquireEdge(n, call.Pos(), id, "", held)
+				if top {
+					held[id] = true
+				}
+			} else if top {
+				delete(held, id)
+			}
+			return true
+		}
+		if len(held) == 0 {
+			return true
+		}
+		for _, callee := range la.g.ResolveSite(call) {
+			for id := range la.acquires[callee] {
+				la.acquireEdge(n, call.Pos(), id, callee.Name, held)
+			}
+		}
+		return true
+	})
+}
+
+func (la *lockAnalysis) acquireEdge(n *FuncNode, pos token.Pos, id, via string, held map[string]bool) {
+	for h := range held {
+		if h == id {
+			continue // re-entrant same-lock acquisition is lockstep's problem
+		}
+		e := lockEdge{from: h, to: id}
+		if _, seen := la.edges[e]; !seen {
+			fn := n.Name
+			if via != "" {
+				fn = n.Name + " > " + via
+			}
+			la.edges[e] = edgeInfo{pos: pos, fn: fn}
+		}
+	}
+}
+
+// cycles finds elementary cycles in the lock graph and reports one finding
+// per cycle, anchored at the lexically first witnessing edge.
+func (la *lockAnalysis) cycles() []Finding {
+	sorted := make([]lockEdge, 0, len(la.edges))
+	for e := range la.edges {
+		sorted = append(sorted, e)
+	}
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].from != sorted[j].from {
+			return sorted[i].from < sorted[j].from
+		}
+		return sorted[i].to < sorted[j].to
+	})
+	adj := make(map[string][]string)
+	var nodes []string
+	for _, e := range sorted {
+		if len(adj[e.from]) == 0 {
+			nodes = append(nodes, e.from)
+		}
+		adj[e.from] = append(adj[e.from], e.to)
+	}
+
+	seen := make(map[string]bool) // canonical cycle keys already reported
+	var out []Finding
+	var stack []string
+	onStack := make(map[string]int)
+	var dfs func(string)
+	dfs = func(v string) {
+		if idx, ok := onStack[v]; ok {
+			cycle := append([]string(nil), stack[idx:]...)
+			key := canonicalCycle(cycle)
+			if !seen[key] {
+				seen[key] = true
+				out = append(out, la.cycleFinding(cycle))
+			}
+			return
+		}
+		onStack[v] = len(stack)
+		stack = append(stack, v)
+		for _, w := range adj[v] {
+			dfs(w)
+		}
+		stack = stack[:len(stack)-1]
+		delete(onStack, v)
+	}
+	for _, v := range nodes {
+		dfs(v)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos != out[j].Pos {
+			return out[i].Pos < out[j].Pos
+		}
+		return out[i].Message < out[j].Message
+	})
+	return out
+}
+
+// canonicalCycle rotates the cycle so its smallest element comes first,
+// giving every traversal of the same cycle the same key.
+func canonicalCycle(cycle []string) string {
+	min := 0
+	for i := range cycle {
+		if cycle[i] < cycle[min] {
+			min = i
+		}
+	}
+	rotated := append(append([]string(nil), cycle[min:]...), cycle[:min]...)
+	return strings.Join(rotated, "→")
+}
+
+func (la *lockAnalysis) cycleFinding(cycle []string) Finding {
+	// Anchor at the first edge of the canonical rotation.
+	min := 0
+	for i := range cycle {
+		if cycle[i] < cycle[min] {
+			min = i
+		}
+	}
+	rotated := append(append([]string(nil), cycle[min:]...), cycle[:min]...)
+	var (
+		pos   token.Pos
+		where string
+	)
+	e := lockEdge{from: rotated[0], to: rotated[1%len(rotated)]}
+	if info, ok := la.edges[e]; ok {
+		pos = info.pos
+		where = info.fn
+	}
+	loop := strings.Join(append(rotated, rotated[0]), " -> ")
+	return Finding{
+		Pos:     pos,
+		Message: fmt.Sprintf("lock order cycle %s (inner acquisition in %s); acquire locks in one global order", loop, where),
+	}
+}

@@ -26,3 +26,23 @@ func TestNilnessGolden(t *testing.T)     { runGolden(t, NilnessAnalyzer, "nilnes
 // directives silence findings, reasonless or unknown-analyzer directives are
 // findings of their own and suppress nothing.
 func TestDirectiveGolden(t *testing.T) { runGolden(t, DetrandAnalyzer, "directive") }
+
+// The interprocedural battery runs through LintModule over a testdata tree
+// with local internal/* fakes, so sources/sanitizers/sinks cross package
+// boundaries exactly as in the real module. Each fixture pairs violations
+// (including a deliberate plaintext-to-tcpnet leak) with the sealed or
+// consistently-ordered legal path.
+func TestSealflowGolden(t *testing.T) {
+	runGoldenModule(t, []*Analyzer{SealflowAnalyzer}, "sealflow")
+}
+func TestKeyleakGolden(t *testing.T) {
+	runGoldenModule(t, []*Analyzer{KeyleakAnalyzer}, "keyleak")
+}
+func TestLockorderGolden(t *testing.T) {
+	runGoldenModule(t, []*Analyzer{LockorderAnalyzer}, "lockorder")
+}
+
+// TestStaleLintGolden runs the full battery so the stale-suppression check
+// judges directives for analyzers that actually ran: a live suppression
+// stays silent, a dead one is reported.
+func TestStaleLintGolden(t *testing.T) { runGoldenModule(t, Analyzers(), "stalelint") }

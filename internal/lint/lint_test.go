@@ -48,7 +48,7 @@ func TestScopes(t *testing.T) {
 // TestRegistry pins the battery composition and that names used in
 // //lint:allow directives stay stable.
 func TestRegistry(t *testing.T) {
-	want := []string{"detrand", "maporder", "sealerr", "telemetry", "lockstep", "muxboundary", "shadow", "nilness"}
+	want := []string{"detrand", "maporder", "sealerr", "telemetry", "lockstep", "muxboundary", "shadow", "nilness", "sealflow", "keyleak", "lockorder"}
 	got := Analyzers()
 	if len(got) != len(want) {
 		t.Fatalf("Analyzers() returned %d analyzers, want %d", len(got), len(want))
@@ -60,8 +60,8 @@ func TestRegistry(t *testing.T) {
 		if a.Doc == "" {
 			t.Errorf("analyzer %q has no Doc", a.Name)
 		}
-		if a.Run == nil {
-			t.Errorf("analyzer %q has no Run", a.Name)
+		if a.Run == nil && a.RunModule == nil {
+			t.Errorf("analyzer %q has neither Run nor RunModule", a.Name)
 		}
 	}
 }
@@ -108,15 +108,12 @@ func TestModuleIsLintClean(t *testing.T) {
 	if len(pkgs) == 0 {
 		t.Fatal("loader found no packages")
 	}
-	analyzers := Analyzers()
-	for _, pkg := range pkgs {
-		diags, err := RunAnalyzers(pkg, analyzers)
-		if err != nil {
-			t.Fatal(err)
-		}
-		for _, d := range diags {
-			t.Errorf("%s", d)
-		}
+	diags, err := LintModule(pkgs, Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
 	}
 }
 

@@ -66,6 +66,18 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	return pkgs, nil
 }
 
+// LoadDirAll is LoadDir returning every package under dir — the
+// subdirectory fakes followed by dir's own package, all sharing one FileSet
+// — so module-level analyzers (LintModule) can be golden-tested against a
+// testdata tree that models cross-package flows.
+func LoadDirAll(dir string) ([]*Package, error) {
+	main, subs, err := loadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	return append(subs, main), nil
+}
+
 // LoadDir parses and type-checks the .go files of a single directory outside
 // the module (the analysistest harness loads testdata packages this way).
 // Subdirectories holding .go files are pre-loaded first and made importable
@@ -73,12 +85,17 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 // testdata package can model cross-package boundaries with local fakes;
 // everything else resolves against the standard library.
 func LoadDir(dir string) (*Package, error) {
+	main, _, err := loadDir(dir)
+	return main, err
+}
+
+func loadDir(dir string) (*Package, []*Package, error) {
 	files, err := goFilesIn(dir)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if len(files) == 0 {
-		return nil, fmt.Errorf("lint: no .go files in %s", dir)
+		return nil, nil, fmt.Errorf("lint: no .go files in %s", dir)
 	}
 	fset := token.NewFileSet()
 	imp := &localImporter{
@@ -87,21 +104,27 @@ func LoadDir(dir string) (*Package, error) {
 	}
 	subs, err := subPackageDirs(dir)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	var subPkgs []*Package
 	for _, rel := range subs {
-		subFiles, err := goFilesIn(filepath.Join(dir, rel))
-		if err != nil {
-			return nil, err
+		subFiles, serr := goFilesIn(filepath.Join(dir, rel))
+		if serr != nil {
+			return nil, nil, serr
 		}
 		path := filepath.ToSlash(rel)
-		pkg, err := check(fset, imp, path, filepath.Join(dir, rel), subFiles)
-		if err != nil {
-			return nil, err
+		pkg, serr := check(fset, imp, path, filepath.Join(dir, rel), subFiles)
+		if serr != nil {
+			return nil, nil, serr
 		}
 		imp.pkgs[path] = pkg.Types
+		subPkgs = append(subPkgs, pkg)
 	}
-	return check(fset, imp, filepath.Base(dir), dir, files)
+	main, err := check(fset, imp, filepath.Base(dir), dir, files)
+	if err != nil {
+		return nil, nil, err
+	}
+	return main, subPkgs, nil
 }
 
 // localImporter resolves pre-loaded local packages by relative path and

@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"strings"
@@ -25,7 +26,8 @@ const DirectiveAnalyzerName = "lintdirective"
 type directive struct {
 	analyzer string
 	file     string
-	line     int // line the comment starts on
+	line     int       // line the comment starts on
+	pos      token.Pos // comment position, for stale-directive findings
 }
 
 // collectDirectives parses every //lint:allow directive in files. It returns
@@ -74,6 +76,7 @@ func collectDirectives(fset *token.FileSet, files []*ast.File) ([]directive, []D
 					analyzer: name,
 					file:     pos.Filename,
 					line:     pos.Line,
+					pos:      c.Pos(),
 				})
 			}
 		}
@@ -105,4 +108,38 @@ func filterSuppressed(diags []Diagnostic, dirs []directive) []Diagnostic {
 		kept = append(kept, d)
 	}
 	return kept
+}
+
+// staleDirectives reports every directive that suppressed nothing: no
+// pre-filter diagnostic from its analyzer lands on the directive's line or
+// the line below. Only analyzers in ran are judged — a directive for an
+// analyzer that did not run this invocation (p2plint -only, single-analyzer
+// golden tests) is not stale, merely unexercised. Keeping the suppression
+// ledger honest this way means every //lint:allow in the tree is load-bearing.
+func staleDirectives(fset *token.FileSet, dirs []directive, raw []Diagnostic, ran map[string]bool) []Diagnostic {
+	type key struct {
+		analyzer string
+		file     string
+		line     int
+	}
+	hit := make(map[key]bool, len(raw))
+	for _, d := range raw {
+		hit[key{d.Analyzer, d.Position.Filename, d.Position.Line}] = true
+	}
+	var out []Diagnostic
+	for _, dir := range dirs {
+		if !ran[dir.analyzer] {
+			continue
+		}
+		if hit[key{dir.analyzer, dir.file, dir.line}] || hit[key{dir.analyzer, dir.file, dir.line + 1}] {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Analyzer: DirectiveAnalyzerName,
+			Pos:      dir.pos,
+			Position: fset.Position(dir.pos),
+			Message:  fmt.Sprintf("stale suppression: no %s finding on this line or the next; remove the directive", dir.analyzer),
+		})
+	}
+	return out
 }

@@ -1,0 +1,9 @@
+// Package telemetry is a minimal fake of sgxp2p/internal/telemetry for the
+// keyleak golden test: every exported entry point is a sink.
+package telemetry
+
+// Tracer models the event tracer.
+type Tracer struct{}
+
+// Record appends one event.
+func (t *Tracer) Record(arg uint64, note string) {}

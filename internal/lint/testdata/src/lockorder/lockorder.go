@@ -1,0 +1,64 @@
+// Golden test for the lockorder analyzer: two call paths acquiring the same
+// pair of mutexes in opposite orders form a cycle in the lock-acquisition
+// graph. Consistent-order paths sit alongside as the legal idiom.
+package lockorder
+
+import "sync"
+
+// A and B carry the mutex pair taken in both orders.
+type A struct{ mu sync.Mutex }
+type B struct{ mu sync.Mutex }
+
+// C closes a second cycle with A through a call chain.
+type C struct{ mu sync.Mutex }
+
+// path1 takes A then B; path2 takes B then A — a direct cycle. The finding
+// anchors at the inner acquisition of the canonical (A-first) rotation.
+func path1(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock() // want "lock order cycle lockorder.A.mu -> lockorder.B.mu -> lockorder.A.mu"
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func path2(a *A, b *B) {
+	b.mu.Lock()
+	a.mu.Lock()
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// outer holds A.mu across a call whose callee takes C.mu (edge A→C);
+// reverse holds C.mu across a call that takes A.mu (edge C→A). The cycle
+// only exists interprocedurally, through the transitive acquire sets.
+func outer(a *A, c *C) {
+	a.mu.Lock()
+	inner(c) // want "lock order cycle lockorder.A.mu -> lockorder.C.mu -> lockorder.A.mu"
+	a.mu.Unlock()
+}
+
+func inner(c *C) {
+	c.mu.Lock()
+	c.mu.Unlock()
+}
+
+func reverse(a *A, c *C) {
+	c.mu.Lock()
+	lockA(a)
+	c.mu.Unlock()
+}
+
+func lockA(a *A) {
+	a.mu.Lock()
+	a.mu.Unlock()
+}
+
+// ordered takes the pair in the same order everywhere; with defer-based
+// release the lock is held to function end. No finding on its own — it
+// agrees with path1's ordering.
+func ordered(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+}

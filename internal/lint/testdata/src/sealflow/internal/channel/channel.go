@@ -1,0 +1,21 @@
+// Package channel is a minimal fake of sgxp2p/internal/channel for the
+// sealflow golden test: its Seal* methods are the analyzer's sanitizers.
+package channel
+
+// Link models a sealed point-to-point channel.
+type Link struct{}
+
+// SealEncodedAppend seals one encoded message into an envelope.
+func (l *Link) SealEncodedAppend(dst, encoded []byte) ([]byte, error) {
+	return append(dst, encoded...), nil
+}
+
+// SealBatchAppend seals a whole batch buffer into one envelope.
+func (l *Link) SealBatchAppend(dst, batch []byte) ([]byte, error) {
+	return append(dst, batch...), nil
+}
+
+// OpenEncodedAppend opens an envelope back into plaintext.
+func (l *Link) OpenEncodedAppend(dst, sealed []byte) ([]byte, error) {
+	return append(dst, sealed...), nil
+}

@@ -1,0 +1,9 @@
+// Package tcpnet is a minimal fake of sgxp2p/internal/tcpnet for the
+// sealflow golden test: Port.Send is the analyzer's network sink.
+package tcpnet
+
+// Port models the real-network transport surface.
+type Port struct{}
+
+// Send transmits payload to dst.
+func (p *Port) Send(dst uint64, payload []byte) {}

@@ -1,0 +1,16 @@
+// Golden test for the stale-suppression check: a //lint:allow directive
+// that no longer matches any finding is itself reported, keeping the
+// suppression ledger honest. Run under the full battery via LintModule.
+package stalelint
+
+import "math/rand"
+
+// live: the directive suppresses a real detrand finding — not stale.
+func live() int {
+	return rand.Int() //lint:allow detrand golden fixture exercising a live suppression
+}
+
+// stale: nothing on this line (or the next) ever triggers maporder, so the
+// directive is dead weight and must be reported.
+// wantbelow "stale suppression: no maporder finding"
+var answer = 42 //lint:allow maporder golden fixture exercising the stale-suppression check

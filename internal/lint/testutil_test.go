@@ -97,6 +97,43 @@ func matchWant(wants []*expectation, d Diagnostic) bool {
 	return false
 }
 
+// runGoldenModule is runGolden for module-level analyzers: it loads the
+// whole testdata tree (main package plus its local fakes) through
+// LoadDirAll and lints it with LintModule, so interprocedural analyzers see
+// cross-package flows and the stale-suppression check runs exactly as in
+// the driver.
+func runGoldenModule(t *testing.T, analyzers []*Analyzer, dirName string) {
+	t.Helper()
+	pkgs, err := LoadDirAll(filepath.Join("testdata", "src", dirName))
+	if err != nil {
+		t.Fatalf("load testdata tree %s: %v", dirName, err)
+	}
+	unscoped := make([]*Analyzer, len(analyzers))
+	for i, a := range analyzers {
+		c := *a
+		c.Packages = nil
+		unscoped[i] = &c
+	}
+	diags, err := LintModule(pkgs, unscoped)
+	if err != nil {
+		t.Fatalf("lint module %s: %v", dirName, err)
+	}
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		wants = append(wants, collectWants(t, pkg)...)
+	}
+	for _, d := range diags {
+		if !matchWant(wants, d) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
 // mustParse builds a tiny throwaway package for unit tests that do not need
 // a full golden directory.
 func mustParse(t *testing.T, src string) *Package {

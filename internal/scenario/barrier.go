@@ -154,7 +154,7 @@ func (b *Barrier) AwaitReady(timeout time.Duration) error {
 	select {
 	case <-b.readyAll:
 		return nil
-	case <-time.After(timeout):
+	case <-time.After(timeout): //lint:allow lockstep the barrier bounds real child-process startup; a hung fleet must time out in wall time
 		b.mu.Lock()
 		missing := make([]int, 0, b.n)
 		for i := 0; i < b.n; i++ {
