@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race chaos lint obs-smoke scenario-smoke verify bench bench-telemetry bench-coalesce bench-mux benchsmoke clean
+.PHONY: build test vet race chaos lint obs-smoke scenario-smoke obs-live-smoke verify bench bench-telemetry bench-coalesce bench-mux bench-obsplane benchsmoke clean
 
 build:
 	$(GO) build ./...
@@ -75,11 +75,28 @@ scenario-smoke:
 	for f in "$$dir"/*/merged.jsonl; do \
 		$(GO) run ./cmd/p2ptrace -check "$$f" || exit 1; done
 
+# obs-live-smoke is the live observability plane check (DESIGN.md §15):
+# run a small fleet with -stream on, so every node streams its telemetry
+# events, metric deltas and resource-probe gauges over the control
+# connection while running; the runner asserts stream parity (streamed ≡
+# exit-dumped events) as an invariant and archives streamed.jsonl, which
+# is then schema-checked and span-reconstructed — the full path from
+# per-process BeginSpan to the cross-process hop histogram.
+obs-live-smoke:
+	@dir=$$(mktemp -d) && trap 'rm -rf "$$dir"' EXIT && \
+	$(GO) build -o "$$dir/p2pnode" ./cmd/p2pnode && \
+	$(GO) run ./cmd/p2pscenario -node-bin "$$dir/p2pnode" -out "$$dir" -keep \
+		-stream -testcase erb-honest -instances 4 -param delta=300ms \
+		scenarios/honest-sweep.toml && \
+	$(GO) run ./cmd/p2ptrace -check "$$dir"/*/streamed.jsonl && \
+	$(GO) run ./cmd/p2ptrace -spans "$$dir"/*/streamed.jsonl
+
 # verify is the tier-1 gate: build, vet, full test suite, race subset,
 # chaos fault-injection suite, one-iteration benchmark smoke run, the
-# project lint battery, the traced-replay determinism smoke, and the
-# multi-process scenario smoke.
-verify: build vet test race chaos benchsmoke lint obs-smoke scenario-smoke
+# project lint battery, the traced-replay determinism smoke, the
+# multi-process scenario smoke, and the live-streaming observability
+# smoke.
+verify: build vet test race chaos benchsmoke lint obs-smoke scenario-smoke obs-live-smoke
 
 # bench regenerates BENCH_setup.json: setup/broadcast microbenchmarks plus
 # the fig2a/fig2b sweeps (ns/op and allocs/op) via cmd/p2pbench.
@@ -113,6 +130,17 @@ bench-coalesce:
 # (ablation). Best-of-3; the dedicated rows dominate the wall time.
 bench-mux:
 	$(GO) run ./cmd/p2pbench -count 3 -bench cluster_mux -o BENCH_mux.json
+
+# bench-obsplane re-measures the live-observability artifact: the
+# three-rung simnet ablation at N=64 (telemetry off / span recording on /
+# recording plus a live streaming consumer — the record-vs-stream delta
+# is the streaming overhead the PR is judged on, best-of-5) plus the
+# deployment-level proof: a real N=128 process fleet run plain and
+# streamed (-live, one run each, minutes of wall time — rounds are
+# Δ-gated, so the two wall times must agree).
+bench-obsplane:
+	$(GO) run ./cmd/p2pbench -count 5 -bench obs_broadcast,obs_live -live \
+		-o BENCH_obsplane.json
 
 clean:
 	$(GO) clean ./...

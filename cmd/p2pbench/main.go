@@ -26,6 +26,7 @@ import (
 	"runtime/debug"
 	"runtime/pprof"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -34,6 +35,8 @@ import (
 	"sgxp2p/internal/deploy"
 	"sgxp2p/internal/enclave"
 	"sgxp2p/internal/experiments"
+	"sgxp2p/internal/scenario"
+	"sgxp2p/internal/telemetry"
 	"sgxp2p/internal/wire"
 )
 
@@ -95,6 +98,7 @@ func run(args []string) error {
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
 		memprofile = fs.String("memprofile", "", "write a heap profile taken after the run to this file")
 		instances  = fs.Int("instances", 1000, "concurrent broadcasts per op in the headline cluster_mux benchmarks")
+		live       = fs.Bool("live", false, "include the obs_live rows: a real N=128 process fleet run plain and streamed (minutes of wall time)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -246,6 +250,127 @@ func run(args []string) error {
 			b.ReportMetric(float64(k)*float64(b.N)/b.Elapsed().Seconds(), "broadcasts/sec")
 		}
 	}
+	// obsBroadcast is the live-plane ablation, three rungs of the same
+	// standing-cluster ERB broadcast: "off" (telemetry nil — the
+	// zero-cost default), "record" (span hops recorded, nothing reads
+	// them), and "stream" (span hops recorded while a streaming-exporter
+	// -style consumer polls Since and Releases shipped prefixes
+	// concurrently — the full live-export read side). record vs stream
+	// isolates what STREAMING costs on top of recording; off vs record is
+	// the (opt-in) recording cost itself, which in a real deployment
+	// hides inside Δ-gated round idle time. The cluster and tracer are
+	// rebuilt per op OUTSIDE the timer: a spans-enabled tracer retains
+	// its whole event stream, so reusing one across ops would measure
+	// appending into an ever-larger slice instead of the hot path.
+	obsBroadcast := func(n, t int, record, stream bool) func(b *testing.B) {
+		return func(b *testing.B) {
+			payload := sgxp2p.ValueFromString("bench")
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				var tr *telemetry.Tracer
+				if record {
+					tr = telemetry.New(telemetry.Options{Spans: true})
+				}
+				cluster, err := sgxp2p.NewCluster(sgxp2p.Options{N: n, T: t, Seed: 1, Trace: tr})
+				if err != nil {
+					b.Fatal(err)
+				}
+				stop := make(chan struct{})
+				var wg sync.WaitGroup
+				if stream {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						var cursor uint64
+						tick := time.NewTicker(200 * time.Microsecond)
+						defer tick.Stop()
+						for {
+							select {
+							case <-tick.C:
+								cursor += uint64(len(tr.Since(cursor)))
+								tr.Release(cursor)
+							case <-stop:
+								cursor += uint64(len(tr.Since(cursor)))
+								return
+							}
+						}
+					}()
+				}
+				b.StartTimer()
+				if _, err := cluster.Broadcast(0, payload); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				close(stop)
+				wg.Wait()
+				b.StartTimer()
+			}
+		}
+	}
+	// liveStream runs one real process fleet at n and reports its wall
+	// time, with the live plane on (nodes streaming events, metric deltas
+	// and probe gauges over their control connections, the runner
+	// aggregating per-round percentiles) or off (the plain exit-dump
+	// fleet) — the deployment-level overhead comparison: rounds are
+	// Δ-gated, so streaming must not stretch wall time. One op is one
+	// fleet run; testing.Benchmark stops at b.N=1 because the run is far
+	// longer than the bench time.
+	liveStream := func(n int, stream bool) func(b *testing.B) {
+		return func(b *testing.B) {
+			binDir, err := os.MkdirTemp("", "p2pbench-node-*")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer os.RemoveAll(binDir)
+			bin, err := scenario.BuildNodeBin(binDir)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// The live Δ and start delay follow cmd/p2pscenario's bench
+			// calibration: quadratic in n for crypto/scheduling throughput.
+			delta := 500*time.Millisecond +
+				time.Duration(n)*4*time.Millisecond +
+				time.Duration(n*n)*200*time.Microsecond
+			tc := &scenario.Testcase{
+				Name:      fmt.Sprintf("obs-live-n%d", n),
+				Instances: scenario.Range{Min: 4, Max: 1024, Default: n},
+				Expect:    scenario.Expect{Agreement: true, Accepted: true},
+			}
+			rp, err := tc.ResolveParams(nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rp.T = 1
+			rp.Delta = delta
+			rp.Epochs = 1
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				outDir, err := os.MkdirTemp("", "p2pbench-live-*")
+				if err != nil {
+					b.Fatal(err)
+				}
+				report, err := scenario.Run(scenario.RunConfig{
+					NodeBin: bin, Testcase: tc, Params: rp, Instances: n,
+					OutDir:     outDir,
+					StartDelay: 10*time.Second + time.Duration(n)*200*time.Millisecond,
+					Stream:     stream,
+					Log:        os.Stderr,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !report.Passed {
+					for _, inv := range report.Invariants {
+						fmt.Fprintf(os.Stderr, "invariant %s ok=%v %s\n", inv.Name, inv.OK, inv.Detail)
+					}
+					b.Fatalf("live fleet run (stream=%v) failed its invariants", stream)
+				}
+				os.RemoveAll(outDir)
+			}
+		}
+	}
 	benches := []struct {
 		name string
 		fn   func(b *testing.B)
@@ -273,8 +398,20 @@ func run(args []string) error {
 		{fmt.Sprintf("cluster_mux_nobatch_n64_i%d", *instances), muxBroadcast(64, 31, *instances, true)},
 		{fmt.Sprintf("cluster_mux_serial_n64_i%d", *instances), serialMany(64, 31, *instances)},
 		{fmt.Sprintf("cluster_mux_dedicated_n64_i%d", *instances), dedicatedMany(64, 31, *instances)},
+		{"obs_broadcast_n64_off", obsBroadcast(64, 31, false, false)},
+		{"obs_broadcast_n64_record", obsBroadcast(64, 31, true, false)},
+		{"obs_broadcast_n64_stream", obsBroadcast(64, 31, true, true)},
 		{"sweep_fig2a", sweep("fig2a")},
 		{"sweep_fig2b", sweep("fig2b")},
+	}
+	if *live {
+		benches = append(benches, struct {
+			name string
+			fn   func(b *testing.B)
+		}{"obs_live_plain_erb_n128", liveStream(128, false)}, struct {
+			name string
+			fn   func(b *testing.B)
+		}{"obs_live_stream_erb_n128", liveStream(128, true)})
 	}
 
 	snap := snapshot{
@@ -287,8 +424,16 @@ func run(args []string) error {
 			continue
 		}
 		fmt.Fprintf(os.Stderr, "running %s...\n", bench.name)
+		// The obs_live rows are real process fleets costing minutes each;
+		// -count repeats are for damping scheduler noise on microbenchmarks
+		// and would multiply that wall time for nothing (the fleet's wall
+		// time is Δ-gated, not scheduler-noisy), so they always run once.
+		reps := *count
+		if strings.HasPrefix(bench.name, "obs_live") {
+			reps = 1
+		}
 		r := testing.Benchmark(bench.fn)
-		for c := 1; c < *count; c++ {
+		for c := 1; c < reps; c++ {
 			if rc := testing.Benchmark(bench.fn); rc.N > 0 && rc.NsPerOp() < r.NsPerOp() {
 				r = rc
 			}

@@ -40,14 +40,18 @@ import (
 	mrand "math/rand"
 	"net"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"sync"
+	"syscall"
 	"time"
 
 	"sgxp2p/internal/adversary"
 	"sgxp2p/internal/core/erb"
 	"sgxp2p/internal/core/erng"
 	"sgxp2p/internal/enclave"
+	"sgxp2p/internal/obsplane"
 	"sgxp2p/internal/runtime"
 	"sgxp2p/internal/tcpnet"
 	"sgxp2p/internal/telemetry"
@@ -109,6 +113,10 @@ func run(args []string) error {
 		tracePath  = fs.String("trace", "", "write this node's telemetry event stream (JSONL) to a file on exit")
 		metricsOut = fs.String("metrics-out", "", "write this node's metrics in Prometheus text format to a file on exit")
 		resultOut  = fs.String("result-out", "", "write this node's per-epoch results as JSON to a file on exit")
+		stream     = fs.Bool("stream", false, "stream telemetry events and metric deltas over the control connection during the run (-control mode)")
+		spans      = fs.Bool("spans", false, "record causal span hops (seal/open/deliver/handle) keyed by sealed frame tag")
+		probeEvery = fs.Duration("probe-interval", 0, "sample resource gauges (goroutines, heap, fds, link queues) at this interval; 0 = off")
+		profileDir = fs.String("profile-dir", "", "capture pprof profiles into this directory on an orchestrator PROF request or on failure")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -118,6 +126,9 @@ func run(args []string) error {
 	}
 	if *epochs < 1 || *resume < 0 || *resume >= *epochs {
 		return fmt.Errorf("invalid epoch schedule: epochs=%d resume-epoch=%d", *epochs, *resume)
+	}
+	if *stream && *control == "" {
+		return fmt.Errorf("-stream needs a -control connection to stream over")
 	}
 	self := wire.NodeID(*id)
 
@@ -166,23 +177,56 @@ func run(args []string) error {
 
 	// Telemetry rides on the port's logical clock (time since the shared
 	// start instant), so traces from different nodes of one run line up.
+	// Streaming implies a tracer and registry even without the dump flags:
+	// the live plane's whole point is observing a node that never dumps.
 	var trace *telemetry.Tracer
 	var metrics *telemetry.Metrics
-	if *tracePath != "" {
-		trace = telemetry.New(telemetry.Options{Clock: port.Now})
+	if *tracePath != "" || *stream {
+		trace = telemetry.New(telemetry.Options{Clock: port.Now, Spans: *spans})
 	}
-	if *metricsOut != "" {
+	if *metricsOut != "" || *stream || *probeEvery > 0 {
 		metrics = telemetry.NewMetrics()
 		port.SetMetrics(metrics)
 	}
+	var probe *obsplane.Probe
+	if *probeEvery > 0 {
+		probe = obsplane.StartProbe(obsplane.ProbeConfig{
+			Metrics:  metrics,
+			Interval: *probeEvery,
+			Queue: func() (int, int, int) {
+				qs := port.QueueStats()
+				return qs.Links, qs.Total, qs.Max
+			},
+		})
+	}
+	var exporter *streamer
+	if *stream {
+		exporter = startStreamer(ctrl, trace, metrics, *tracePath == "")
+	}
+	watchProfileRequests(ctrl, *profileDir, *id)
+	// stopLive quiesces the live plane in dependency order: the probe's
+	// final sample lands in the registry, then the exporter's final drain
+	// ships it. Idempotent, so the success, failure and signal paths can
+	// all run it.
+	stopLive := func() {
+		probe.Stop()
+		exporter.Stop()
+	}
 	results := &nodeResult{ID: *id, Mode: *mode, N: *n, T: *t, Byz: int(self) < *chainLen}
+	// dump is serialized: the signal handler below may run it concurrently
+	// with the main goroutine's exit path, and both must see a quiesced
+	// live plane and whole files.
+	var dumpMu sync.Mutex
 	dump := func() error {
-		if trace != nil {
+		dumpMu.Lock()
+		defer dumpMu.Unlock()
+		stopLive()
+		if trace != nil && *tracePath != "" {
 			if werr := writeExport(*tracePath, trace.ExportJSONL); werr != nil {
 				return werr
 			}
 		}
-		if metrics != nil {
+		if metrics != nil && *metricsOut != "" {
 			if werr := writeExport(*metricsOut, metrics.ExportPrometheus); werr != nil {
 				return werr
 			}
@@ -198,8 +242,11 @@ func run(args []string) error {
 		return nil
 	}
 	// fail dumps whatever telemetry exists before returning the error, so
-	// a run that never gets off the ground still leaves its trace behind.
+	// a run that never gets off the ground still leaves its trace behind —
+	// plus a heap snapshot when profiling is on, so a FAIL is diagnosable
+	// even if the orchestrator never sends PROF.
 	fail := func(ferr error) error {
+		captureHeapProfile(*profileDir, *id)
 		if derr := dump(); derr != nil {
 			fmt.Fprintln(os.Stderr, "p2pnode:", derr)
 		}
@@ -208,6 +255,22 @@ func run(args []string) error {
 		}
 		return ferr
 	}
+
+	// A terminating signal flushes before exiting: churn phases and manual
+	// interrupts get the same artifacts as a clean run. (SIGKILL cannot be
+	// caught — there the streamed prefix at the orchestrator is all that
+	// survives, which is exactly what live export is for.)
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, syscall.SIGTERM, os.Interrupt)
+	go func() {
+		sig := <-sigc
+		signal.Stop(sigc)
+		fmt.Fprintf(os.Stderr, "p2pnode: %v: flushing telemetry before exit\n", sig)
+		if derr := dump(); derr != nil {
+			fmt.Fprintln(os.Stderr, "p2pnode:", derr)
+		}
+		os.Exit(1)
+	}()
 
 	// Slow-link shaping, applied before any traffic flows.
 	if serr := applyShaping(port, *slow, *n); serr != nil {
@@ -518,10 +581,14 @@ func applyShaping(port *tcpnet.Port, spec string, n int) error {
 }
 
 // controlConn is the node side of the scenario runner's barrier: a
-// line-oriented TCP conversation (READY → PEERS+START → DONE/FAIL).
+// line-oriented TCP conversation (READY → PEERS+START → DONE/FAIL),
+// which in -stream mode also multiplexes live telemetry (EV/MT lines
+// node→runner) and profile requests (PROF lines runner→node). The write
+// mutex keeps the streamer's lines whole against DONE/FAIL.
 type controlConn struct {
 	conn net.Conn
 	rd   *bufio.Reader
+	mu   sync.Mutex
 }
 
 // dialControl connects to the runner and announces this node's listen
@@ -579,12 +646,44 @@ func (c *controlConn) readLine(verb string) (string, error) {
 
 // Done reports successful completion to the runner.
 func (c *controlConn) Done() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	_, _ = fmt.Fprintf(c.conn, "DONE\n")
 }
 
 // Fail reports an error to the runner.
 func (c *controlConn) Fail(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	_, _ = fmt.Fprintf(c.conn, "FAIL %s\n", strings.ReplaceAll(err.Error(), "\n", " "))
+}
+
+// StreamEvent ships one sequence-numbered telemetry event line.
+func (c *controlConn) StreamEvent(seq uint64, line []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, _ = fmt.Fprintf(c.conn, "EV %d %s\n", seq, line)
+}
+
+// StreamMetric ships one changed metric row.
+func (c *controlConn) StreamMetric(seq uint64, mv telemetry.MetricValue) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, _ = fmt.Fprintf(c.conn, "MT %d %s %s %g\n", seq, mv.Kind, mv.Name, mv.Value)
+}
+
+// ReadVerbLine reads one runner→node line after the barrier released —
+// the profile-request watcher's loop. No deadline: the watcher lives
+// until the connection closes.
+func (c *controlConn) ReadVerbLine() (string, error) {
+	if err := c.conn.SetReadDeadline(time.Time{}); err != nil {
+		return "", err
+	}
+	line, err := c.rd.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimSpace(line), nil
 }
 
 // Close closes the control connection.

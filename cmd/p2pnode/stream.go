@@ -1,0 +1,169 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"sync"
+	"time"
+
+	"sgxp2p/internal/telemetry"
+)
+
+// streamInterval is how often the live exporter drains new telemetry
+// onto the control connection. Short enough that the orchestrator's
+// per-round percentiles track the fleet live, long enough that a node
+// writes a handful of syscalls per round, not per event.
+const streamInterval = 200 * time.Millisecond
+
+// streamer is the live telemetry exporter: a goroutine that polls the
+// tracer's event stream and the metrics registry and writes what changed
+// to the scenario control connection, framed one record per line:
+//
+//	EV <seq> <event-jsonl>          sequence-numbered trace events
+//	MT <seq> <kind> <name> <value>  metric rows whose value changed
+//
+// The event seq is the tracer's own stream sequence (telemetry.Event.Seq),
+// so the orchestrator can detect gaps and deduplicate re-sent prefixes
+// after a reconnect (MergeEvents is Seq-aware). The exporter never blocks
+// the protocol: it reads snapshots outside the runtime's event loop and
+// owns no locks the hot path touches.
+type streamer struct {
+	ctrl    *controlConn
+	trace   *telemetry.Tracer
+	metrics *telemetry.Metrics
+
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+
+	cursor  uint64
+	mseq    uint64
+	last    map[string]float64
+	release bool
+}
+
+// startStreamer begins live export. Returns nil when there is no control
+// connection to stream over. release marks stream-only mode (no -trace
+// exit dump): shipped event prefixes are released from the tracer so a
+// long run's memory stays bounded by the flush interval, not the run.
+func startStreamer(ctrl *controlConn, trace *telemetry.Tracer, metrics *telemetry.Metrics, release bool) *streamer {
+	if ctrl == nil {
+		return nil
+	}
+	s := &streamer{
+		ctrl: ctrl, trace: trace, metrics: metrics,
+		stop: make(chan struct{}), done: make(chan struct{}),
+		last: make(map[string]float64), release: release,
+	}
+	go s.loop()
+	return s
+}
+
+func (s *streamer) loop() {
+	defer close(s.done)
+	t := time.NewTicker(streamInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.flush()
+		case <-s.stop:
+			s.flush()
+			return
+		}
+	}
+}
+
+// flush drains every event recorded since the last flush and every
+// metric row whose value changed.
+func (s *streamer) flush() {
+	for _, ev := range s.trace.Since(s.cursor) {
+		s.cursor++
+		line, err := telemetry.MarshalEvent(ev)
+		if err != nil {
+			continue
+		}
+		s.ctrl.StreamEvent(ev.Seq, line)
+	}
+	if s.release {
+		s.trace.Release(s.cursor)
+	}
+	for _, mv := range s.metrics.Snapshot() {
+		k := mv.Kind + " " + mv.Name
+		if prev, seen := s.last[k]; seen && prev == mv.Value {
+			continue
+		}
+		s.last[k] = mv.Value
+		s.mseq++
+		s.ctrl.StreamMetric(s.mseq, mv)
+	}
+}
+
+// Stop drains one final time and halts the exporter. Safe on nil and
+// safe to call twice — the fail path and the signal handler both run it.
+func (s *streamer) Stop() {
+	if s == nil {
+		return
+	}
+	s.once.Do(func() { close(s.stop) })
+	<-s.done
+}
+
+// watchProfileRequests reads control lines after the barrier released us:
+// a PROF line from the orchestrator (sent when an invariant fails or a
+// node times out) captures CPU and heap profiles into dir. The goroutine
+// owns the control reader from here on — nothing else reads after
+// AwaitStart — and exits when the connection closes.
+func watchProfileRequests(ctrl *controlConn, dir string, id int) {
+	if ctrl == nil || dir == "" {
+		return
+	}
+	go func() {
+		for {
+			line, err := ctrl.ReadVerbLine()
+			if err != nil {
+				return
+			}
+			if line == "PROF" {
+				captureProfiles(dir, id)
+			}
+		}
+	}()
+}
+
+// cpuProfileWindow is how long the on-demand CPU profile samples. The
+// orchestrator waits for it before reaping the fleet.
+const cpuProfileWindow = 2 * time.Second
+
+// captureProfiles writes cpu-<id>.pprof and heap-<id>.pprof into dir.
+// Best-effort by design: profiling a wedged process must never make
+// things worse, so failures only log.
+func captureProfiles(dir string, id int) {
+	cpuPath := filepath.Join(dir, fmt.Sprintf("cpu-%d.pprof", id))
+	if f, err := os.Create(cpuPath); err == nil {
+		if err := pprof.StartCPUProfile(f); err == nil {
+			time.Sleep(cpuProfileWindow)
+			pprof.StopCPUProfile()
+		}
+		f.Close()
+	}
+	captureHeapProfile(dir, id)
+}
+
+// captureHeapProfile writes heap-<id>.pprof into dir — also called by the
+// node's own failure path, so a FAIL always leaves a heap snapshot even
+// when the orchestrator never asks.
+func captureHeapProfile(dir string, id int) {
+	if dir == "" {
+		return
+	}
+	path := filepath.Join(dir, fmt.Sprintf("heap-%d.pprof", id))
+	f, err := os.Create(path)
+	if err != nil {
+		return
+	}
+	_ = pprof.Lookup("heap").WriteTo(f, 0)
+	f.Close()
+}

@@ -11,7 +11,14 @@
 //	p2pscenario -list scenarios/*.toml               # list testcases
 //	p2pscenario -testcase erb-honest -instances 16 scenarios/honest-sweep.toml
 //	p2pscenario -param epochs=3 -param delta=300ms scenarios/slow-link.toml
+//	p2pscenario -stream -testcase erb-honest scenarios/honest-sweep.toml  # live plane on
 //	p2pscenario -bench BENCH_scenario.json -bench-n 128   # live fig2a point vs simnet
+//
+// -stream turns on the live observability plane: every node streams its
+// telemetry events (with causal span hops) and metric deltas over the
+// control connection while running, and the runner reports per-round
+// fleet percentiles live and archives aggregate.jsonl + streamed.jsonl.
+// -profile arms pprof-on-violation captures for wedged nodes.
 //
 // The p2pnode binary is built automatically unless -node-bin points at a
 // prebuilt one. Artifacts (per-node traces, results, logs, merged.jsonl)
@@ -64,6 +71,8 @@ func run(args []string) error {
 		keep      = fs.Bool("keep", false, "keep the artifact directory")
 		benchOut  = fs.String("bench", "", "run the live fig2a cross-check and write this BENCH json")
 		benchN    = fs.Int("bench-n", 128, "network size of the live bench point")
+		stream    = fs.Bool("stream", false, "live observability plane: nodes stream telemetry+metrics during the run, the runner aggregates per-round fleet percentiles and writes aggregate.jsonl/streamed.jsonl")
+		profile   = fs.Bool("profile", false, "pprof-on-violation: wedged nodes get CPU+heap captures into <out>/profiles before the fleet is reaped")
 	)
 	fs.Var(params, "param", "parameter override key=value (repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -141,7 +150,7 @@ func run(args []string) error {
 				}
 			}
 			for _, n := range counts {
-				if err := runOne(m, tc, bin, dir, n, params); err != nil {
+				if err := runOne(m, tc, bin, dir, n, params, *stream, *profile); err != nil {
 					fmt.Fprintf(os.Stderr, "p2pscenario: %s/%s n=%d: %v\n", m.Name, tc.Name, n, err)
 					failures++
 				}
@@ -155,7 +164,7 @@ func run(args []string) error {
 }
 
 // runOne orchestrates a single (testcase, instance count) run.
-func runOne(m *scenario.Manifest, tc *scenario.Testcase, bin, dir string, n int, overrides map[string]string) error {
+func runOne(m *scenario.Manifest, tc *scenario.Testcase, bin, dir string, n int, overrides map[string]string, stream, profile bool) error {
 	rp, err := tc.ResolveParams(overrides)
 	if err != nil {
 		return err
@@ -167,6 +176,8 @@ func runOne(m *scenario.Manifest, tc *scenario.Testcase, bin, dir string, n int,
 		Params:    rp,
 		Instances: n,
 		OutDir:    sub,
+		Stream:    stream,
+		Profile:   profile,
 		Log:       os.Stderr,
 	})
 	if err != nil {

@@ -8,10 +8,17 @@
 //	p2ptrace -check run.jsonl     # strict schema + monotonicity check
 //	p2ptrace -diff a.jsonl b.jsonl  # first diverging line (exit 1 if any)
 //	p2ptrace -merge n0.jsonl n1.jsonl ...  # time-ordered merge to stdout
+//	p2ptrace -spans merged.jsonl  # reconstruct causal spans, per-hop histograms
+//	p2ptrace -spans -graph out.jsonl merged.jsonl  # also write the span graph
 //
 // -diff is the determinism witness: two traced runs of the same seed must
 // be byte-identical, so any reported divergence is a reproducibility bug
 // (or two genuinely different runs).
+//
+// -spans joins the seal/open/deliver/handle hop events of one or more
+// traces (a span-enabled run: p2pnode -spans, or the scenario runner's
+// merged/streamed archives) into cross-process happens-before chains and
+// prints each hop's latency distribution.
 package main
 
 import (
@@ -20,6 +27,7 @@ import (
 	"io"
 	"os"
 
+	"sgxp2p/internal/obsplane"
 	"sgxp2p/internal/telemetry"
 )
 
@@ -36,10 +44,18 @@ func run(args []string) error {
 		check    = fs.Bool("check", false, "validate the trace (schema, kinds, monotone timestamps) and print its event count")
 		diff     = fs.Bool("diff", false, "compare two traces line by line; exit 1 on the first divergence")
 		merge    = fs.Bool("merge", false, "merge per-process traces into one time-ordered JSONL stream on stdout")
+		spans    = fs.Bool("spans", false, "reconstruct causal span chains and print per-hop latency histograms")
+		graph    = fs.String("graph", "", "-spans: also write the reconstructed span graph as JSONL to this file")
 		instance = fs.Int("instance", -1, "filter the timeline to one protocol instance id (multiplexed traces)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *spans {
+		if fs.NArg() < 1 {
+			return fmt.Errorf("-spans needs at least one trace file")
+		}
+		return spanReport(os.Stdout, fs.Args(), *graph)
 	}
 	if *merge {
 		if fs.NArg() < 1 {
@@ -101,6 +117,40 @@ func mergeTraces(w io.Writer, paths []string) error {
 		streams = append(streams, events)
 	}
 	return telemetry.WriteJSONL(w, telemetry.MergeEvents(streams...))
+}
+
+// spanReport merges the given traces, reconstructs the causal span graph
+// and prints the per-hop latency histograms; graphOut, when set, receives
+// the graph itself as JSONL.
+func spanReport(w io.Writer, paths []string, graphOut string) error {
+	streams := make([][]telemetry.Event, 0, len(paths))
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		events, err := telemetry.ReadJSONL(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		streams = append(streams, events)
+	}
+	g := obsplane.Reconstruct(telemetry.MergeEvents(streams...))
+	if graphOut != "" {
+		gf, err := os.Create(graphOut)
+		if err != nil {
+			return err
+		}
+		if err := g.WriteJSONL(gf); err != nil {
+			gf.Close()
+			return err
+		}
+		if err := gf.Close(); err != nil {
+			return err
+		}
+	}
+	return obsplane.WriteHopHistogram(w, g)
 }
 
 // checkTrace validates a trace file and reports its event count.

@@ -1,25 +1,36 @@
 package lint
 
+import "go/ast"
+
 // TelemetryAnalyzer flags dropped errors from the telemetry export and dump
-// APIs. An export is usually the last thing a run does — the trace or metric
-// snapshot IS the run's evidence — so a swallowed ExportJSONL/DumpFlight
-// error leaves a truncated or missing artifact that a later `p2ptrace
-// -check` (or a human) reads as "the run produced nothing", which is
-// indistinguishable from the bug being triaged. The guarded prefixes also
-// cover ValidateJSONL and DiffLines: ignoring their errors turns a failed
-// determinism check into a false pass.
+// APIs, and discarded BeginSpan results. An export is usually the last
+// thing a run does — the trace or metric snapshot IS the run's evidence —
+// so a swallowed ExportJSONL/DumpFlight error leaves a truncated or missing
+// artifact that a later `p2ptrace -check` (or a human) reads as "the run
+// produced nothing", which is indistinguishable from the bug being triaged.
+// The guarded prefixes also cover ValidateJSONL and DiffLines: ignoring
+// their errors turns a failed determinism check into a false pass.
+//
+// BeginSpan is guarded for the dual failure: its Span result must reach a
+// Finish call, or the hop silently vanishes from every reconstructed causal
+// chain — the span graph then under-reports exactly the code path someone
+// instrumented because they suspected it.
 //
 // Flagged forms mirror sealerr, in non-test code module-wide:
 //
 //	tracer.ExportJSONL(w)            // ExprStmt: all results dropped
 //	n, _ := telemetry.ValidateJSONL(r) // error position assigned to _
 //	defer t.DumpFlight(w, node)      // result unobservable
+//	tr.BeginSpan()                   // Span dropped: the hop is never finished
+//	_ = tr.BeginSpan()               // same, discarded into _
 //
 // Deliberate drops carry //lint:allow telemetry <reason>.
 var TelemetryAnalyzer = &Analyzer{
 	Name: "telemetry",
 	Doc: "flags dropped or _-discarded errors from telemetry Export*/Dump*/Validate*/Diff* calls " +
-		"(a silently failed export destroys the run's observability evidence)",
+		"and discarded BeginSpan results " +
+		"(a silently failed export destroys the run's observability evidence; " +
+		"an unfinished span loses its hop from every causal chain)",
 	Run: runTelemetry,
 }
 
@@ -32,5 +43,46 @@ var telemetryChecker = &dropChecker{
 }
 
 func runTelemetry(pass *Pass) error {
-	return telemetryChecker.run(pass)
+	if err := telemetryChecker.run(pass); err != nil {
+		return err
+	}
+	checkDroppedSpans(pass)
+	return nil
+}
+
+// checkDroppedSpans flags BeginSpan calls whose Span result never reaches a
+// variable: as a bare expression statement, in go/defer (the result is
+// unobservable), or discarded into _. dropChecker only watches error-typed
+// results, so the Span-valued BeginSpan needs its own walk.
+func checkDroppedSpans(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := st.X.(*ast.CallExpr); ok && calleeName(call) == "BeginSpan" {
+					pass.Reportf(call.Pos(), "Span from BeginSpan dropped: the hop is never finished (unfinished spans vanish from every reconstructed causal chain)")
+				}
+			case *ast.GoStmt:
+				if calleeName(st.Call) == "BeginSpan" {
+					pass.Reportf(st.Call.Pos(), "Span from BeginSpan unobservable in go statement (unfinished spans vanish from every reconstructed causal chain)")
+				}
+			case *ast.DeferStmt:
+				if calleeName(st.Call) == "BeginSpan" {
+					pass.Reportf(st.Call.Pos(), "Span from BeginSpan unobservable in deferred call (unfinished spans vanish from every reconstructed causal chain)")
+				}
+			case *ast.AssignStmt:
+				if len(st.Rhs) != 1 || len(st.Lhs) != 1 {
+					return true
+				}
+				call, ok := st.Rhs[0].(*ast.CallExpr)
+				if !ok || calleeName(call) != "BeginSpan" {
+					return true
+				}
+				if id, ok := st.Lhs[0].(*ast.Ident); ok && id.Name == "_" {
+					pass.Reportf(st.Pos(), "Span from BeginSpan discarded into _ (unfinished spans vanish from every reconstructed causal chain)")
+				}
+			}
+			return true
+		})
+	}
 }

@@ -53,3 +53,25 @@ func handled(t tracer, m metrics, w io.Writer, r io.Reader) error {
 func suppressed(t tracer, w io.Writer) {
 	_ = t.ExportTimeline(w) //lint:allow telemetry best-effort debug print on the failure path
 }
+
+type span struct{}
+
+func (span) Finish() {}
+
+func (tracer) BeginSpan() span { return span{} }
+
+func droppedSpans(t tracer) {
+	t.BeginSpan()       // want "Span from BeginSpan dropped: the hop is never finished"
+	_ = t.BeginSpan()   // want "Span from BeginSpan discarded into _"
+	go t.BeginSpan()    // want "Span from BeginSpan unobservable in go statement"
+	defer t.BeginSpan() // want "Span from BeginSpan unobservable in deferred call"
+}
+
+func finishedSpan(t tracer) {
+	s := t.BeginSpan()
+	s.Finish()
+}
+
+func suppressedSpan(t tracer) {
+	t.BeginSpan() //lint:allow telemetry probing whether spans are enabled, hop intentionally unrecorded
+}

@@ -1,0 +1,141 @@
+package obsplane
+
+import (
+	"os"
+	goruntime "runtime"
+	"sync"
+	"time"
+
+	"sgxp2p/internal/telemetry"
+)
+
+// ProbeConfig configures a resource probe.
+type ProbeConfig struct {
+	// Metrics receives the probe gauges; nil disables the probe.
+	Metrics *telemetry.Metrics
+	// Interval is the sampling period; 0 means DefaultProbeInterval.
+	Interval time.Duration
+	// Queue optionally samples the transport's outbound queue depths
+	// (links, total queued frames, deepest queue) — tcpnet.Port.QueueStats
+	// wrapped in a closure.
+	Queue func() (links, total, max int)
+}
+
+// DefaultProbeInterval is the sampling period when ProbeConfig leaves
+// Interval zero.
+const DefaultProbeInterval = 250 * time.Millisecond
+
+// Probe periodically samples process-level resources into gauges:
+// goroutine count, heap size and objects, cumulative GC count and pause
+// time, open file descriptors, and per-link transport queue depths. The
+// gauges ride the same registry the node already exports and streams, so
+// a live run shows resource pressure next to protocol progress.
+//
+// The probe runs on a wall-clock ticker by design — it observes the OS
+// process, not the protocol — which is why it lives outside the
+// deterministic packages (a simulated run never starts one).
+type Probe struct {
+	cfg  ProbeConfig
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+
+	goroutines *telemetry.Gauge
+	heapAlloc  *telemetry.Gauge
+	heapObjs   *telemetry.Gauge
+	gcCount    *telemetry.Gauge
+	gcPauseNs  *telemetry.Gauge
+	fds        *telemetry.Gauge
+	qLinks     *telemetry.Gauge
+	qTotal     *telemetry.Gauge
+	qMax       *telemetry.Gauge
+}
+
+// StartProbe registers the probe gauges and starts the sampler
+// goroutine. It samples once synchronously, so even a run shorter than
+// one interval exports real values. Returns nil when cfg.Metrics is nil.
+func StartProbe(cfg ProbeConfig) *Probe {
+	if cfg.Metrics == nil {
+		return nil
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = DefaultProbeInterval
+	}
+	m := cfg.Metrics
+	p := &Probe{
+		cfg:        cfg,
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
+		goroutines: m.Gauge("obs_goroutines"),
+		heapAlloc:  m.Gauge("obs_heap_alloc_bytes"),
+		heapObjs:   m.Gauge("obs_heap_objects"),
+		gcCount:    m.Gauge("obs_gc_count"),
+		gcPauseNs:  m.Gauge("obs_gc_pause_total_ns"),
+		fds:        m.Gauge("obs_fds"),
+	}
+	if cfg.Queue != nil {
+		p.qLinks = m.Gauge("obs_link_queue_links")
+		p.qTotal = m.Gauge("obs_link_queue_frames")
+		p.qMax = m.Gauge("obs_link_queue_max")
+	}
+	p.sample()
+	go p.loop()
+	return p
+}
+
+// Stop halts the sampler after one final sample, so the exported gauges
+// reflect the process's end state. Safe on a nil probe and safe to call
+// twice.
+func (p *Probe) Stop() {
+	if p == nil {
+		return
+	}
+	p.once.Do(func() { close(p.stop) })
+	<-p.done
+}
+
+func (p *Probe) loop() {
+	defer close(p.done)
+	t := time.NewTicker(p.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			p.sample()
+		case <-p.stop:
+			p.sample()
+			return
+		}
+	}
+}
+
+// sample reads every resource once.
+func (p *Probe) sample() {
+	var ms goruntime.MemStats
+	goruntime.ReadMemStats(&ms)
+	p.goroutines.Set(int64(goruntime.NumGoroutine()))
+	p.heapAlloc.Set(int64(ms.HeapAlloc))
+	p.heapObjs.Set(int64(ms.HeapObjects))
+	p.gcCount.Set(int64(ms.NumGC))
+	p.gcPauseNs.Set(int64(ms.PauseTotalNs))
+	if n, ok := countFDs(); ok {
+		p.fds.Set(int64(n))
+	}
+	if p.cfg.Queue != nil {
+		links, total, max := p.cfg.Queue()
+		p.qLinks.Set(int64(links))
+		p.qTotal.Set(int64(total))
+		p.qMax.Set(int64(max))
+	}
+}
+
+// countFDs counts the process's open file descriptors via /proc. On
+// platforms without procfs it reports ok=false and the gauge keeps its
+// last value.
+func countFDs() (int, bool) {
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		return 0, false
+	}
+	return len(ents), true
+}

@@ -1,0 +1,50 @@
+package obsplane_test
+
+import (
+	"testing"
+	"time"
+
+	"sgxp2p/internal/obsplane"
+	"sgxp2p/internal/telemetry"
+)
+
+// TestProbeSamplesGauges checks that a probe registers and fills the
+// resource gauges, including the queue-depth set, and samples its final
+// state at Stop.
+func TestProbeSamplesGauges(t *testing.T) {
+	m := telemetry.NewMetrics()
+	queued := 0
+	p := obsplane.StartProbe(obsplane.ProbeConfig{
+		Metrics:  m,
+		Interval: 5 * time.Millisecond,
+		Queue:    func() (int, int, int) { return 3, queued, queued },
+	})
+	if p == nil {
+		t.Fatal("StartProbe returned nil with a live registry")
+	}
+	if m.Gauge("obs_goroutines").Value() <= 0 {
+		t.Fatal("goroutine gauge not sampled at start")
+	}
+	if m.Gauge("obs_heap_alloc_bytes").Value() <= 0 {
+		t.Fatal("heap gauge not sampled at start")
+	}
+	queued = 17
+	p.Stop()
+	if got := m.Gauge("obs_link_queue_frames").Value(); got != 17 {
+		t.Fatalf("queue gauge = %d after Stop, want the final sample 17", got)
+	}
+	if got := m.Gauge("obs_link_queue_links").Value(); got != 3 {
+		t.Fatalf("links gauge = %d, want 3", got)
+	}
+	p.Stop() // idempotent
+}
+
+// TestProbeNilRegistry checks the disabled path: nil registry, nil probe,
+// nil Stop all no-op.
+func TestProbeNilRegistry(t *testing.T) {
+	if p := obsplane.StartProbe(obsplane.ProbeConfig{}); p != nil {
+		t.Fatal("StartProbe should return nil without a registry")
+	}
+	var p *obsplane.Probe
+	p.Stop()
+}

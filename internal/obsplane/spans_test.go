@@ -1,0 +1,168 @@
+package obsplane_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"sgxp2p"
+	"sgxp2p/internal/obsplane"
+	"sgxp2p/internal/telemetry"
+)
+
+// TestReconstructJoinsHops builds a two-process span by hand and checks
+// the chain joins with the right hop arithmetic.
+func TestReconstructJoinsHops(t *testing.T) {
+	const span = 0xabcdef
+	events := []telemetry.Event{
+		{At: 100, Node: 0, Round: 1, Kind: telemetry.KindSeal, Peer: 1, Arg: 30, Span: span, Seq: 1},
+		{At: 250, Node: 1, Round: 1, Kind: telemetry.KindOpen, Peer: 0, Arg: 40, Span: span, Seq: 1},
+		{At: 260, Node: 1, Round: 1, Kind: telemetry.KindDeliver, Peer: 0, Arg: 2, Span: span, Seq: 2},
+		{At: 300, Node: 1, Round: 1, Kind: telemetry.KindHandled, Peer: 0, Arg: 35, Span: span, Seq: 3},
+	}
+	g := obsplane.Reconstruct(events)
+	if len(g.Spans) != 1 {
+		t.Fatalf("got %d spans, want 1", len(g.Spans))
+	}
+	sr := g.Spans[0]
+	if !sr.Complete() {
+		t.Fatal("span should be complete")
+	}
+	if sr.Src != 0 || sr.Dst != 1 || sr.Seal != 30 || sr.Open != 40 {
+		t.Fatalf("bad endpoints/durations: %+v", sr)
+	}
+	if sr.Transit != 150 {
+		t.Fatalf("transit = %d, want 150", sr.Transit)
+	}
+	if len(sr.Deliveries) != 1 {
+		t.Fatalf("got %d deliveries, want 1", len(sr.Deliveries))
+	}
+	dl := sr.Deliveries[0]
+	if dl.Gap != 10 || dl.Handle != 35 {
+		t.Fatalf("bad delivery hops: %+v", dl)
+	}
+}
+
+// TestReconstructPartialChain checks that a receiver-only span (the
+// sender's stream is missing — it was SIGKILLed before its dump) stays
+// visibly partial instead of fabricating zero hops.
+func TestReconstructPartialChain(t *testing.T) {
+	events := []telemetry.Event{
+		{At: 250, Node: 1, Round: 1, Kind: telemetry.KindOpen, Peer: 0, Arg: 40, Span: 7, Seq: 1},
+		{At: 260, Node: 1, Round: 1, Kind: telemetry.KindDeliver, Peer: 0, Arg: 2, Span: 7, Seq: 2},
+	}
+	g := obsplane.Reconstruct(events)
+	if len(g.Spans) != 1 {
+		t.Fatalf("got %d spans, want 1", len(g.Spans))
+	}
+	sr := g.Spans[0]
+	if sr.Complete() {
+		t.Fatal("half-observed span must not be complete")
+	}
+	if sr.SealAt != -1 || sr.Transit != -1 {
+		t.Fatalf("unobserved hops should be -1: %+v", sr)
+	}
+	stats := g.HopStats()
+	for _, hs := range stats {
+		if hs.Hop == "seal" || hs.Hop == "transit" {
+			t.Fatalf("unobserved hop %q must not contribute samples", hs.Hop)
+		}
+	}
+}
+
+// spanGraph runs one honest broadcast over a spans-enabled simnet cluster
+// and returns the serialized happens-before graph.
+func spanGraph(t *testing.T, n int) ([]byte, *obsplane.Graph) {
+	t.Helper()
+	tr := telemetry.New(telemetry.Options{Spans: true})
+	cluster, err := sgxp2p.NewCluster(sgxp2p.Options{
+		N: n, T: (n - 1) / 2, Seed: 42, Trace: tr,
+	})
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	if _, err := cluster.Broadcast(0, sgxp2p.ValueFromString("span golden")); err != nil {
+		t.Fatalf("Broadcast: %v", err)
+	}
+	g := obsplane.Reconstruct(telemetry.MergeEvents(tr.Events()))
+	var buf bytes.Buffer
+	if err := g.WriteJSONL(&buf); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	return buf.Bytes(), g
+}
+
+// TestGoldenSpanGraphDeterministic pins the golden happens-before graph:
+// two runs of the same seed serialize byte-identical graphs, at n=5 and
+// n=9, and the graphs are structurally sane (complete chains, every
+// delivery handled, seal/open hop pairing across the whole broadcast).
+func TestGoldenSpanGraphDeterministic(t *testing.T) {
+	for _, n := range []int{5, 9} {
+		a, g := spanGraph(t, n)
+		b, _ := spanGraph(t, n)
+		if !bytes.Equal(a, b) {
+			al := strings.Split(string(a), "\n")
+			bl := strings.Split(string(b), "\n")
+			for i := range al {
+				if i >= len(bl) || al[i] != bl[i] {
+					t.Fatalf("n=%d: graphs diverge at line %d:\n%s\n%s", n, i+1, al[i], bl[i])
+				}
+			}
+			t.Fatalf("n=%d: graphs differ in length", n)
+		}
+		if len(g.Spans) == 0 {
+			t.Fatalf("n=%d: no spans reconstructed", n)
+		}
+		for i := range g.Spans {
+			sr := &g.Spans[i]
+			if !sr.Complete() {
+				t.Fatalf("n=%d: incomplete span in an honest run: %+v", n, sr)
+			}
+			if sr.Transit < 0 {
+				t.Fatalf("n=%d: negative transit under the virtual clock: %+v", n, sr)
+			}
+			for _, dl := range sr.Deliveries {
+				if dl.Handle == time.Duration(-1) {
+					t.Fatalf("n=%d: unhandled delivery in an honest run: %+v", n, sr)
+				}
+			}
+		}
+	}
+}
+
+// TestSpansOffRecordsNoHops checks the gate: the same run without
+// Options.Spans records zero span-tagged events.
+func TestSpansOffRecordsNoHops(t *testing.T) {
+	tr := telemetry.New(telemetry.Options{})
+	cluster, err := sgxp2p.NewCluster(sgxp2p.Options{N: 5, T: 2, Seed: 42, Trace: tr})
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	if _, err := cluster.Broadcast(0, sgxp2p.ValueFromString("no spans")); err != nil {
+		t.Fatalf("Broadcast: %v", err)
+	}
+	for _, ev := range tr.Events() {
+		if ev.Span != 0 || ev.Kind == telemetry.KindSeal || ev.Kind == telemetry.KindOpen || ev.Kind == telemetry.KindHandled {
+			t.Fatalf("span artifact recorded with spans off: %+v", ev)
+		}
+	}
+	if g := obsplane.Reconstruct(tr.Events()); len(g.Spans) != 0 {
+		t.Fatalf("reconstructed %d spans from a span-less trace", len(g.Spans))
+	}
+}
+
+// TestHopHistogramRenders smoke-tests the terminal histogram.
+func TestHopHistogramRenders(t *testing.T) {
+	_, g := spanGraph(t, 5)
+	var buf bytes.Buffer
+	if err := obsplane.WriteHopHistogram(&buf, g); err != nil {
+		t.Fatalf("WriteHopHistogram: %v", err)
+	}
+	out := buf.String()
+	for _, hop := range []string{"seal", "transit", "open", "deliver", "handle"} {
+		if !strings.Contains(out, hop) {
+			t.Fatalf("histogram missing hop %q:\n%s", hop, out)
+		}
+	}
+}

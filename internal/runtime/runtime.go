@@ -353,6 +353,15 @@ type Peer struct {
 	trace       *telemetry.Tracer
 	ctr         *counters
 
+	// spans caches trace.SpansEnabled() so every causal-span site costs
+	// one bool test when spans are off (and nothing at all builds when
+	// the tracer is nil). curSpan is the frame tag of the envelope whose
+	// messages are currently being delivered: deliveries and handle hops
+	// recorded under it join the sender's seal hop for the same tag in
+	// the merged trace (see internal/obsplane).
+	spans   bool
+	curSpan uint64
+
 	// delivering is the message currently being handed to the protocol by
 	// receive, together with the channel plaintext it was decoded from.
 	// SendAck recognizes the pointer and hashes that plaintext directly,
@@ -477,6 +486,7 @@ func NewPeer(encl *enclave.Enclave, tr Transport, roster Roster, cfg Config) (*P
 		trace:    cfg.Trace,
 		ctr:      newCounters(cfg.Metrics),
 		batching: !cfg.DisableBatching,
+		spans:    cfg.Trace.SpansEnabled(),
 	}
 	if cfg.Metrics != nil && p.batching {
 		p.batchHist = cfg.Metrics.Histogram("runtime_batch_msgs", batchMsgBounds)
@@ -943,9 +953,13 @@ func (p *Peer) sendEncoded(dst wire.NodeID, encoded []byte) error {
 		p.enqueueBatch(dst, encoded)
 		return nil
 	}
+	sp := p.trace.BeginSpan()
 	env, err := p.links[dst].SealEncodedAppend(p.sealBuf[:0], encoded)
 	if err != nil {
 		return err
+	}
+	if p.spans {
+		sp.Finish(p.ID(), p.round, 0, telemetry.KindSeal, dst, channel.FrameTag(env))
 	}
 	p.sealBuf = env
 	if p.ctr != nil {
@@ -1073,6 +1087,7 @@ func (p *Peer) flushOutbox() {
 				marked = true
 			}
 		}
+		sp := p.trace.BeginSpan()
 		env, err := p.links[dst].SealEncodedAppend(p.sealBuf[:0], plaintext)
 		if err != nil {
 			// Degrade the whole frame to omissions, one per buffered
@@ -1088,6 +1103,11 @@ func (p *Peer) flushOutbox() {
 		}
 		if p.ctr != nil {
 			p.ctr.envelopesSent.Inc()
+		}
+		if p.spans {
+			// Arg counts the seal of the whole coalesced frame; the hop is
+			// attributed to the frame tag every entry's delivery inherits.
+			sp.Finish(p.ID(), p.round, 0, telemetry.KindSeal, dst, channel.FrameTag(env))
 		}
 		if p.trace != nil {
 			p.trace.Record(p.ID(), p.round, telemetry.KindBatchFlush, dst, uint64(n), "")
@@ -1228,10 +1248,17 @@ func (p *Peer) receive(src wire.NodeID, payload []byte) {
 	// plaintext is only alive while this delivery runs (the decoded
 	// messages share no bytes with it), so a warm receive pays no
 	// plaintext allocation.
+	sp := p.trace.BeginSpan()
 	plaintext, err := p.links[src].OpenRawAppend(p.openBuf[:0], payload)
 	if err != nil {
 		p.recvFailure(src)
 		return
+	}
+	if p.spans {
+		// The frame tag reads the same sealed bytes the sender hashed, so
+		// this open hop and the sender's seal hop share one span id.
+		p.curSpan = channel.FrameTag(payload)
+		sp.Finish(p.ID(), p.round, 0, telemetry.KindOpen, src, p.curSpan)
 	}
 	p.openBuf = plaintext
 	if wire.IsBatch(plaintext) {
@@ -1401,6 +1428,9 @@ type earlyMsg struct {
 	src wire.NodeID
 	msg wire.Message
 	enc []byte
+	// span is the frame tag of the envelope the message arrived in,
+	// restored at replay so the delayed delivery still joins its span.
+	span uint64
 }
 
 // earlyPerPeer bounds the early buffer at earlyPerPeer*N messages —
@@ -1426,8 +1456,10 @@ func (p *Peer) replayEarly() {
 			return
 		}
 		e := &parked[i]
+		p.curSpan = e.span
 		p.deliverOne(e.src, &e.msg, e.enc)
 	}
+	p.curSpan = 0
 }
 
 // recvFailure records an envelope (or batch entry) that failed
@@ -1488,9 +1520,10 @@ func (p *Peer) deliverOne(src wire.NodeID, msg *wire.Message, encoded []byte) {
 			p.trace.RecordInst(p.ID(), p.round, msg.Instance, telemetry.KindEarly, src, uint64(msg.Round), "")
 		}
 		p.early = append(p.early, earlyMsg{
-			src: src,
-			msg: *msg,
-			enc: append([]byte(nil), encoded...),
+			src:  src,
+			msg:  *msg,
+			enc:  append([]byte(nil), encoded...),
+			span: p.curSpan,
 		})
 		return
 	}
@@ -1512,15 +1545,25 @@ func (p *Peer) deliverOne(src wire.NodeID, msg *wire.Message, encoded []byte) {
 		p.ctr.delivered.Inc()
 	}
 	if p.trace != nil {
-		p.trace.RecordInst(p.ID(), p.round, msg.Instance, telemetry.KindDeliver, src, uint64(msg.Type), "")
+		if p.spans {
+			// Span-attributed delivery: Arg keeps the wire message type,
+			// the span ties it to the envelope's seal/open hops.
+			p.trace.RecordSpan(p.ID(), p.round, msg.Instance, telemetry.KindDeliver, src, uint64(msg.Type), p.curSpan)
+		} else {
+			p.trace.RecordInst(p.ID(), p.round, msg.Instance, telemetry.KindDeliver, src, uint64(msg.Type), "")
+		}
 	}
 	if p.frameAckOn {
 		p.frameDelivered++
 	}
 	p.delivering, p.deliveringEncoded = msg, encoded
+	sp := p.trace.BeginSpan()
 	p.inCallback = true
 	p.proto.OnMessage(msg)
 	p.inCallback = false
+	if p.spans {
+		sp.Finish(p.ID(), p.round, msg.Instance, telemetry.KindHandled, src, p.curSpan)
+	}
 	p.delivering, p.deliveringEncoded = nil, nil
 }
 

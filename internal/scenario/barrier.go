@@ -36,7 +36,10 @@ type NodeEvent struct {
 //	node → runner:  DONE  |  FAIL <reason>
 //
 // The connection then stays open; an EOF before DONE is how the runner
-// observes a crash (deliberate or not).
+// observes a crash (deliberate or not). A node started with -stream
+// multiplexes live telemetry onto the same connection (EV/MT lines,
+// routed to the stream sink), and the runner can ask any node for a
+// profile capture with a PROF line in the other direction.
 type Barrier struct {
 	ln     net.Listener
 	n      int
@@ -49,6 +52,7 @@ type Barrier struct {
 	start    time.Time
 	readyAll chan struct{}
 	closed   bool
+	sink     func(id int, line string)
 
 	wg sync.WaitGroup
 }
@@ -145,7 +149,35 @@ func (b *Barrier) serve(conn net.Conn) {
 			b.events <- NodeEvent{ID: id, Kind: "done"}
 		case strings.HasPrefix(line, "FAIL "):
 			b.events <- NodeEvent{ID: id, Kind: "fail", Detail: strings.TrimPrefix(line, "FAIL ")}
+		case strings.HasPrefix(line, "EV ") || strings.HasPrefix(line, "MT "):
+			b.mu.Lock()
+			sink := b.sink
+			b.mu.Unlock()
+			if sink != nil {
+				sink(id, line)
+			}
 		}
+	}
+}
+
+// SetStreamSink installs the consumer for streamed EV/MT lines. The sink
+// runs on the per-connection serve goroutines, so it must be safe for
+// concurrent calls with distinct ids.
+func (b *Barrier) SetStreamSink(sink func(id int, line string)) {
+	b.mu.Lock()
+	b.sink = sink
+	b.mu.Unlock()
+}
+
+// SendProf asks one node to capture pprof profiles (it needs to have
+// been started with -profile-dir). Best-effort: a dead connection is
+// exactly when a profile is wanted and exactly when it can fail.
+func (b *Barrier) SendProf(id int) {
+	b.mu.Lock()
+	conn := b.conns[id]
+	b.mu.Unlock()
+	if conn != nil {
+		_, _ = fmt.Fprintf(conn, "PROF\n")
 	}
 }
 

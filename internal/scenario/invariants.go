@@ -66,6 +66,64 @@ func mergeTraces(outDir string, nodes []*NodeOutcome) (string, InvariantResult) 
 	return mergedPath, inv
 }
 
+// checkStreamParity asserts the live plane lost nothing: for every node
+// that exited cleanly, the events it streamed during the run are exactly
+// the events it dumped at exit. Crashed nodes are skipped — for them the
+// stream is the only record (that asymmetry is the feature, not a
+// violation).
+func checkStreamParity(agg *Aggregator, nodes []*NodeOutcome) InvariantResult {
+	inv := InvariantResult{Name: "stream-parity", OK: true}
+	var problems []string
+	checked, total := 0, 0
+	for _, node := range nodes {
+		if node.Crashed || node.FailDetail != "" || len(node.TracePaths) == 0 {
+			continue
+		}
+		var dumped []telemetry.Event
+		readOK := true
+		for _, path := range node.TracePaths {
+			f, err := os.Open(path)
+			if err != nil {
+				problems = append(problems, fmt.Sprintf("node %d: %v", node.ID, err))
+				readOK = false
+				break
+			}
+			events, err := telemetry.ReadJSONL(f)
+			f.Close()
+			if err != nil {
+				problems = append(problems, fmt.Sprintf("node %d: %v", node.ID, err))
+				readOK = false
+				break
+			}
+			dumped = append(dumped, events...)
+		}
+		if !readOK {
+			continue
+		}
+		streamed := telemetry.MergeEvents(agg.NodeEvents(node.ID))
+		want := telemetry.MergeEvents(dumped)
+		if len(streamed) != len(want) {
+			problems = append(problems, fmt.Sprintf("node %d: streamed %d events, dumped %d", node.ID, len(streamed), len(want)))
+			continue
+		}
+		for i := range want {
+			if streamed[i] != want[i] {
+				problems = append(problems, fmt.Sprintf("node %d: stream diverges from dump at event %d", node.ID, i))
+				break
+			}
+		}
+		checked++
+		total += len(want)
+	}
+	if len(problems) > 0 {
+		inv.OK = false
+		inv.Detail = strings.Join(problems, "; ")
+		return inv
+	}
+	inv.Detail = fmt.Sprintf("%d nodes streamed their full dumps live (%d events, %d stream gaps)", checked, total, agg.Gaps())
+	return inv
+}
+
 // checkCompletion asserts that every node expected to finish produced a
 // result document covering its scheduled epochs.
 func checkCompletion(nodes []*NodeOutcome, expectDone map[int]bool, params RunParams) []InvariantResult {

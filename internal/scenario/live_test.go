@@ -1,0 +1,102 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sgxp2p/internal/obsplane"
+	"sgxp2p/internal/telemetry"
+)
+
+// TestScenarioLiveStream runs the honest ERB case with the live
+// observability plane on: every node streams its telemetry and metric
+// deltas over the control connection while running. The test asserts the
+// central claim of the plane — the streamed event set equals the set each
+// node dumps at exit (the stream-parity invariant) — and that the
+// aggregate artifacts, probe gauges and reconstructable span hops all
+// came in over the live path.
+func TestScenarioLiveStream(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a process fleet")
+	}
+	m := repoManifest(t, "honest-sweep.toml")
+	tc, err := m.Case("erb-honest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	params, err := tc.ResolveParams(map[string]string{"delta": "250ms", "epochs": "1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outDir := t.TempDir()
+	report, err := Run(RunConfig{
+		NodeBin:   nodeBin(t),
+		Testcase:  tc,
+		Params:    params,
+		Instances: 4,
+		OutDir:    outDir,
+		Stream:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parity *InvariantResult
+	for i, inv := range report.Invariants {
+		t.Logf("invariant %s: ok=%v %s", inv.Name, inv.OK, inv.Detail)
+		if inv.Name == "stream-parity" {
+			parity = &report.Invariants[i]
+		}
+	}
+	if !report.Passed {
+		t.Fatal("live-stream scenario did not pass")
+	}
+	if parity == nil {
+		t.Fatal("stream-parity invariant missing from a streamed run")
+	}
+	if !parity.OK {
+		t.Fatalf("stream-parity violated: %s", parity.Detail)
+	}
+
+	// The aggregate artifacts exist and the streamed stream validates
+	// against the same schema contract as the dumps.
+	for _, name := range []string{"aggregate.jsonl", "streamed.jsonl"} {
+		st, err := os.Stat(filepath.Join(outDir, name))
+		if err != nil || st.Size() == 0 {
+			t.Fatalf("aggregate artifact %s missing or empty (err=%v)", name, err)
+		}
+	}
+	aggData, err := os.ReadFile(filepath.Join(outDir, "aggregate.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(aggData), "obs_goroutines") {
+		t.Fatal("aggregate.jsonl carries no streamed probe gauges")
+	}
+	f, err := os.Open(filepath.Join(outDir, "streamed.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := telemetry.ReadJSONL(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The streamed events carry span hops and probe gauges arrived as
+	// metric deltas — the whole live plane, with no post-hoc dump needed.
+	g := obsplane.Reconstruct(streamed)
+	if len(g.Spans) == 0 {
+		t.Fatal("no causal spans reconstructable from the live stream")
+	}
+	complete := 0
+	for i := range g.Spans {
+		if g.Spans[i].Complete() {
+			complete++
+		}
+	}
+	if complete == 0 {
+		t.Fatal("no complete cross-process span chains in the live stream")
+	}
+}

@@ -98,9 +98,28 @@ type RunConfig struct {
 	// StartDelay is the gap between barrier release and round 1; 0
 	// picks a default scaled to the fleet size.
 	StartDelay time.Duration
+	// Stream turns on the live observability plane: every node streams
+	// telemetry events (with causal span hops) and metric deltas over its
+	// control connection, a resource probe samples its process gauges,
+	// and the runner aggregates per-round fleet percentiles live and
+	// writes aggregate.jsonl + streamed.jsonl next to the dumps.
+	Stream bool
+	// ProbeInterval overrides the node resource-probe period when
+	// streaming (0 = the node's default).
+	ProbeInterval time.Duration
+	// Profile arms pprof-on-violation: nodes run with -profile-dir at
+	// OutDir/profiles, a node that times out at the run deadline gets a
+	// PROF request (CPU + heap capture) before the fleet is reaped, and
+	// a node that FAILs self-captures a heap snapshot.
+	Profile bool
 	// Log, when non-nil, receives run narration.
 	Log io.Writer
 }
+
+// profileGrace is how long the runner waits after requesting profiles
+// from wedged nodes before reaping them — the node's CPU capture window
+// plus writing slack.
+const profileGrace = 3 * time.Second
 
 // Run orchestrates one testcase: spawn the fleet, run the barrier
 // handshake, fire churn phases, collect traces and results, assert the
@@ -135,6 +154,17 @@ func Run(cfg RunConfig) (*RunReport, error) {
 		return nil, err
 	}
 	defer barrier.Close()
+
+	var agg *Aggregator
+	if cfg.Stream {
+		agg = NewAggregator(n, cfg.Log)
+		barrier.SetStreamSink(agg.Ingest)
+	}
+	if cfg.Profile {
+		if err := os.MkdirAll(filepath.Join(cfg.OutDir, "profiles"), 0o755); err != nil {
+			return nil, err
+		}
+	}
 
 	fleet := &fleet{
 		cfg: cfg, n: n, barrier: barrier,
@@ -236,6 +266,22 @@ collect:
 			}
 		case <-timeout:
 			logf("scenario %s: run deadline hit with %d nodes pending", cfg.Testcase.Name, pending)
+			if cfg.Profile {
+				// pprof-on-violation: ask every wedged node for a CPU+heap
+				// capture and give the window time to run before reaping.
+				asked := 0
+				for id := 0; id < n; id++ {
+					if expectDone[id] && !terminal[id] {
+						barrier.SendProf(id)
+						asked++
+					}
+				}
+				if asked > 0 {
+					logf("scenario %s: requested profiles from %d wedged nodes", cfg.Testcase.Name, asked)
+					//lint:allow lockstep waits out real child-process profile captures in wall time
+					time.Sleep(profileGrace)
+				}
+			}
 			break collect
 		}
 	}
@@ -265,6 +311,12 @@ collect:
 	report.Invariants = append(report.Invariants, mergeRes)
 	report.Invariants = append(report.Invariants, checkCompletion(fleet.outcomes, expectDone, cfg.Params)...)
 	report.Invariants = append(report.Invariants, checkDecisions(fleet.outcomes, cfg.Testcase, cfg.Params)...)
+	if agg != nil {
+		if aerr := agg.WriteArtifacts(cfg.OutDir); aerr != nil {
+			logf("scenario %s: aggregate artifacts: %v", cfg.Testcase.Name, aerr)
+		}
+		report.Invariants = append(report.Invariants, checkStreamParity(agg, fleet.outcomes))
+	}
 
 	report.Passed = true
 	for _, inv := range report.Invariants {
@@ -344,6 +396,17 @@ func (f *fleet) spawn(id, incarnation, resumeEpoch int, listen string) error {
 	}
 	if p.NoBatch {
 		args = append(args, "-nobatch")
+	}
+	if f.cfg.Stream {
+		args = append(args, "-stream", "-spans")
+		if f.cfg.ProbeInterval > 0 {
+			args = append(args, "-probe-interval", f.cfg.ProbeInterval.String())
+		} else {
+			args = append(args, "-probe-interval", "250ms")
+		}
+	}
+	if f.cfg.Profile {
+		args = append(args, "-profile-dir", filepath.Join(f.cfg.OutDir, "profiles"))
 	}
 	cmd := exec.Command(f.cfg.NodeBin, args...)
 	logPath := filepath.Join(f.cfg.OutDir, fmt.Sprintf("node-%d-%d.log", id, incarnation))

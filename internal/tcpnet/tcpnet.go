@@ -111,6 +111,36 @@ func (p *Port) SetMetrics(m *telemetry.Metrics) {
 
 var _ runtime.Transport = (*Port)(nil)
 
+// QueueStats is a point-in-time reading of the port's outbound writer
+// queues — the obsplane resource probe samples it into gauges so a live
+// run shows which links are backing up before the frames start dropping.
+type QueueStats struct {
+	// Links is the number of live outbound connections.
+	Links int
+	// Total is the number of frames queued across all links.
+	Total int
+	// Max is the deepest single link queue.
+	Max int
+}
+
+// QueueStats samples the outbound queue depths. Total and Max are
+// order-free folds over the connection map, so the reading is stable
+// regardless of iteration order.
+func (p *Port) QueueStats() QueueStats {
+	var qs QueueStats
+	p.mu.Lock()
+	for _, oc := range p.conns {
+		depth := len(oc.ch)
+		qs.Links++
+		qs.Total += depth
+		if depth > qs.Max {
+			qs.Max = depth
+		}
+	}
+	p.mu.Unlock()
+	return qs
+}
+
 // outConn is an outbound connection with an async writer. The dial
 // happens on the writer goroutine, so Send never blocks the caller:
 // frames queued while the dial is in flight go out as soon as the

@@ -28,7 +28,25 @@ type jsonEvent struct {
 	Kind  string `json:"kind"`
 	Peer  int64  `json:"peer"`
 	Arg   uint64 `json:"arg"`
+	Span  uint64 `json:"span,omitempty"`
 	Note  string `json:"note,omitempty"`
+	Seq   uint64 `json:"seq,omitempty"`
+}
+
+// encodeEvent maps an Event to its JSONL form.
+func encodeEvent(ev Event) jsonEvent {
+	return jsonEvent{
+		At:    int64(ev.At),
+		Node:  nodeJSON(ev.Node),
+		Round: ev.Round,
+		Inst:  ev.Instance,
+		Kind:  ev.Kind.String(),
+		Peer:  nodeJSON(ev.Peer),
+		Arg:   ev.Arg,
+		Span:  ev.Span,
+		Note:  ev.Note,
+		Seq:   ev.Seq,
+	}
 }
 
 // nodeJSON maps a NodeID to its JSONL form (-1 for wire.NoNode).
@@ -56,16 +74,7 @@ func nodeFromJSON(v int64) (wire.NodeID, error) {
 func WriteJSONL(w io.Writer, events []Event) error {
 	bw := bufio.NewWriter(w)
 	for _, ev := range events {
-		line, err := json.Marshal(jsonEvent{
-			At:    int64(ev.At),
-			Node:  nodeJSON(ev.Node),
-			Round: ev.Round,
-			Inst:  ev.Instance,
-			Kind:  ev.Kind.String(),
-			Peer:  nodeJSON(ev.Peer),
-			Arg:   ev.Arg,
-			Note:  ev.Note,
-		})
+		line, err := json.Marshal(encodeEvent(ev))
 		if err != nil {
 			return fmt.Errorf("telemetry: marshal event: %w", err)
 		}
@@ -88,19 +97,53 @@ func (t *Tracer) ExportJSONL(w io.Writer) error {
 
 // MergeEvents interleaves per-process event streams into one globally
 // time-ordered stream. Each input must itself be time-ordered (the
-// ValidateJSONL invariant every exported trace satisfies); the merge is
-// stable, so ties keep within-stream order and prefer earlier streams —
-// two merges of the same inputs are byte-identical when re-serialized.
+// ValidateJSONL invariant every exported trace satisfies).
+//
+// Two guarantees matter to the live observability plane:
+//
+//   - Duplicates are dropped. A stream that reconnects mid-run re-sends
+//     from an earlier cursor, and the exit dump repeats everything that
+//     was already streamed, so the same tracer event can arrive several
+//     times. Events that carry a stream sequence number (Seq != 0) are
+//     deduplicated on their full identity — an event equal in every
+//     field, Seq included, is the same record; a legitimately repeated
+//     action differs at least in Seq. Hand-built events (Seq == 0) are
+//     never deduplicated.
+//
+//   - Ties are deterministic. Live processes share a logical timestamp
+//     whenever their round windows align, so ordering by At alone would
+//     let the input stream order leak into the merged bytes. Ties order
+//     by Node, then Seq, then within-stream position — the same event
+//     multiset merges to the same bytes regardless of which process's
+//     stream arrived first.
 func MergeEvents(streams ...[]Event) []Event {
 	total := 0
 	for _, s := range streams {
 		total += len(s)
 	}
 	merged := make([]Event, 0, total)
+	seen := make(map[Event]struct{}, total)
 	for _, s := range streams {
-		merged = append(merged, s...)
+		for _, ev := range s {
+			if ev.Seq != 0 {
+				if _, dup := seen[ev]; dup {
+					continue
+				}
+				seen[ev] = struct{}{}
+			}
+			merged = append(merged, ev)
+		}
 	}
-	sort.SliceStable(merged, func(i, j int) bool { return merged[i].At < merged[j].At })
+	sort.SliceStable(merged, func(i, j int) bool {
+		a, b := merged[i], merged[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		return a.Seq < b.Seq
+	})
 	return merged
 }
 
@@ -136,7 +179,27 @@ func decodeLine(line []byte, lineNo int) (Event, error) {
 		Arg:      je.Arg,
 		Note:     je.Note,
 		Instance: je.Inst,
+		Span:     je.Span,
+		Seq:      je.Seq,
 	}, nil
+}
+
+// MarshalEvent renders one event as its JSONL line (no trailing newline)
+// — the unit the live streaming exporter frames onto the control
+// connection, byte-identical to the same event's WriteJSONL line.
+func MarshalEvent(ev Event) ([]byte, error) {
+	line, err := json.Marshal(encodeEvent(ev))
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: marshal event: %w", err)
+	}
+	return line, nil
+}
+
+// DecodeEventLine strictly parses one JSONL line into an Event — the
+// inverse of MarshalEvent, used by the scenario aggregator to ingest
+// streamed lines one at a time.
+func DecodeEventLine(line []byte) (Event, error) {
+	return decodeLine(line, 1)
 }
 
 // lineScanner builds a Scanner with a buffer generous enough for any event.
@@ -239,6 +302,9 @@ func formatEvent(ev Event) string {
 	}
 	if ev.Arg != 0 {
 		fmt.Fprintf(&b, " arg=%#x", ev.Arg)
+	}
+	if ev.Span != 0 {
+		fmt.Fprintf(&b, " span=%#x", ev.Span)
 	}
 	if ev.Note != "" {
 		fmt.Fprintf(&b, " (%s)", ev.Note)

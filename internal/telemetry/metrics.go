@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"math"
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -93,6 +94,51 @@ func (m *Metrics) Histogram(name string, bounds []float64) *Histogram {
 		kindMismatch(name, "histogram")
 	}
 	return e.h
+}
+
+// MetricValue is one scalar reading from a Snapshot. Kind is "counter",
+// "gauge", "histogram_count" or "histogram_sum" — histograms flatten into
+// two scalar rows so a streaming consumer can track them without bucket
+// schemas (the full bucket layout stays in ExportPrometheus).
+type MetricValue struct {
+	Name  string
+	Kind  string
+	Value float64
+}
+
+// Snapshot reads every registered metric as scalar rows, sorted by
+// (Name, Kind) so equal registries snapshot identically. The live
+// streaming exporter diffs successive snapshots and sends only the rows
+// that changed. Nil registry → nil.
+func (m *Metrics) Snapshot() []MetricValue {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	entries := make([]*metricEntry, len(m.entries))
+	copy(entries, m.entries)
+	m.mu.Unlock()
+
+	out := make([]MetricValue, 0, len(entries))
+	for _, e := range entries {
+		switch {
+		case e.c != nil:
+			out = append(out, MetricValue{Name: e.name, Kind: "counter", Value: float64(e.c.Value())})
+		case e.g != nil:
+			out = append(out, MetricValue{Name: e.name, Kind: "gauge", Value: float64(e.g.Value())})
+		case e.h != nil:
+			out = append(out,
+				MetricValue{Name: e.name, Kind: "histogram_count", Value: float64(e.h.Count())},
+				MetricValue{Name: e.name, Kind: "histogram_sum", Value: e.h.Sum()})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Kind < out[j].Kind
+	})
+	return out
 }
 
 // Counter is a monotonically increasing metric. The zero value is ready;

@@ -98,6 +98,21 @@ const (
 	// that skew by fractions of a round — buffered and delivered when
 	// the receiver's round catches up (Arg is the message's round).
 	KindEarly
+
+	// Causal-span hops (recorded only when Options.Spans is set). Each
+	// carries the sealed frame's tag in Span and the hop's elapsed time in
+	// Arg (nanoseconds; 0 under the simulator's virtual clock, where the
+	// hop is instantaneous). At is the hop's end instant, so the
+	// seal→transit→open→deliver→handle decomposition falls out of the
+	// merged stream (internal/obsplane reconstructs it).
+	//
+	// KindSeal is the sender sealing one envelope for Peer (the
+	// destination); KindOpen is the receiver authenticating it (Peer the
+	// sender); KindHandled is the protocol's OnMessage returning for one
+	// delivered message (Peer the sender).
+	KindSeal
+	KindOpen
+	KindHandled
 )
 
 // kindNames is the stable Kind → JSONL name table.
@@ -127,6 +142,9 @@ var kindNames = [...]string{
 	KindReattach:    "reattach",
 	KindBatchFlush:  "batch-flush",
 	KindEarly:       "early",
+	KindSeal:        "seal",
+	KindOpen:        "open",
+	KindHandled:     "handled",
 }
 
 // String returns the stable event-kind name used in exports.
@@ -167,4 +185,16 @@ type Event struct {
 	// event of a pre-multiplexing single-instance run, so legacy traces
 	// export unchanged (the JSONL field is omitempty).
 	Instance uint32
+	// Span is the causal-span id the event belongs to: the sealed frame's
+	// channel.FrameTag, identical at sender and receiver, so the hops of
+	// one envelope's life join up across process traces without spending
+	// a single wire byte. 0 means span-less (every event of a run without
+	// Options.Spans; the JSONL field is omitempty).
+	Span uint64
+	// Seq is the event's 1-based position in its tracer's stream, stamped
+	// at record time. It makes streamed copies of an event deduplicable
+	// against the exit dump (MergeEvents drops exact duplicates with
+	// equal Seq) and lets a stream consumer detect gaps. 0 means a
+	// hand-built event that never passed through a Tracer.
+	Seq uint64
 }

@@ -85,6 +85,66 @@ func TestTracerRecordAndHash(t *testing.T) {
 	}
 }
 
+// TestReleaseBoundsRetention checks that a streaming consumer can drop
+// shipped prefixes without perturbing the stream's accounting: Seq keeps
+// counting, Since keeps returning exactly-once suffixes, EventCount and
+// Hash span the full stream, and only Events() shrinks.
+func TestReleaseBoundsRetention(t *testing.T) {
+	var nilTr *Tracer
+	nilTr.Release(5) // nil-safe no-op
+
+	tr := New(Options{})
+	for i := 0; i < 4; i++ {
+		tr.Record(0, uint32(i+1), KindRound, wire.NoNode, 0, "")
+	}
+	full := New(Options{})
+	for i := 0; i < 6; i++ {
+		full.Record(0, uint32(i+1), KindRound, wire.NoNode, 0, "")
+	}
+
+	// Exporter shipped the first 3 events; release them.
+	tr.Release(3)
+	if got := len(tr.Events()); got != 1 {
+		t.Fatalf("retained %d events after Release(3), want 1", got)
+	}
+	if got := tr.EventCount(); got != 4 {
+		t.Fatalf("EventCount = %d after Release, want 4", got)
+	}
+	// Since keeps working against the global cursor.
+	if rest := tr.Since(3); len(rest) != 1 || rest[0].Seq != 4 {
+		t.Fatalf("Since(3) = %v, want one event with Seq 4", rest)
+	}
+	// A rewound cursor clamps to the release edge instead of panicking.
+	if rest := tr.Since(0); len(rest) != 1 || rest[0].Seq != 4 {
+		t.Fatalf("Since(0) after Release = %v, want the unreleased suffix", rest)
+	}
+
+	// New records keep numbering from the global position.
+	tr.Record(0, 5, KindRound, wire.NoNode, 0, "")
+	tr.Record(0, 6, KindRound, wire.NoNode, 0, "")
+	if evs := tr.Since(4); len(evs) != 2 || evs[0].Seq != 5 || evs[1].Seq != 6 {
+		t.Fatalf("Since(4) = %v, want Seq 5,6", evs)
+	}
+	if tr.EventCount() != 6 {
+		t.Fatalf("EventCount = %d, want 6", tr.EventCount())
+	}
+	// Hash folds eagerly at record time, so releasing never changes it.
+	if tr.Hash() != full.Hash() {
+		t.Fatal("Release perturbed the stream hash")
+	}
+
+	// Release past the end clamps; releasing an already-released prefix
+	// is a no-op.
+	tr.Release(100)
+	tr.Release(1)
+	if len(tr.Events()) != 0 || tr.EventCount() != 6 {
+		t.Fatalf("over-Release broke accounting: retained=%d count=%d", len(tr.Events()), tr.EventCount())
+	}
+	if tr.Since(6) != nil {
+		t.Fatal("Since past the end should be nil")
+	}
+}
+
 // TestRingWraparound fills a small flight recorder past capacity and
 // checks that the snapshot keeps exactly the newest events, oldest first.
 func TestRingWraparound(t *testing.T) {

@@ -19,6 +19,12 @@ type Options struct {
 	Clock func() time.Duration
 	// Ring is the per-node flight-recorder capacity; 0 means DefaultRing.
 	Ring int
+	// Spans turns on causal-span hop events (KindSeal/KindOpen/
+	// KindHandled): the runtime checks SpansEnabled once per peer and
+	// records the seal→transit→open→deliver→handle decomposition keyed by
+	// the sealed frame's tag. Off by default — span hops roughly double a
+	// trace's event volume.
+	Spans bool
 }
 
 // Tracer records the round-structured event stream of one run. All methods
@@ -29,7 +35,9 @@ type Tracer struct {
 	mu        sync.Mutex
 	clock     func() time.Duration
 	ringCap   int
+	spans     bool
 	events    []Event
+	base      uint64 // stream position of events[0]: count of released events
 	rings     []*ring
 	lastRound []uint32
 	hash      uint64
@@ -40,7 +48,14 @@ func New(opts Options) *Tracer {
 	if opts.Ring <= 0 {
 		opts.Ring = DefaultRing
 	}
-	return &Tracer{clock: opts.Clock, ringCap: opts.Ring}
+	return &Tracer{clock: opts.Clock, ringCap: opts.Ring, spans: opts.Spans}
+}
+
+// SpansEnabled reports whether the tracer wants causal-span hop events.
+// Instrumented packages cache this once (per peer) so the off-path cost of
+// spans is a single bool test.
+func (t *Tracer) SpansEnabled() bool {
+	return t != nil && t.spans
 }
 
 // SetClock binds the logical clock used to stamp subsequent events.
@@ -69,15 +84,31 @@ func (t *Tracer) RecordInst(node wire.NodeID, round uint32, instance uint32, kin
 	if t == nil {
 		return
 	}
+	t.record(Event{Node: node, Round: round, Kind: kind, Peer: peer, Arg: arg, Note: note, Instance: instance})
+}
+
+// RecordSpan is RecordInst with a causal-span attribution: span is the
+// sealed frame's channel.FrameTag tying this hop to the same envelope's
+// hops in other processes' traces.
+func (t *Tracer) RecordSpan(node wire.NodeID, round uint32, instance uint32, kind Kind, peer wire.NodeID, arg uint64, span uint64) {
+	if t == nil {
+		return
+	}
+	t.record(Event{Node: node, Round: round, Kind: kind, Peer: peer, Arg: arg, Instance: instance, Span: span})
+}
+
+// record stamps the clock and stream sequence, then appends the event to
+// the stream, the hash fold, and the node's flight ring.
+func (t *Tracer) record(ev Event) {
 	t.mu.Lock()
-	ev := Event{Node: node, Round: round, Kind: kind, Peer: peer, Arg: arg, Note: note, Instance: instance}
 	if t.clock != nil {
 		ev.At = t.clock()
 	}
+	ev.Seq = t.base + uint64(len(t.events)) + 1
 	t.events = append(t.events, ev)
 	t.hash = foldEvent(t.hash, ev)
-	if node != wire.NoNode {
-		i := int(node)
+	if ev.Node != wire.NoNode {
+		i := int(ev.Node)
 		for i >= len(t.rings) {
 			t.rings = append(t.rings, nil)
 			t.lastRound = append(t.lastRound, 0)
@@ -86,14 +117,63 @@ func (t *Tracer) RecordInst(node wire.NodeID, round uint32, instance uint32, kin
 			t.rings[i] = newRing(t.ringCap)
 		}
 		t.rings[i].push(ev)
-		if kind == KindRound {
-			t.lastRound[i] = round
+		if ev.Kind == KindRound {
+			t.lastRound[i] = ev.Round
 		}
 	}
 	t.mu.Unlock()
 }
 
-// Events returns a snapshot of the full event stream in record order.
+// Now reads the tracer's logical clock (0 when no clock is bound or the
+// tracer is nil). Span instrumentation uses it to measure hop durations
+// with the same clock that stamps the events.
+func (t *Tracer) Now() time.Duration {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	clock := t.clock
+	t.mu.Unlock()
+	if clock == nil {
+		return 0
+	}
+	return clock()
+}
+
+// Span is an in-flight causal hop started by BeginSpan. The zero Span is
+// a no-op, so span timing sites stay allocation-free and unconditional.
+type Span struct {
+	t     *Tracer
+	start time.Duration
+}
+
+// BeginSpan starts timing one hop. It returns the zero (no-op) Span when
+// the tracer is nil or spans are disabled; the caller MUST finish the
+// span with Finish — a dropped Span loses the hop (the telemetry lint
+// analyzer flags discarded BeginSpan results).
+func (t *Tracer) BeginSpan() Span {
+	if t == nil || !t.spans {
+		return Span{}
+	}
+	return Span{t: t, start: t.Now()}
+}
+
+// Finish records the hop: kind-specific identity as in RecordSpan, with
+// Arg = the elapsed logical time since BeginSpan (nanoseconds).
+func (s Span) Finish(node wire.NodeID, round uint32, instance uint32, kind Kind, peer wire.NodeID, span uint64) {
+	if s.t == nil {
+		return
+	}
+	elapsed := s.t.Now() - s.start
+	if elapsed < 0 {
+		elapsed = 0
+	}
+	s.t.record(Event{Node: node, Round: round, Kind: kind, Peer: peer, Arg: uint64(elapsed), Instance: instance, Span: span})
+}
+
+// Events returns a snapshot of the retained event stream in record order
+// — the full stream unless the owner called Release, in which case only
+// the unreleased suffix remains.
 func (t *Tracer) Events() []Event {
 	if t == nil {
 		return nil
@@ -105,13 +185,61 @@ func (t *Tracer) Events() []Event {
 	return out
 }
 
-// EventCount returns the number of recorded events.
+// Since returns a snapshot of the events recorded after the first cursor
+// ones, in record order. A streaming exporter polls it with a cursor it
+// advances by the returned length: each event comes out exactly once, and
+// after a reconnect the caller may rewind the cursor and re-send — the
+// receiver deduplicates on (stream, Seq) via MergeEvents.
+func (t *Tracer) Since(cursor uint64) []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if cursor < t.base {
+		cursor = t.base // the rewound prefix was released; resume at the edge
+	}
+	if cursor >= t.base+uint64(len(t.events)) {
+		return nil
+	}
+	out := make([]Event, t.base+uint64(len(t.events))-cursor)
+	copy(out, t.events[cursor-t.base:])
+	return out
+}
+
+// Release drops the first upto events from the retained stream — the
+// memory bound for stream-only runs: once an exporter has shipped a
+// prefix (its Since cursor), the tracer need not hold it for an exit
+// dump that will never happen. Sequence numbers, the event count and the
+// hash all keep counting across released prefixes; only Events() (and
+// exports built on it) shrink to the unreleased suffix. A tracer that
+// will dump at exit must simply never call Release.
+func (t *Tracer) Release(upto uint64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if upto <= t.base {
+		return
+	}
+	if max := t.base + uint64(len(t.events)); upto > max {
+		upto = max
+	}
+	n := upto - t.base
+	kept := copy(t.events, t.events[n:])
+	t.events = t.events[:kept]
+	t.base = upto
+}
+
+// EventCount returns the number of recorded events, including any a
+// Release dropped from retention.
 func (t *Tracer) EventCount() uint64 {
 	if t == nil {
 		return 0
 	}
 	t.mu.Lock()
-	n := uint64(len(t.events))
+	n := t.base + uint64(len(t.events))
 	t.mu.Unlock()
 	return n
 }
@@ -186,6 +314,10 @@ func foldEvent(h uint64, ev Event) uint64 {
 	h = foldUint64(h, uint64(ev.Kind))
 	h = foldUint64(h, uint64(ev.Peer))
 	h = foldUint64(h, ev.Arg)
+	h = foldUint64(h, ev.Span)
+	// Seq is deliberately not folded: it is record-order metadata, fully
+	// determined by the event's position, and rewinding a stream cursor
+	// must not be able to perturb the semantic fingerprint.
 	for i := 0; i < len(ev.Note); i++ {
 		h = (h ^ uint64(ev.Note[i])) * 1099511628211
 	}

@@ -38,6 +38,7 @@ import (
 	"sgxp2p/internal/deploy"
 	"sgxp2p/internal/runtime"
 	"sgxp2p/internal/simnet"
+	"sgxp2p/internal/telemetry"
 	"sgxp2p/internal/wire"
 )
 
@@ -94,6 +95,14 @@ type Options struct {
 	// Adversary assigns byzantine OS behaviour to nodes (nil entries and
 	// missing ids are honest). See the Omit*/Delay*/Chain constructors.
 	Adversary map[NodeID]Behavior
+	// Trace attaches an event tracer to the whole cluster (the simulator's
+	// virtual clock is bound for you); nil records nothing at zero cost.
+	// Build it with telemetry.Options{Spans: true} to get the causal
+	// seal→transit→open→deliver→handle hop decomposition that
+	// internal/obsplane reconstructs.
+	Trace *telemetry.Tracer
+	// Metrics attaches a metrics registry; nil records nothing.
+	Metrics *telemetry.Metrics
 }
 
 // Cluster is a simulated deployment of enclaved peers.
@@ -115,6 +124,8 @@ func NewCluster(opts Options) (*Cluster, error) {
 		Seed:            opts.Seed,
 		RealCrypto:      opts.RealCrypto,
 		DisableBatching: opts.DisableBatching,
+		Trace:           opts.Trace,
+		Metrics:         opts.Metrics,
 		Wrap:            c.wrapper(opts),
 	})
 	if err != nil {
